@@ -1,0 +1,148 @@
+package dtbgc
+
+import (
+	"fmt"
+
+	"github.com/dtbgc/dtbgc/internal/apps/cfrac"
+	"github.com/dtbgc/dtbgc/internal/apps/circuit"
+	"github.com/dtbgc/dtbgc/internal/apps/logicmin"
+	"github.com/dtbgc/dtbgc/internal/apps/psint"
+	"github.com/dtbgc/dtbgc/internal/workload"
+)
+
+// AppEvalOptions sizes the application-driven evaluation.
+type AppEvalOptions struct {
+	// GhostPages is the page count for the PostScript runs (default 40).
+	GhostPages int
+	// EspressoProblems is the PLA batch size (default 10).
+	EspressoProblems int
+	// SisVectors is the verification vector count (default 1024).
+	SisVectors int
+	// CfracN is the number to factor (default an 18-digit semiprime).
+	CfracN string
+	// TriggerBytes is the scavenge interval (default 64 KB — the app
+	// traces are megabytes, not the paper's tens of megabytes).
+	TriggerBytes uint64
+	// MemMaxBytes is DTBMEM's budget (default 256 KB).
+	MemMaxBytes uint64
+	// TraceMaxBytes is the FEEDMED/DTBFM budget (default 16 KB).
+	TraceMaxBytes uint64
+}
+
+func (o AppEvalOptions) withDefaults() AppEvalOptions {
+	if o.GhostPages == 0 {
+		o.GhostPages = 40
+	}
+	if o.EspressoProblems == 0 {
+		o.EspressoProblems = 10
+	}
+	if o.SisVectors == 0 {
+		o.SisVectors = 1024
+	}
+	if o.CfracN == "" {
+		o.CfracN = "998244359987710471"
+	}
+	if o.TriggerBytes == 0 {
+		o.TriggerBytes = 64 * 1024
+	}
+	if o.MemMaxBytes == 0 {
+		o.MemMaxBytes = 256 * 1024
+	}
+	if o.TraceMaxBytes == 0 {
+		o.TraceMaxBytes = 16 * 1024
+	}
+	return o
+}
+
+// RunAppEvaluation is the evaluation matrix computed over the real
+// mini-applications instead of the calibrated synthetic profiles:
+// each program runs on the managed heap (the QPT-instrumentation
+// stand-in), its recorded malloc/free trace drives all six collectors
+// plus the baselines, and the same Table accessors apply. It is the
+// end-to-end variant of RunPaperEvaluation, trading calibration
+// fidelity for organic program behaviour.
+func RunAppEvaluation(opts AppEvalOptions) (*Evaluation, error) {
+	opts = opts.withDefaults()
+
+	type app struct {
+		name, desc string
+		run        func() ([]Event, error)
+	}
+	apps := []app{
+		{"ghost(1)", "PostScript-subset interpreter, synthetic manual (text-heavy)", func() ([]Event, error) {
+			res, err := psint.RunDocument(psint.GenerateDocument(opts.GhostPages, 1))
+			if err != nil {
+				return nil, err
+			}
+			return res.Events, nil
+		}},
+		{"ghost(2)", "PostScript-subset interpreter, synthetic thesis (figure-heavy)", func() ([]Event, error) {
+			res, err := psint.RunDocument(psint.GenerateDrawing(opts.GhostPages, 2))
+			if err != nil {
+				return nil, err
+			}
+			return res.Events, nil
+		}},
+		{"espresso", "cube-cover logic minimizer, random PLA batch", func() ([]Event, error) {
+			plas := make([]string, opts.EspressoProblems)
+			for i := range plas {
+				plas[i] = logicmin.GeneratePLA(9, 18, 3, uint64(i+1))
+			}
+			res, err := logicmin.RunBatch(plas, 300)
+			if err != nil {
+				return nil, err
+			}
+			return res.Events, nil
+		}},
+		{"sis", "BLIF network sweep + random-vector verification", func() ([]Event, error) {
+			res, err := circuit.Run(circuit.GenerateBLIF(24, 600, 16, 1), opts.SisVectors)
+			if err != nil {
+				return nil, err
+			}
+			return res.Events, nil
+		}},
+		{"cfrac", "continued-fraction factorization", func() ([]Event, error) {
+			_, _, events, err := cfrac.Factor(opts.CfracN, cfrac.Config{})
+			return events, err
+		}},
+	}
+
+	ev := &Evaluation{Options: EvalOptions{
+		Scale:         1,
+		TriggerBytes:  opts.TriggerBytes,
+		MemMaxBytes:   opts.MemMaxBytes,
+		TraceMaxBytes: opts.TraceMaxBytes,
+	}}
+	for _, a := range apps {
+		events, err := a.run()
+		if err != nil {
+			return nil, fmt.Errorf("dtbgc: app %s: %w", a.name, err)
+		}
+		rs := RunSet{
+			Workload: workload.Profile{Name: a.name, Description: a.desc},
+			Results:  make(map[string]*Result, 8),
+		}
+		policies := []Policy{
+			FullPolicy(), FixedPolicy(1), FixedPolicy(4),
+			MemoryPolicy(opts.MemMaxBytes),
+			FeedMedPolicy(opts.TraceMaxBytes),
+			DtbFMPolicy(opts.TraceMaxBytes),
+		}
+		for _, p := range policies {
+			res, err := Simulate(events, SimOptions{Policy: p, TriggerBytes: opts.TriggerBytes})
+			if err != nil {
+				return nil, fmt.Errorf("dtbgc: app %s under %s: %w", a.name, p.Name(), err)
+			}
+			rs.Results[res.Collector] = res
+		}
+		for _, base := range []SimOptions{{NoGC: true}, {LiveOracle: true}} {
+			res, err := Simulate(events, base)
+			if err != nil {
+				return nil, fmt.Errorf("dtbgc: app %s baseline: %w", a.name, err)
+			}
+			rs.Results[res.Collector] = res
+		}
+		ev.Runs = append(ev.Runs, rs)
+	}
+	return ev, nil
+}

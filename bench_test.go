@@ -1,0 +1,296 @@
+package dtbgc
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the experiment end to end — workload traces,
+// all collectors, aggregation — at a reduced scale (the full-size runs
+// are what cmd/dtbtables and EXPERIMENTS.md use). Custom metrics
+// surface the experiment's own numbers alongside the harness cost.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/gc"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// benchOptions is the reduced-scale configuration the table benches
+// share: ~1/20th-size workloads with proportionally scaled trigger and
+// budgets, preserving each experiment's shape.
+func benchOptions() EvalOptions {
+	return EvalOptions{
+		Scale:         0.05,
+		TriggerBytes:  51 * 1024,
+		MemMaxBytes:   150 * 1024,
+		TraceMaxBytes: 10 * 1024,
+	}
+}
+
+func runBenchEval(b *testing.B, opts EvalOptions) *Evaluation {
+	b.Helper()
+	ev, err := RunPaperEvaluation(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+func BenchmarkTable2Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev := runBenchEval(b, benchOptions())
+		tab := ev.Table2()
+		if len(tab.Rows) != 8 {
+			b.Fatalf("table 2 has %d rows", len(tab.Rows))
+		}
+		// Surface one representative cell: Full's mean memory on GHOST(1).
+		b.ReportMetric(ev.Runs[0].Results["Full"].MemMeanBytes/1024, "ghost1-full-memKB")
+	}
+}
+
+func BenchmarkTable3Pauses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev := runBenchEval(b, benchOptions())
+		tab := ev.Table3()
+		if len(tab.Rows) != 6 {
+			b.Fatalf("table 3 has %d rows", len(tab.Rows))
+		}
+		b.ReportMetric(ev.Runs[0].Results["DtbFM"].MedianPauseSeconds()*1000, "ghost1-dtbfm-p50ms")
+	}
+}
+
+func BenchmarkTable4Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev := runBenchEval(b, benchOptions())
+		tab := ev.Table4()
+		if len(tab.Rows) != 6 {
+			b.Fatalf("table 4 has %d rows", len(tab.Rows))
+		}
+		b.ReportMetric(ev.Runs[0].Results["Full"].OverheadPct, "ghost1-full-overhead%")
+	}
+}
+
+func BenchmarkTable6Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev := runBenchEval(b, benchOptions())
+		tab := ev.Table6()
+		if len(tab.Rows) != 6 {
+			b.Fatalf("table 6 has %d rows", len(tab.Rows))
+		}
+		if !strings.Contains(tab.String(), "GHOST(1)") {
+			b.Fatal("table 6 missing workloads")
+		}
+	}
+}
+
+func BenchmarkFigure1Scenario(b *testing.B) {
+	// The reachability collector executing the Figure 1 object graph:
+	// two scavenges, nepotism and untenuring included.
+	for i := 0; i < b.N; i++ {
+		h := mheap.New()
+		c, err := gc.New(h, gc.Options{Policy: core.Full{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := c.Alloc(1, 32)
+		c.SetGlobal("G", g)
+		iObj := c.Alloc(1, 32)
+		j := c.Alloc(1, 32)
+		h.SetPtr(iObj, 0, j)
+		k := c.Alloc(0, 32)
+		h.SetPtr(g, 0, k)
+		tbMin := h.Clock()
+		f := c.Alloc(0, 32)
+		h.SetPtr(j, 0, f)
+		c.Alloc(0, 32) // B
+		a := c.Alloc(1, 32)
+		c.SetGlobal("A", a)
+		c.Alloc(0, 32) // E
+		s1 := c.CollectAt(tbMin)
+		s2 := c.CollectAt(0)
+		if s1.Reclaimed == 0 || s2.Reclaimed == 0 {
+			b.Fatal("figure 1 scenario did not reclaim")
+		}
+	}
+}
+
+func BenchmarkFigure2Curve(b *testing.B) {
+	opts := benchOptions()
+	opts.Profiles = []Workload{WorkloadByName("GHOST(1)")}
+	opts.RecordCurves = true
+	opts.CurvePoints = 500
+	for i := 0; i < b.N; i++ {
+		ev := runBenchEval(b, opts)
+		csv, err := ev.Figure2("GHOST(1)", "DtbMem")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(csv) < 100 {
+			b.Fatal("figure 2 CSV suspiciously short")
+		}
+	}
+}
+
+// BenchmarkAblationTriggerGranularity sweeps the scavenge trigger — a
+// design choice DESIGN.md calls out: finer triggers cut memory but
+// multiply trace work.
+func BenchmarkAblationTriggerGranularity(b *testing.B) {
+	events := WorkloadByName("GHOST(1)").Scale(0.05).MustGenerate()
+	for _, trigger := range []uint64{16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024} {
+		b.Run(byteString(trigger), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(events, SimOptions{Policy: FullPolicy(), TriggerBytes: trigger})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MemMeanBytes/1024, "memKB")
+				b.ReportMetric(float64(res.TracedTotalBytes)/1024, "tracedKB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLEstimator compares DTBMEM's live-volume estimators
+// (paper: the midpoint of [Trace, S]) on a workload where the budget
+// binds: the aggressive estimator trades memory for trace work.
+func BenchmarkAblationLEstimator(b *testing.B) {
+	events := WorkloadByName("GHOST(2)").Scale(0.1).MustGenerate()
+	for _, est := range []core.LEstMode{core.LEstMidpoint, core.LEstSurviving, core.LEstTraced} {
+		b.Run(est.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(events, SimOptions{
+					Policy:       core.DtbMemAblation{MemMax: 300 * 1024, Est: est},
+					TriggerBytes: 100 * 1024,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MemMaxBytes/1024, "memMaxKB")
+				b.ReportMetric(float64(res.TracedTotalBytes)/1024, "tracedKB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWidening compares DTBFM's under-budget widening
+// rules: proportional (the paper's) reclaims stranded garbage much
+// faster than additive when traces run small.
+func BenchmarkAblationWidening(b *testing.B) {
+	events := WorkloadByName("ESPRESSO(2)").Scale(0.1).MustGenerate()
+	for _, additive := range []bool{false, true} {
+		name := "proportional"
+		if additive {
+			name = "additive"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(events, SimOptions{
+					Policy:       core.DtbFMAblation{TraceMax: 10 * 1024, Additive: additive},
+					TriggerBytes: 100 * 1024,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MemMeanBytes/1024, "memMeanKB")
+				b.ReportMetric(res.MedianPauseSeconds()*1000, "p50ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRememberedFilter measures the remembered-set size
+// with and without the TB_min write-barrier filter (§4's "pointer a
+// need never be recorded") on an allocation-heavy mutator.
+func BenchmarkAblationRememberedFilter(b *testing.B) {
+	for _, filter := range []bool{false, true} {
+		name := "record-all"
+		if filter {
+			name = "tbmin-filter"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := mheap.New()
+				c, err := gc.New(h, gc.Options{
+					Policy: core.Fixed{K: 1}, TriggerBytes: 64 * 1024,
+					AutoCollect: true, FilterRecent: filter,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Build short-lived linked chains and drop them: the
+				// eager barrier records every link until the next
+				// scavenge prunes, the filtered barrier records none
+				// of these young-source stores.
+				maxSet := 0
+				for chain := 0; chain < 400; chain++ {
+					head := c.Alloc(1, 16)
+					c.SetGlobal("chain", head)
+					prev := head
+					for j := 0; j < 50; j++ {
+						next := c.Alloc(1, 16)
+						c.PushRoot(next)
+						h.SetPtr(prev, 0, next)
+						c.PopRoot()
+						prev = next
+					}
+					c.SetGlobal("chain", mheap.Nil) // whole chain dies
+					if s := c.RememberedSize(); s > maxSet {
+						maxSet = s
+					}
+				}
+				b.ReportMetric(float64(maxSet), "maxRememberedEntries")
+			}
+		})
+	}
+}
+
+// BenchmarkPageFaultsByCollector measures the §2 locality claim: page
+// faults per collector under a constrained resident set.
+func BenchmarkPageFaultsByCollector(b *testing.B) {
+	events := WorkloadByName("GHOST(1)").Scale(0.1).MustGenerate()
+	for _, p := range []Policy{FullPolicy(), FixedPolicy(1), FixedPolicy(4), DtbFMPolicy(10 * 1024)} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(events, SimOptions{
+					Policy: p, TriggerBytes: 100 * 1024, PageFrames: 64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.PageFaults), "faults")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw event-processing speed of
+// the trace-driven simulator (events/sec via b.ReportMetric).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	events := WorkloadByName("ESPRESSO(1)").Scale(0.2).MustGenerate()
+	b.ResetTimer()
+	start := time.Now()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(events, SimOptions{Policy: FixedPolicy(1), TriggerBytes: 256 * 1024}); err != nil {
+			b.Fatal(err)
+		}
+		n += len(events)
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(n)/sec/1e6, "Mevents/s")
+	}
+}
+
+func byteString(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return "1MB"
+	case n >= 1<<18:
+		return "256KB"
+	case n >= 1<<16:
+		return "64KB"
+	default:
+		return "16KB"
+	}
+}

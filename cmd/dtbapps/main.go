@@ -1,0 +1,144 @@
+// Command dtbapps runs the mini-applications — the stand-ins for the
+// paper's GhostScript, Espresso, SIS and Cfrac workloads — on the
+// simulated managed heap, and writes the allocation trace each run
+// produces. Those traces can then drive the simulator via dtbsim.
+//
+// Usage:
+//
+//	dtbapps ghost   [-pages N] [-seed S] [-o trace.dtbt]
+//	dtbapps espresso [-problems N] [-vars V] [-cubes C] [-seed S] [-o trace.dtbt]
+//	dtbapps sis     [-gates N] [-latches L] [-vectors V] [-seed S] [-o trace.dtbt]
+//	dtbapps cfrac   [-n NUMBER] [-o trace.dtbt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dtbgc "github.com/dtbgc/dtbgc"
+	"github.com/dtbgc/dtbgc/internal/apps/cfrac"
+	"github.com/dtbgc/dtbgc/internal/apps/circuit"
+	"github.com/dtbgc/dtbgc/internal/apps/logicmin"
+	"github.com/dtbgc/dtbgc/internal/apps/psint"
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var events []trace.Event
+	var summary string
+	var err error
+	var out string
+
+	switch os.Args[1] {
+	case "ghost":
+		fs := flag.NewFlagSet("ghost", flag.ExitOnError)
+		pages := fs.Int("pages", 40, "pages to interpret")
+		seed := fs.Uint64("seed", 1, "document seed")
+		doc := fs.String("doc", "manual", "document type: manual (text-heavy) or thesis (graphics-heavy)")
+		o := fs.String("o", "", "trace output file (default stdout)")
+		fs.Parse(os.Args[2:])
+		out = *o
+		var src string
+		switch *doc {
+		case "manual":
+			src = psint.GenerateDocument(*pages, *seed)
+		case "thesis":
+			src = psint.GenerateDrawing(*pages, *seed)
+		default:
+			err = fmt.Errorf("unknown document type %q", *doc)
+		}
+		if err == nil {
+			var res *psint.Result
+			res, err = psint.RunDocument(src)
+			if res != nil {
+				events = res.Events
+				summary = fmt.Sprintf("ghost: %d pages, %d operations, checksum %.2f", res.Pages, res.OpCount, res.Checksum)
+			}
+		}
+	case "espresso":
+		fs := flag.NewFlagSet("espresso", flag.ExitOnError)
+		problems := fs.Int("problems", 12, "PLA problems to minimize")
+		vars := fs.Int("vars", 9, "inputs per PLA")
+		cubes := fs.Int("cubes", 18, "ON cubes per PLA")
+		outputs := fs.Int("outputs", 1, "outputs per PLA (multi-output minimizes each independently)")
+		seed := fs.Uint64("seed", 1, "generator seed")
+		o := fs.String("o", "", "trace output file (default stdout)")
+		fs.Parse(os.Args[2:])
+		out = *o
+		plas := make([]string, *problems)
+		var res *logicmin.Result
+		if *outputs <= 1 {
+			for i := range plas {
+				plas[i] = logicmin.GeneratePLA(*vars, *cubes, 3, *seed+uint64(i))
+			}
+			res, err = logicmin.RunBatch(plas, 500)
+		} else {
+			for i := range plas {
+				plas[i] = logicmin.GenerateMultiPLA(*vars, *outputs, *cubes, *seed+uint64(i))
+			}
+			res, err = logicmin.RunMultiBatch(plas, 500)
+		}
+		if res != nil {
+			events = res.Events
+			summary = fmt.Sprintf("espresso: %d problems, %d cubes in, %d out", *problems, res.CubesIn, res.CubesOut)
+		}
+	case "sis":
+		fs := flag.NewFlagSet("sis", flag.ExitOnError)
+		gates := fs.Int("gates", 600, "gates in the synthesized circuit")
+		latches := fs.Int("latches", 16, "latches")
+		vectors := fs.Int("vectors", 1024, "random verification vectors")
+		seed := fs.Uint64("seed", 1, "circuit seed")
+		o := fs.String("o", "", "trace output file (default stdout)")
+		fs.Parse(os.Args[2:])
+		out = *o
+		blif := circuit.GenerateBLIF(24, *gates, *latches, *seed)
+		var res *circuit.Result
+		res, err = circuit.Run(blif, *vectors)
+		if res != nil {
+			events = res.Events
+			summary = fmt.Sprintf("sis: %d nodes, %d removed by sweep, signature %x", res.Gates, res.Removed, res.Signature)
+		}
+	case "cfrac":
+		fs := flag.NewFlagSet("cfrac", flag.ExitOnError)
+		n := fs.String("n", "998244359987710471", "number to factor")
+		o := fs.String("o", "", "trace output file (default stdout)")
+		fs.Parse(os.Args[2:])
+		out = *o
+		var f1, f2 string
+		f1, f2, events, err = cfrac.Factor(*n, cfrac.Config{})
+		if err == nil {
+			summary = fmt.Sprintf("cfrac: %s = %s * %s", *n, f1, f2)
+		}
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtbapps:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, summary)
+
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbapps:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := dtbgc.WriteTrace(dst, events); err != nil {
+		fmt.Fprintln(os.Stderr, "dtbapps:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dtbapps {ghost|espresso|sis|cfrac} [flags]")
+	os.Exit(2)
+}

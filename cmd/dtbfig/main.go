@@ -1,0 +1,54 @@
+// Command dtbfig regenerates the paper's Figure 2 — memory in use
+// over execution time — as CSV: one series for the chosen collector,
+// one for the live-byte floor.
+//
+// Usage:
+//
+//	dtbfig [-workload "GHOST(1)"] [-collector Full] [-scale F] [-points N] > fig2.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dtbgc "github.com/dtbgc/dtbgc"
+)
+
+func main() {
+	workloadName := flag.String("workload", "GHOST(1)", "paper workload name")
+	collector := flag.String("collector", "DtbMem", "collector column (Full, Fixed1, Fixed4, DtbMem, FeedMed, DtbFM, NoGC)")
+	scale := flag.Float64("scale", 0.25, "workload scale factor")
+	points := flag.Int("points", 2000, "maximum points per series")
+	trigger := flag.Uint64("trigger", 1<<20, "scavenge trigger in bytes")
+	ascii := flag.Bool("ascii", false, "render a text chart instead of CSV")
+	flag.Parse()
+
+	w, err := dtbgc.LookupWorkload(*workloadName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtbfig:", err)
+		os.Exit(1)
+	}
+	ev, err := dtbgc.RunPaperEvaluation(dtbgc.EvalOptions{
+		Scale:        *scale,
+		TriggerBytes: *trigger,
+		Profiles:     []dtbgc.Workload{w},
+		RecordCurves: true,
+		CurvePoints:  *points,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtbfig:", err)
+		os.Exit(1)
+	}
+	var out string
+	if *ascii {
+		out, err = ev.Figure2Ascii(ev.Runs[0].Workload.Name, *collector, 100, 24)
+	} else {
+		out, err = ev.Figure2(ev.Runs[0].Workload.Name, *collector)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtbfig:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

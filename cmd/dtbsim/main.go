@@ -1,0 +1,99 @@
+// Command dtbsim runs one collector over one workload (or a recorded
+// trace file) and prints its metrics — the single-cell view of the
+// evaluation tables.
+//
+// Usage:
+//
+//	dtbsim -policy dtbfm:50k -workload "GHOST(1)" [-scale F] [-trigger BYTES]
+//	dtbsim -policy dtbmem:3000k -trace events.dtbt
+//	dtbsim -baseline live -workload CFRAC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dtbgc "github.com/dtbgc/dtbgc"
+)
+
+func main() {
+	policySpec := flag.String("policy", "", "collector policy (full, fixed1, fixed4, feedmed:<b>, dtbfm:<b>, dtbmem:<b>)")
+	baseline := flag.String("baseline", "", "baseline instead of a policy: nogc or live")
+	workloadName := flag.String("workload", "", `paper workload name, e.g. "GHOST(1)", ESPRESSO(2), SIS, CFRAC`)
+	traceFile := flag.String("trace", "", "binary trace file to replay instead of a workload")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	trigger := flag.Uint64("trigger", 1<<20, "scavenge trigger in bytes")
+	history := flag.Bool("history", false, "print the per-scavenge history as CSV instead of the summary")
+	opportunistic := flag.Bool("opportunistic", false, "also scavenge at trace marks (program quiescent points)")
+	pageFrames := flag.Int("pages", 0, "enable the VM model with this many resident 4 KB pages")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dtbsim:", err)
+		os.Exit(1)
+	}
+
+	var events []dtbgc.Event
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		events, err = dtbgc.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	case *workloadName != "":
+		w, err := dtbgc.LookupWorkload(*workloadName)
+		if err != nil {
+			fail(err)
+		}
+		events, err = w.Scale(*scale).Generate()
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("need -workload or -trace"))
+	}
+
+	opts := dtbgc.SimOptions{TriggerBytes: *trigger, Opportunistic: *opportunistic, PageFrames: *pageFrames}
+	switch *baseline {
+	case "":
+		p, err := dtbgc.ParsePolicy(*policySpec)
+		if err != nil {
+			fail(err)
+		}
+		opts.Policy = p
+	case "nogc":
+		opts.NoGC = true
+	case "live":
+		opts.LiveOracle = true
+	default:
+		fail(fmt.Errorf("unknown baseline %q (nogc or live)", *baseline))
+	}
+
+	res, err := dtbgc.Simulate(events, opts)
+	if err != nil {
+		fail(err)
+	}
+	if *history {
+		fmt.Print(dtbgc.HistoryCSV(res))
+		return
+	}
+	fmt.Printf("collector:      %s\n", res.Collector)
+	fmt.Printf("total alloc:    %.0f KB over %.1f s (model time)\n", float64(res.TotalAlloc)/1024, res.ExecSeconds)
+	fmt.Printf("memory mean/max: %.0f / %.0f KB\n", res.MemMeanBytes/1024, res.MemMaxBytes/1024)
+	fmt.Printf("live   mean/max: %.0f / %.0f KB\n", res.LiveMeanBytes/1024, res.LiveMaxBytes/1024)
+	fmt.Printf("collections:    %d\n", res.Collections)
+	if res.Collections > 0 {
+		fmt.Printf("pauses p50/p90: %.0f / %.0f ms\n", res.MedianPauseSeconds()*1000, res.P90PauseSeconds()*1000)
+		fmt.Printf("traced total:   %.0f KB (overhead %.1f%%)\n", float64(res.TracedTotalBytes)/1024, res.OverheadPct)
+	}
+	if res.PageAccesses > 0 {
+		fmt.Printf("page faults:    %d of %d accesses (%.2f%%)\n",
+			res.PageFaults, res.PageAccesses, 100*float64(res.PageFaults)/float64(res.PageAccesses))
+	}
+}

@@ -1,0 +1,97 @@
+// Command dtbtables regenerates the paper's evaluation tables (2, 3,
+// 4 and 6) by running all six collectors plus the NoGC and Live
+// baselines over the six calibrated workloads.
+//
+// Usage:
+//
+//	dtbtables [-table N] [-scale F] [-trigger BYTES] [-memmax BYTES] [-tracemax BYTES]
+//
+// With no -table flag all four tables print. -scale shrinks the
+// workloads proportionally for quick runs (the paper-size runs take
+// around a minute).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dtbgc "github.com/dtbgc/dtbgc"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to print (2, 3, 4, 5 or 6); 0 = all")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
+	trigger := flag.Uint64("trigger", 1<<20, "scavenge trigger in bytes")
+	memMax := flag.Uint64("memmax", 3000*1024, "DTBMEM memory constraint in bytes")
+	traceMax := flag.Uint64("tracemax", 50*1024, "FEEDMED/DTBFM trace budget in bytes")
+	compare := flag.Bool("compare", false, "print measured values beside the paper's published numbers")
+	check := flag.Bool("check", false, "verify the paper's qualitative claims (DESIGN.md §6); non-zero exit on failure")
+	apps := flag.Bool("apps", false, "evaluate over the real mini-application traces instead of the calibrated profiles")
+	flag.Parse()
+
+	var (
+		ev  *dtbgc.Evaluation
+		err error
+	)
+	if *apps {
+		ev, err = dtbgc.RunAppEvaluation(dtbgc.AppEvalOptions{})
+	} else {
+		ev, err = dtbgc.RunPaperEvaluation(dtbgc.EvalOptions{
+			Scale:         *scale,
+			TriggerBytes:  *trigger,
+			MemMaxBytes:   *memMax,
+			TraceMaxBytes: *traceMax,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtbtables:", err)
+		os.Exit(1)
+	}
+	if *check {
+		errs := ev.ShapeCheck()
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "claim violated:", e)
+		}
+		if len(errs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("all reproduction claims hold")
+		return
+	}
+	if *compare {
+		for _, n := range []int{2, 3, 4} {
+			if *table != 0 && *table != n {
+				continue
+			}
+			tab, err := ev.CompareTable(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dtbtables:", err)
+				os.Exit(1)
+			}
+			fmt.Println(tab)
+		}
+		return
+	}
+	switch *table {
+	case 0:
+		fmt.Println(ev.Table2())
+		fmt.Println(ev.Table3())
+		fmt.Println(ev.Table4())
+		fmt.Println(ev.Table5())
+		fmt.Println(ev.Table6())
+	case 2:
+		fmt.Println(ev.Table2())
+	case 3:
+		fmt.Println(ev.Table3())
+	case 4:
+		fmt.Println(ev.Table4())
+	case 5:
+		fmt.Println(ev.Table5())
+	case 6:
+		fmt.Println(ev.Table6())
+	default:
+		fmt.Fprintf(os.Stderr, "dtbtables: no table %d (have 2, 3, 4, 5, 6)\n", *table)
+		os.Exit(2)
+	}
+}

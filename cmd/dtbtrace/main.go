@@ -1,0 +1,252 @@
+// Command dtbtrace generates, converts and inspects allocation
+// traces.
+//
+// Usage:
+//
+//	dtbtrace gen -workload "GHOST(1)" [-scale F] -o trace.dtbt
+//	dtbtrace stat trace.dtbt
+//	dtbtrace convert -from bin -to text trace.dtbt > trace.txt
+//	dtbtrace validate trace.dtbt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dtbgc "github.com/dtbgc/dtbgc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "forward":
+		err = cmdForward(os.Args[2:])
+	case "window":
+		err = cmdWindow(os.Args[2:])
+	case "lifetimes":
+		err = cmdLifetimes(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtbtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dtbtrace {gen|stat|convert|validate|forward|window|lifetimes} ...")
+	os.Exit(2)
+}
+
+// cmdLifetimes prints the trace's object demographics and survival
+// function — the data the workload profiles are calibrated from.
+func cmdLifetimes(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("lifetimes needs exactly one trace file")
+	}
+	events, err := readTraceFile(args[0])
+	if err != nil {
+		return err
+	}
+	ls, err := dtbgc.MeasureLifetimes(events)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("objects:        %d (mean %.0f bytes)\n", ls.TotalObjects, ls.MeanObjectBytes)
+	fmt.Printf("total bytes:    %d\n", ls.TotalBytes)
+	fmt.Printf("permanent:      %.1f%% of bytes never die\n", ls.PermanentFraction()*100)
+	fmt.Println("survival S(age) over observed deaths (age in KB of subsequent allocation):")
+	for _, ageKB := range []uint64{1, 4, 16, 64, 256, 1024, 4096} {
+		fmt.Printf("  S(%5d KB) = %.3f\n", ageKB, ls.SurvivalAt(ageKB*1024))
+	}
+	fitted, err := dtbgc.FitWorkload(events, "fitted")
+	if err != nil {
+		return err
+	}
+	fmt.Println("fitted profile classes:")
+	for _, c := range fitted.Classes {
+		if c.Permanent {
+			fmt.Printf("  %.1f%% permanent\n", c.Fraction*100)
+		} else {
+			fmt.Printf("  %.1f%% exponential, mean life %.0f KB\n", c.Fraction*100, c.MeanLife/1024)
+		}
+	}
+	return nil
+}
+
+// cmdWindow writes the sub-trace covering an instruction interval.
+func cmdWindow(args []string) error {
+	fs := flag.NewFlagSet("window", flag.ExitOnError)
+	from := fs.Uint64("from", 0, "window start (instructions)")
+	to := fs.Uint64("to", ^uint64(0), "window end (instructions)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("window needs exactly one trace file")
+	}
+	events, err := readTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	windowed, err := dtbgc.WindowTrace(events, *from, *to)
+	if err != nil {
+		return err
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	return dtbgc.WriteTrace(dst, windowed)
+}
+
+// cmdForward reports the §4.2 observable: how many pointer stores are
+// forward in time (and so must be remembered by the DTB collector).
+func cmdForward(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("forward needs exactly one trace file")
+	}
+	events, err := readTraceFile(args[0])
+	if err != nil {
+		return err
+	}
+	fs, err := dtbgc.MeasureForwardPointers(events)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pointer stores: %d (%d nil)\n", fs.Stores, fs.NilStore)
+	fmt.Printf("forward:        %d (%.1f%% of non-nil)\n", fs.Forward, fs.ForwardFraction()*100)
+	fmt.Printf("backward:       %d\n", fs.Backward)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	workloadName := fs.String("workload", "CFRAC", "paper workload name")
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	out := fs.String("o", "", "output file (default stdout)")
+	text := fs.Bool("text", false, "write the text format instead of binary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := dtbgc.LookupWorkload(*workloadName)
+	if err != nil {
+		return err
+	}
+	events, err := w.Scale(*scale).Generate()
+	if err != nil {
+		return err
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if *text {
+		return dtbgc.WriteTraceText(dst, events)
+	}
+	return dtbgc.WriteTrace(dst, events)
+}
+
+func readTraceFile(path string) ([]dtbgc.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dtbgc.ReadTrace(f)
+}
+
+func cmdStat(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stat needs exactly one trace file")
+	}
+	events, err := readTraceFile(args[0])
+	if err != nil {
+		return err
+	}
+	res, err := dtbgc.Simulate(events, dtbgc.SimOptions{LiveOracle: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("events:        %d\n", len(events))
+	fmt.Printf("total alloc:   %.0f KB\n", float64(res.TotalAlloc)/1024)
+	fmt.Printf("exec time:     %.2f s (10 MIPS model)\n", res.ExecSeconds)
+	fmt.Printf("live mean/max: %.0f / %.0f KB\n", res.LiveMeanBytes/1024, res.LiveMaxBytes/1024)
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	from := fs.String("from", "bin", "input format: bin or text")
+	to := fs.String("to", "text", "output format: bin or text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("convert needs exactly one trace file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var events []dtbgc.Event
+	switch *from {
+	case "bin":
+		events, err = dtbgc.ReadTrace(f)
+	case "text":
+		events, err = dtbgc.ReadTraceText(f)
+	default:
+		return fmt.Errorf("unknown input format %q", *from)
+	}
+	if err != nil {
+		return err
+	}
+	switch *to {
+	case "bin":
+		return dtbgc.WriteTrace(os.Stdout, events)
+	case "text":
+		return dtbgc.WriteTraceText(os.Stdout, events)
+	default:
+		return fmt.Errorf("unknown output format %q", *to)
+	}
+}
+
+func cmdValidate(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("validate needs exactly one trace file")
+	}
+	events, err := readTraceFile(args[0])
+	if err != nil {
+		return err
+	}
+	if err := dtbgc.ValidateTrace(events); err != nil {
+		return err
+	}
+	fmt.Printf("ok: %d events\n", len(events))
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package dtbgc is a library reproduction of Barrett & Zorn's
+// "Garbage Collection using a Dynamic Threatening Boundary"
+// (CU-CS-659-93 / PLDI 1995).
+//
+// The library provides:
+//
+//   - the threatening-boundary collector framework and the six policies
+//     of the paper's Table 1 (Full, Fixed1, Fixed4, FeedMed, DtbFM,
+//     DtbMem), constructed here via FullPolicy, FixedPolicy,
+//     FeedMedPolicy, PausePolicy/DtbFMPolicy and MemoryPolicy;
+//   - a trace-driven simulator (Simulate) with the paper's machine
+//     model: 10 MIPS, 500 KB/s tracing, 1 MB scavenge trigger;
+//   - a malloc/free/pointer-store trace substrate with binary and text
+//     codecs (ReadTrace/WriteTrace);
+//   - calibrated synthetic workloads reproducing the paper's six
+//     evaluation runs (Workloads, WorkloadByName);
+//   - the full evaluation harness (RunPaperEvaluation) regenerating
+//     Tables 2, 3, 4 and 6 and the Figure 2 memory curves.
+//
+// # Quick start
+//
+//	events := dtbgc.WorkloadByName("GHOST(1)").MustGenerate()
+//	res, err := dtbgc.Simulate(events, dtbgc.SimOptions{
+//		Policy: dtbgc.PausePolicy(100 * time.Millisecond),
+//	})
+//	fmt.Println(res.MedianPauseSeconds())
+//
+// A reachability-based copying collector over a byte-array heap, the
+// mechanism the paper's §4.2 describes (single remembered set of all
+// forward-in-time pointers, write barrier, untenuring), lives in
+// internal/gc and is exercised by the Figure-1 example and tests; the
+// four mini-applications standing in for the paper's GhostScript /
+// Espresso / SIS / Cfrac workloads live under internal/apps and are
+// runnable via cmd/dtbapps.
+package dtbgc

@@ -1,0 +1,240 @@
+package dtbgc
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/workload"
+)
+
+// Policy selects the threatening boundary before each scavenge; it is
+// the axis along which the paper's collectors differ (Table 1).
+type Policy = core.Policy
+
+// Event is one record of an allocation trace.
+type Event = trace.Event
+
+// Result carries the metrics of one simulated run.
+type Result = sim.Result
+
+// Machine is the simulated hardware model (CPU speed and trace rate).
+type Machine = sim.Machine
+
+// Workload is a synthetic program profile that generates allocation
+// traces.
+type Workload = workload.Profile
+
+// PaperMachine returns the paper's machine model: 10 MIPS with the
+// collector tracing 500 KB per second.
+func PaperMachine() Machine { return sim.PaperMachine() }
+
+// FullPolicy returns the non-generational collector: every scavenge
+// traces all storage and reclaims all garbage (TB_n = 0).
+func FullPolicy() Policy { return core.Full{} }
+
+// FixedPolicy returns a classic generational collector that tenures
+// objects after they survive k scavenges (TB_n = t_{n-k}). k = 1 and
+// k = 4 are the paper's FIXED1 and FIXED4.
+func FixedPolicy(k int) Policy { return core.Fixed{K: k} }
+
+// FeedMedPolicy returns Ungar & Jackson's Feedback Mediation collector
+// with the given per-scavenge trace budget in bytes.
+func FeedMedPolicy(traceMaxBytes uint64) Policy { return core.FeedMed{TraceMax: traceMaxBytes} }
+
+// DtbFMPolicy returns the paper's pause-time-constrained dynamic
+// threatening boundary collector with the given per-scavenge trace
+// budget in bytes.
+func DtbFMPolicy(traceMaxBytes uint64) Policy { return core.DtbFM{TraceMax: traceMaxBytes} }
+
+// PausePolicy returns the DTBFM collector tuned for a maximum pause
+// time on the paper's machine: the pause converts to a trace budget at
+// the machine's trace rate ("a user-specified maximum pause-time is
+// easily converted to Trace_max", §4.1).
+func PausePolicy(maxPause time.Duration) Policy {
+	return PausePolicyOn(maxPause, PaperMachine())
+}
+
+// PausePolicyOn is PausePolicy for an explicit machine model.
+func PausePolicyOn(maxPause time.Duration, m Machine) Policy {
+	budget := uint64(maxPause.Seconds() * m.TraceBytesPer)
+	return core.DtbFM{TraceMax: budget}
+}
+
+// MemoryPolicy returns the paper's memory-constrained dynamic
+// threatening boundary collector (DTBMEM) with the given maximum
+// memory use in bytes.
+func MemoryPolicy(maxBytes uint64) Policy { return core.DtbMem{MemMax: maxBytes} }
+
+// ParsePolicy builds a policy from a textual spec such as "full",
+// "fixed4", "dtbfm:50k" or "dtbmem:3000k" (see internal/core for the
+// grammar); it is what the command-line tools use.
+func ParsePolicy(spec string) (Policy, error) { return core.ParsePolicy(spec) }
+
+// SimOptions parameterizes Simulate.
+type SimOptions struct {
+	// Policy drives collection. Leave nil with NoGC or LiveOracle set
+	// for the baseline modes.
+	Policy Policy
+	// NoGC measures the program with the collector disabled.
+	NoGC bool
+	// LiveOracle measures the exact live-byte curve (storage reclaimed
+	// at the instant of death).
+	LiveOracle bool
+	// Machine defaults to PaperMachine().
+	Machine Machine
+	// TriggerBytes is the scavenge interval; defaults to 1 MB.
+	TriggerBytes uint64
+	// RecordCurve retains the memory-over-time series (Figure 2).
+	RecordCurve bool
+	// CurvePoints caps the retained curve length (0 = keep all).
+	CurvePoints int
+	// PageFrames enables the virtual-memory model: an LRU resident
+	// set of PageFrames pages (PageBytes each, default 4096) is driven
+	// by mutator and collector touches, and the result reports page
+	// faults — the locality axis on which generational collection was
+	// originally evaluated.
+	PageFrames int
+	// PageBytes sets the page size when PageFrames > 0.
+	PageBytes uint64
+	// Opportunistic additionally scavenges at trace Mark events
+	// (program quiescent points) once half the trigger interval has
+	// accumulated — Wilson & Moher's answer to "when to collect",
+	// composable with any boundary policy's answer to "what to
+	// collect" (§4).
+	Opportunistic bool
+}
+
+func (o SimOptions) config() sim.Config {
+	cfg := sim.Config{
+		Policy:        o.Policy,
+		Machine:       o.Machine,
+		TriggerBytes:  o.TriggerBytes,
+		RecordCurve:   o.RecordCurve,
+		CurvePoints:   o.CurvePoints,
+		Opportunistic: o.Opportunistic,
+		PageFrames:    o.PageFrames,
+		PageBytes:     o.PageBytes,
+	}
+	switch {
+	case o.NoGC:
+		cfg.Mode = sim.ModeNoGC
+	case o.LiveOracle:
+		cfg.Mode = sim.ModeLive
+	default:
+		cfg.Mode = sim.ModePolicy
+	}
+	return cfg
+}
+
+// Simulate runs one collector (or baseline) over an allocation trace
+// and returns its metrics.
+func Simulate(events []Event, opts SimOptions) (*Result, error) {
+	return sim.Run(events, opts.config())
+}
+
+// SimulateStream runs a collector over a binary trace streamed from r
+// (as written by WriteTrace), decoding events one at a time so memory
+// use is bounded by the simulated heap, not the trace length.
+func SimulateStream(r io.Reader, opts SimOptions) (*Result, error) {
+	return sim.RunReader(trace.NewReader(r), opts.config())
+}
+
+// HistoryCSV renders a result's per-scavenge history — time,
+// boundary, traced, reclaimed, surviving bytes and the pause — as CSV
+// for plotting or inspection.
+func HistoryCSV(res *Result) string {
+	var b strings.Builder
+	b.WriteString("n,tKB,tbKB,memBeforeKB,tracedKB,reclaimedKB,survivingKB,pauseMS\n")
+	for i, s := range res.History.Scavenges {
+		pause := 0.0
+		if i < len(res.Pauses) {
+			pause = res.Pauses[i] * 1000
+		}
+		fmt.Fprintf(&b, "%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n",
+			s.N, float64(s.T)/1024, float64(s.TB)/1024, float64(s.MemBefore)/1024,
+			float64(s.Traced)/1024, float64(s.Reclaimed)/1024, float64(s.Surviving)/1024, pause)
+	}
+	return b.String()
+}
+
+// Workloads returns the six calibrated profiles of the paper's
+// evaluation, in table order: GHOST(1), GHOST(2), ESPRESSO(1),
+// ESPRESSO(2), SIS, CFRAC.
+func Workloads() []Workload { return workload.PaperProfiles() }
+
+// WorkloadByName returns the named paper workload; it panics on an
+// unknown name (the valid names are fixed at compile time — use
+// LookupWorkload for dynamic input).
+func WorkloadByName(name string) Workload {
+	p, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LookupWorkload returns the named paper workload or an error listing
+// the valid names.
+func LookupWorkload(name string) (Workload, error) { return workload.ByName(name) }
+
+// FitWorkload derives a Workload profile from a recorded trace — the
+// inverse of Workload.Generate. Capture your program's allocation
+// trace, fit it, and study collector behaviour on scaled or perturbed
+// variants. The fit is a permanent ramp plus a two-exponential
+// lifetime mixture; see internal/workload.Fit for its semantics.
+func FitWorkload(events []Event, name string) (Workload, error) {
+	return workload.Fit(events, name)
+}
+
+// LifetimeStats characterizes a trace's object demographics: sizes,
+// permanent fraction, and the byte-weighted lifetime survival
+// function on the allocation clock.
+type LifetimeStats = trace.LifetimeStats
+
+// MeasureLifetimes computes LifetimeStats for a trace.
+func MeasureLifetimes(events []Event) (*LifetimeStats, error) {
+	return trace.MeasureLifetimes(events)
+}
+
+// WriteTrace encodes events in the compact binary trace format.
+func WriteTrace(w io.Writer, events []Event) error { return trace.WriteAll(w, events) }
+
+// ReadTrace decodes a binary trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Event, error) { return trace.NewReader(r).ReadAll() }
+
+// WriteTraceText encodes events in the line-oriented text format.
+func WriteTraceText(w io.Writer, events []Event) error { return trace.WriteText(w, events) }
+
+// ReadTraceText decodes the line-oriented text trace format.
+func ReadTraceText(r io.Reader) ([]Event, error) { return trace.ReadText(r) }
+
+// ValidateTrace checks a trace for well-formedness (unique IDs, no
+// double frees, monotone clock, pointer stores between live objects).
+func ValidateTrace(events []Event) error { return trace.Validate(events) }
+
+// WindowTrace extracts the self-contained sub-trace covering the
+// instruction interval [from, to]: objects still live at the window's
+// start are re-introduced with synthetic allocations (original
+// relative ages preserved), so the result passes ValidateTrace and can
+// drive Simulate directly. Use it to skip a capture's warm-up or to
+// isolate one program phase.
+func WindowTrace(events []Event, from, to uint64) ([]Event, error) {
+	return trace.Window(events, from, to)
+}
+
+// ForwardStats summarizes a trace's pointer stores by direction —
+// the §4.2 observable: the dynamic boundary collector remembers every
+// forward-in-time pointer, a design that works because such pointers
+// are a small fraction of all stores.
+type ForwardStats = trace.ForwardStats
+
+// MeasureForwardPointers computes ForwardStats for a trace (the
+// mini-applications' traces include pointer-store events).
+func MeasureForwardPointers(events []Event) (ForwardStats, error) {
+	return trace.MeasureForward(events)
+}

@@ -1,0 +1,71 @@
+package dtbgc_test
+
+// Runnable godoc examples for the public API. Outputs are fixed
+// because every workload and policy is deterministic.
+
+import (
+	"fmt"
+	"time"
+
+	dtbgc "github.com/dtbgc/dtbgc"
+)
+
+// ExampleSimulate runs the paper's memory-constrained collector on the
+// CFRAC workload.
+func ExampleSimulate() {
+	events := dtbgc.WorkloadByName("CFRAC").Scale(0.1).MustGenerate()
+	res, err := dtbgc.Simulate(events, dtbgc.SimOptions{
+		Policy:       dtbgc.MemoryPolicy(64 * 1024),
+		TriggerBytes: 32 * 1024,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("collector %s ran %d scavenges\n", res.Collector, res.Collections)
+	fmt.Printf("memory stayed under budget: %v\n", res.MemMaxBytes <= 64*1024+32*1024)
+	// Output:
+	// collector DtbMem ran 9 scavenges
+	// memory stayed under budget: true
+}
+
+// ExamplePausePolicy shows the paper's headline knob: a pause-time
+// target converted to a per-scavenge trace budget.
+func ExamplePausePolicy() {
+	// At 500 KB/s, 100 ms is a 50 KB budget; the policy is DTBFM.
+	p := dtbgc.PausePolicy(100 * time.Millisecond)
+	fmt.Println(p.Name())
+	// Output:
+	// DtbFM
+}
+
+// ExampleParsePolicy builds collectors from their command-line specs.
+func ExampleParsePolicy() {
+	for _, spec := range []string{"full", "fixed4", "dtbfm:50k", "dtbmem:3000k"} {
+		p, err := dtbgc.ParsePolicy(spec)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Println(p.Name())
+	}
+	// Output:
+	// Full
+	// Fixed4
+	// DtbFM
+	// DtbMem
+}
+
+// ExampleWorkloads lists the six calibrated evaluation runs.
+func ExampleWorkloads() {
+	for _, w := range dtbgc.Workloads() {
+		fmt.Printf("%s: %d MB\n", w.Name, w.TotalBytes>>20)
+	}
+	// Output:
+	// GHOST(1): 49 MB
+	// GHOST(2): 88 MB
+	// ESPRESSO(1): 15 MB
+	// ESPRESSO(2): 104 MB
+	// SIS: 15 MB
+	// CFRAC: 3 MB
+}

@@ -1,0 +1,46 @@
+// App-driven simulation: the full pipeline of the paper's methodology.
+// A real program (the CFRAC mini-application) runs on the simulated
+// managed heap, its malloc/free events are recorded — the QPT-
+// instrumentation stand-in — and the recorded trace then drives all
+// the collectors for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dtbgc "github.com/dtbgc/dtbgc"
+	"github.com/dtbgc/dtbgc/internal/apps/cfrac"
+)
+
+func main() {
+	// Step 1: run the instrumented program.
+	n := "998244359987710471" // 1000000007 * 998244353
+	f1, f2, events, err := cfrac.Factor(n, cfrac.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %s = %s * %s\n", n, f1, f2)
+	fmt.Printf("trace:          %d events\n\n", len(events))
+
+	// Step 2: replay the trace under each collector.
+	policies := []dtbgc.Policy{
+		dtbgc.FullPolicy(),
+		dtbgc.FixedPolicy(1),
+		dtbgc.FixedPolicy(4),
+		dtbgc.MemoryPolicy(256 * 1024),
+		dtbgc.FeedMedPolicy(8 * 1024),
+		dtbgc.DtbFMPolicy(8 * 1024),
+	}
+	fmt.Println("collector  mem-mean  mem-max    p50    traced")
+	for _, p := range policies {
+		res, err := dtbgc.Simulate(events, dtbgc.SimOptions{Policy: p, TriggerBytes: 256 * 1024})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  %5.0f KB  %5.0f KB  %3.0f ms  %6.0f KB\n",
+			res.Collector, res.MemMeanBytes/1024, res.MemMaxBytes/1024,
+			res.MedianPauseSeconds()*1000, float64(res.TracedTotalBytes)/1024)
+	}
+	fmt.Println("\n(CFRAC retains almost nothing, so — as in the paper's Table 2 — the collectors barely differ)")
+}

@@ -1,0 +1,69 @@
+// Figure 1, executed: the reachability-based dynamic-threatening-
+// boundary collector (write barrier, single remembered set) walks
+// through the paper's introductory scenario — tenured garbage,
+// nepotism, and untenuring when the boundary moves back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/gc"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+func main() {
+	h := mheap.New()
+	c, err := gc.New(h, gc.Options{Policy: core.Full{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alive := func(name string, r mheap.Ref) string {
+		if h.Contains(r) {
+			return name
+		}
+		return "(" + name + " reclaimed)"
+	}
+
+	// Old space, oldest first (paper Figure 1, bottom of the page).
+	G := c.Alloc(1, 32) // live old data
+	c.SetGlobal("G", G)
+	I := c.Alloc(1, 32) // garbage chain: I -> J -> F
+	J := c.Alloc(1, 32)
+	h.SetPtr(I, 0, J)
+	K := c.Alloc(0, 32) // kept alive only by pointer k
+	h.SetPtr(G, 0, K)   // pointer k (forward in time: remembered)
+
+	tbMin := h.Clock()
+
+	// Young space.
+	F := c.Alloc(0, 32)
+	h.SetPtr(J, 0, F) // pointer f (forward in time: remembered)
+	B := c.Alloc(0, 32)
+	A := c.Alloc(1, 32)
+	c.SetGlobal("A", A)
+	E := c.Alloc(0, 32)
+
+	fmt.Printf("remembered set holds %d forward-in-time pointers (I->J, G->K, J->F)\n\n", c.RememberedSize())
+
+	fmt.Println("scavenge 1: threatening boundary at TB_min (young space only)")
+	s1 := c.CollectAt(tbMin)
+	fmt.Printf("  traced %d bytes, reclaimed %d bytes\n", s1.Traced, s1.Reclaimed)
+	fmt.Printf("  young garbage: %s, %s\n", alive("B", B), alive("E", E))
+	fmt.Printf("  tenured garbage: %s, %s\n", alive("I", I), alive("J", J))
+	fmt.Printf("  nepotism victim: %s (dead, but remembered pointer f from dead-immune J keeps it)\n", alive("F", F))
+	fmt.Printf("  live data: %s, %s, %s\n\n", alive("G", G), alive("K", K), alive("A", A))
+
+	fmt.Println("scavenge 2: boundary moved back to program start (the DTB capability)")
+	s2 := c.CollectAt(0)
+	fmt.Printf("  traced %d bytes, reclaimed %d bytes\n", s2.Traced, s2.Reclaimed)
+	fmt.Printf("  untenured and reclaimed: %s, %s, %s\n", alive("I", I), alive("J", J), alive("F", F))
+	fmt.Printf("  still alive: %s, %s, %s\n", alive("G", G), alive("K", K), alive("A", A))
+
+	if err := h.CheckIntegrity(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nheap integrity verified")
+}

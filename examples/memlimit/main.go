@@ -1,0 +1,45 @@
+// Memory-constraint tuning: give DTBMEM a range of budgets on the
+// GHOST(2) workload and watch it use exactly the memory it is allowed
+// — spending the slack to cut CPU overhead, degrading toward the Full
+// collector when over-constrained (§6.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dtbgc "github.com/dtbgc/dtbgc"
+)
+
+func main() {
+	events, err := dtbgc.WorkloadByName("GHOST(2)").Scale(0.25).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	full, err := dtbgc.Simulate(events, dtbgc.SimOptions{Policy: dtbgc.FullPolicy()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed1, err := dtbgc.Simulate(events, dtbgc.SimOptions{Policy: dtbgc.FixedPolicy(1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference: Full   max %5.0f KB, overhead %6.1f%%\n", full.MemMaxBytes/1024, full.OverheadPct)
+	fmt.Printf("reference: Fixed1 max %5.0f KB, overhead %6.1f%%\n\n", fixed1.MemMaxBytes/1024, fixed1.OverheadPct)
+
+	fmt.Println("budget     mem-max    within?   overhead")
+	for _, budgetKB := range []uint64{500, 750, 1000, 1500, 2500, 4000} {
+		res, err := dtbgc.Simulate(events, dtbgc.SimOptions{Policy: dtbgc.MemoryPolicy(budgetKB * 1024)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		within := "yes"
+		if res.MemMaxBytes > float64(budgetKB*1024) {
+			within = "over-constrained"
+		}
+		fmt.Printf("%5d KB   %5.0f KB   %-16s %6.1f%%\n",
+			budgetKB, res.MemMaxBytes/1024, within, res.OverheadPct)
+	}
+	fmt.Println("\n(an infeasible budget degrades gracefully toward Full's memory and cost)")
+}

@@ -1,0 +1,66 @@
+package dtbgc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MemoryFloor locates the feasibility crossover of §6.1: the smallest
+// DTBMEM budget (to within tolFrac, e.g. 0.02 for 2%) that the
+// collector can actually hold on the given trace — max memory within
+// budget plus one trigger interval (the collector only acts at
+// scavenge points, so one interval of fresh allocation is inherent
+// slack). Budgets below the oracle live maximum are infeasible for
+// any collector; budgets at total allocation are trivially feasible.
+//
+// The search is bisection over that range, assuming feasibility is
+// monotone in the budget — true for DTBMEM, whose boundary moves
+// strictly older as the budget tightens (see the monotonicity property
+// test in internal/core).
+func MemoryFloor(events []Event, trigger uint64, tolFrac float64) (uint64, error) {
+	if trigger == 0 {
+		trigger = 1 << 20
+	}
+	if tolFrac <= 0 {
+		tolFrac = 0.02
+	}
+	live, err := Simulate(events, SimOptions{LiveOracle: true})
+	if err != nil {
+		return 0, err
+	}
+	if live.TotalAlloc == 0 {
+		return 0, errors.New("dtbgc: empty trace")
+	}
+
+	feasible := func(budget uint64) (bool, error) {
+		res, err := Simulate(events, SimOptions{
+			Policy:       MemoryPolicy(budget),
+			TriggerBytes: trigger,
+		})
+		if err != nil {
+			return false, err
+		}
+		return res.MemMaxBytes <= float64(budget+trigger), nil
+	}
+
+	lo := uint64(live.LiveMaxBytes) // nothing below the live peak can work
+	hi := live.TotalAlloc + trigger
+	if ok, err := feasible(hi); err != nil {
+		return 0, err
+	} else if !ok {
+		return 0, fmt.Errorf("dtbgc: even budget %d is infeasible; inconsistent trace", hi)
+	}
+	for float64(hi-lo) > tolFrac*float64(hi) {
+		mid := lo + (hi-lo)/2
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,63 @@
+package dtbgc
+
+import "testing"
+
+func TestMemoryFloorBrackets(t *testing.T) {
+	events := WorkloadByName("GHOST(1)").Scale(0.1).MustGenerate()
+	trigger := uint64(100 * 1024)
+	floor, err := MemoryFloor(events, trigger, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Simulate(events, SimOptions{LiveOracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor < uint64(live.LiveMaxBytes) {
+		t.Fatalf("floor %d below the live peak %d: impossible", floor, uint64(live.LiveMaxBytes))
+	}
+	if floor > live.TotalAlloc {
+		t.Fatalf("floor %d above total allocation %d: useless", floor, live.TotalAlloc)
+	}
+	// The floor is actually feasible...
+	res, err := Simulate(events, SimOptions{Policy: MemoryPolicy(floor), TriggerBytes: trigger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemMaxBytes > float64(floor+trigger) {
+		t.Fatalf("reported floor %d is infeasible: max %.0f", floor, res.MemMaxBytes)
+	}
+	// ...and within a few percent of Full's max memory, the memory-
+	// optimal collector (§6.1: over-constrained DTBMEM degrades to
+	// FULL, so the floor cannot be far above it).
+	full, err := Simulate(events, SimOptions{Policy: FullPolicy(), TriggerBytes: trigger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(floor) > full.MemMaxBytes*1.25 {
+		t.Fatalf("floor %d far above Full's max %.0f", floor, full.MemMaxBytes)
+	}
+}
+
+func TestMemoryFloorEmptyTrace(t *testing.T) {
+	if _, err := MemoryFloor(nil, 0, 0); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestMemoryFloorTolerance(t *testing.T) {
+	events := WorkloadByName("CFRAC").Scale(0.2).MustGenerate()
+	coarse, err := MemoryFloor(events, 64*1024, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := MemoryFloor(events, 64*1024, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fine search cannot end above the coarse one by more than the
+	// coarse tolerance.
+	if float64(fine) > float64(coarse)*1.11 {
+		t.Fatalf("fine floor %d vs coarse %d", fine, coarse)
+	}
+}

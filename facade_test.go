@@ -1,0 +1,129 @@
+package dtbgc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimulateStreamMatchesSimulate(t *testing.T) {
+	events := WorkloadByName("CFRAC").Scale(0.1).MustGenerate()
+	opts := SimOptions{Policy: DtbFMPolicy(8 * 1024), TriggerBytes: 128 * 1024}
+	direct, err := Simulate(events, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := SimulateStream(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.MemMeanBytes != streamed.MemMeanBytes ||
+		direct.Collections != streamed.Collections ||
+		direct.TracedTotalBytes != streamed.TracedTotalBytes {
+		t.Fatal("streamed simulation diverged")
+	}
+}
+
+func TestSimulateStreamRejectsGarbage(t *testing.T) {
+	if _, err := SimulateStream(strings.NewReader("not a trace"), SimOptions{NoGC: true}); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestHistoryCSV(t *testing.T) {
+	events := WorkloadByName("CFRAC").Scale(0.1).MustGenerate()
+	res, err := Simulate(events, SimOptions{Policy: FullPolicy(), TriggerBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := HistoryCSV(res)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "n,tKB,tbKB,memBeforeKB,tracedKB,reclaimedKB,survivingKB,pauseMS" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if len(lines)-1 != res.Collections {
+		t.Fatalf("%d rows for %d collections", len(lines)-1, res.Collections)
+	}
+	for _, line := range lines[1:] {
+		if strings.Count(line, ",") != 7 {
+			t.Fatalf("malformed row %q", line)
+		}
+	}
+}
+
+func TestHistoryCSVEmpty(t *testing.T) {
+	res, err := Simulate(nil, SimOptions{NoGC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := HistoryCSV(res)
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 1 {
+		t.Fatal("empty history should render header only")
+	}
+}
+
+func TestTenuredGarbageFacade(t *testing.T) {
+	events := WorkloadByName("ESPRESSO(2)").Scale(0.05).MustGenerate()
+	fixed1, err := Simulate(events, SimOptions{Policy: FixedPolicy(1), TriggerBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Simulate(events, SimOptions{Policy: FullPolicy(), TriggerBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed1.TenuredGarbageMeanBytes() <= full.TenuredGarbageMeanBytes() {
+		t.Fatalf("Fixed1 garbage %.0f should exceed Full %.0f",
+			fixed1.TenuredGarbageMeanBytes(), full.TenuredGarbageMeanBytes())
+	}
+}
+
+func TestFigure2AsciiFacade(t *testing.T) {
+	ev := testEval(t)
+	chart, err := ev.Figure2Ascii("GHOST(1)", "Full", 60, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "Full memory") || !strings.Contains(chart, "live bytes") {
+		t.Fatalf("legend missing:\n%s", chart)
+	}
+	if len(strings.Split(chart, "\n")) < 12 {
+		t.Fatal("chart too short")
+	}
+	if _, err := ev.Figure2Ascii("NOPE", "Full", 60, 12); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunPaperEvaluationPropagatesGenerateErrors(t *testing.T) {
+	bad := Workload{Name: "broken"} // fails Validate
+	_, err := RunPaperEvaluation(EvalOptions{
+		Scale:    1,
+		Profiles: []Workload{bad},
+	})
+	if err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestFitWorkloadFacade(t *testing.T) {
+	events := WorkloadByName("CFRAC").Scale(0.1).MustGenerate()
+	w, err := FitWorkload(events, "refit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "refit" || w.TotalBytes == 0 {
+		t.Fatalf("fitted workload %+v", w)
+	}
+	ls, err := MeasureLifetimes(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.TotalObjects == 0 {
+		t.Fatal("no lifetime data")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/dtbgc/dtbgc
+
+go 1.22

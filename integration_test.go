@@ -1,0 +1,209 @@
+package dtbgc
+
+// Integration tests across the full pipeline: the mini-applications
+// run on the managed heap, their recorded traces drive the simulator,
+// and the §4.2 forward-pointer assumption is measured on real object
+// graphs.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/apps/cfrac"
+	"github.com/dtbgc/dtbgc/internal/apps/circuit"
+	"github.com/dtbgc/dtbgc/internal/apps/logicmin"
+	"github.com/dtbgc/dtbgc/internal/apps/psint"
+)
+
+// appTraces runs each mini-application at a small configuration and
+// returns its trace, cached across tests.
+var appTraceCache map[string][]Event
+
+func appTraces(t *testing.T) map[string][]Event {
+	t.Helper()
+	if appTraceCache != nil {
+		return appTraceCache
+	}
+	out := make(map[string][]Event, 4)
+
+	ghost, err := psint.RunDocument(psint.GenerateDocument(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["ghost"] = ghost.Events
+
+	plas := make([]string, 6)
+	for i := range plas {
+		plas[i] = logicmin.GeneratePLA(8, 16, 3, uint64(i+1))
+	}
+	esp, err := logicmin.RunBatch(plas, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["espresso"] = esp.Events
+
+	sis, err := circuit.Run(circuit.GenerateBLIF(16, 250, 8, 7), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["sis"] = sis.Events
+
+	// 18-digit semiprime: enough continued-fraction churn for the
+	// live-fraction shape to emerge.
+	n := "998244359987710471"
+	_, _, cfracEvents, err := cfrac.Factor(n, cfrac.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["cfrac"] = cfracEvents
+
+	appTraceCache = out
+	return out
+}
+
+func TestAppTracesAreWellFormed(t *testing.T) {
+	for name, events := range appTraces(t) {
+		if err := ValidateTrace(events); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(events) < 1000 {
+			t.Errorf("%s: only %d events", name, len(events))
+		}
+	}
+}
+
+func TestAppTracesDriveAllCollectors(t *testing.T) {
+	policies := []Policy{
+		FullPolicy(), FixedPolicy(1), FixedPolicy(4),
+		MemoryPolicy(128 * 1024), FeedMedPolicy(8 * 1024), DtbFMPolicy(8 * 1024),
+	}
+	for name, events := range appTraces(t) {
+		live, err := Simulate(events, SimOptions{LiveOracle: true})
+		if err != nil {
+			t.Fatalf("%s live: %v", name, err)
+		}
+		for _, p := range policies {
+			res, err := Simulate(events, SimOptions{Policy: p, TriggerBytes: 64 * 1024})
+			if err != nil {
+				t.Fatalf("%s under %s: %v", name, p.Name(), err)
+			}
+			if res.MemMaxBytes < live.MemMaxBytes {
+				t.Errorf("%s under %s: memory below live floor", name, p.Name())
+			}
+			if res.Collections == 0 && res.TotalAlloc > 64*1024 {
+				t.Errorf("%s under %s: no collections on %d bytes", name, p.Name(), res.TotalAlloc)
+			}
+		}
+	}
+}
+
+func TestAppCharacteristicsMatchPaperTable2Roles(t *testing.T) {
+	// The paper's §6 observations about the programs themselves:
+	// CFRAC retains very little (LIVE << NoGC), SIS retains a lot.
+	traces := appTraces(t)
+
+	liveFraction := func(events []Event) float64 {
+		live, err := Simulate(events, SimOptions{LiveOracle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nogc, err := Simulate(events, SimOptions{NoGC: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return live.MemMeanBytes / nogc.MemMeanBytes
+	}
+	cfracFrac := liveFraction(traces["cfrac"])
+	sisFrac := liveFraction(traces["sis"])
+	t.Logf("live/NoGC mean fraction: cfrac %.3f, sis %.3f", cfracFrac, sisFrac)
+	if cfracFrac > 0.15 {
+		t.Errorf("cfrac live fraction %.3f; should be small", cfracFrac)
+	}
+	if sisFrac < 0.30 {
+		t.Errorf("sis live fraction %.3f; most of SIS's storage should stay live", sisFrac)
+	}
+	if sisFrac < 3*cfracFrac {
+		t.Errorf("sis (%.3f) vs cfrac (%.3f): ordering too weak", sisFrac, cfracFrac)
+	}
+}
+
+func TestForwardPointerFractionOnRealGraphs(t *testing.T) {
+	// §4.2: the single remembered set stays small because forward-in-
+	// time pointers are a minority of stores. Measure it on the apps
+	// that build real object graphs (espresso's cubes are pure data —
+	// no pointer slots — so it is excluded).
+	for _, name := range []string{"ghost", "sis"} {
+		events := appTraces(t)[name]
+		fs, err := MeasureForwardPointers(events)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fs.Stores == 0 {
+			t.Fatalf("%s: no pointer stores recorded", name)
+		}
+		frac := fs.ForwardFraction()
+		t.Logf("%s: %d stores, %.1f%% forward-in-time", name, fs.Stores, frac*100)
+		if frac > 0.75 {
+			t.Errorf("%s: forward fraction %.2f too high for the §4.2 assumption", name, frac)
+		}
+	}
+}
+
+func TestAppTraceRoundTripThroughCodec(t *testing.T) {
+	// End-to-end: app trace -> binary codec -> simulator gives
+	// identical results to the in-memory path.
+	events := appTraces(t)["espresso"]
+	direct, err := Simulate(events, SimOptions{Policy: FullPolicy(), TriggerBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Simulate(decoded, SimOptions{Policy: FullPolicy(), TriggerBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.MemMeanBytes != replayed.MemMeanBytes ||
+		direct.TracedTotalBytes != replayed.TracedTotalBytes ||
+		direct.Collections != replayed.Collections {
+		t.Fatal("codec round trip changed simulation results")
+	}
+}
+
+func TestRunAppEvaluation(t *testing.T) {
+	ev, err := RunAppEvaluation(AppEvalOptions{
+		GhostPages:       6,
+		EspressoProblems: 4,
+		SisVectors:       200,
+		CfracN:           "100160063", // 10007 * 10009, quick
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Runs) != 5 {
+		t.Fatalf("%d app runs, want 5 (two GHOST inputs like the paper)", len(ev.Runs))
+	}
+	tab := ev.Table2()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("app Table 2 has %d rows", len(tab.Rows))
+	}
+	for _, rs := range ev.Runs {
+		full := rs.Results["Full"]
+		if full.Collections == 0 {
+			t.Errorf("%s: no collections", rs.Workload.Name)
+		}
+		// The fundamental orderings hold on real program traces too.
+		if rs.Results["Live"].MemMeanBytes > full.MemMeanBytes+1 {
+			t.Errorf("%s: Live above Full", rs.Workload.Name)
+		}
+		if rs.Results["Fixed1"].TracedTotalBytes > full.TracedTotalBytes {
+			t.Errorf("%s: Fixed1 traced more than Full", rs.Workload.Name)
+		}
+	}
+}

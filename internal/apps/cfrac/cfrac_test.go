@@ -1,0 +1,220 @@
+package cfrac
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+func TestPrimesUpTo(t *testing.T) {
+	ps := primesUpTo(30)
+	want := []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if len(ps) != len(want) {
+		t.Fatalf("primes: %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("primes[%d] = %d", i, ps[i])
+		}
+	}
+}
+
+func TestLegendre(t *testing.T) {
+	// Quadratic residues mod 7: 1, 2, 4.
+	for a, want := range map[uint64]int{1: 1, 2: 1, 3: -1, 4: 1, 5: -1, 6: -1, 7: 0, 8: 1} {
+		if got := legendre(a, 7); got != want {
+			t.Errorf("legendre(%d, 7) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	cases := []struct{ a, e, m, want uint64 }{
+		{2, 10, 1000, 24},
+		{3, 0, 7, 1},
+		{7, 5, 13, 11},
+		{1234567891, 2, 1000000007, 819082819},
+	}
+	for _, c := range cases {
+		if got := powMod(c.a, c.e, c.m); got != c.want {
+			t.Errorf("powMod(%d,%d,%d) = %d, want %d", c.a, c.e, c.m, got, c.want)
+		}
+	}
+}
+
+func TestMulMod64(t *testing.T) {
+	// Values that would overflow naive 64-bit multiply.
+	a, b, m := uint64(1)<<62, uint64(1)<<62, uint64(1_000_000_007)
+	// (2^62 mod m)^2 mod m computed independently via powMod.
+	want := powMod(1<<62, 2, m)
+	if got := mulMod64(a, b, m); got != want {
+		t.Fatalf("mulMod64 = %d, want %d", got, want)
+	}
+}
+
+func checkFactors(t *testing.T, n, f1, f2 string) {
+	t.Helper()
+	h := mheap.New()
+	a := mlib.Raw{H: h}
+	nn, err := mlib.NatFromDecimal(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := mlib.NatFromDecimal(a, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := mlib.NatFromDecimal(a, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := mlib.NatMul(a, x1, x2)
+	if mlib.NatCmp(h, prod, nn) != 0 {
+		t.Fatalf("%s * %s != %s", f1, f2, n)
+	}
+	one := mlib.NatFromUint64(a, 1)
+	if mlib.NatCmp(h, x1, one) == 0 || mlib.NatCmp(h, x2, one) == 0 {
+		t.Fatalf("trivial factorization %s = %s * %s", n, f1, f2)
+	}
+}
+
+func TestFactorSmallByTrialDivision(t *testing.T) {
+	cases := []string{"15", "21", "1000003393", "262144"} // incl. 2^18
+	for _, n := range cases {
+		f1, f2, _, err := Factor(n, Config{})
+		if err != nil {
+			t.Fatalf("Factor(%s): %v", n, err)
+		}
+		checkFactors(t, n, f1, f2)
+	}
+}
+
+func TestFactorRejectsTrivial(t *testing.T) {
+	for _, n := range []string{"0", "1"} {
+		if _, _, _, err := Factor(n, Config{}); err == nil {
+			t.Errorf("Factor(%s) succeeded", n)
+		}
+	}
+	if _, _, _, err := Factor("12x", Config{}); err == nil {
+		t.Error("non-decimal accepted")
+	}
+}
+
+func TestFactorSemiprimesCFRAC(t *testing.T) {
+	// Semiprimes whose factors exceed the trial-division bound, so the
+	// continued-fraction machinery must do the work.
+	cases := []struct{ p, q uint64 }{
+		{10007, 10009},
+		{104729, 104723},
+		{1000003, 1000033},
+		{15485863, 15485867}, // ~2.4e14
+	}
+	for _, c := range cases {
+		n := strconv.FormatUint(c.p*c.q, 10)
+		f1, f2, events, err := Factor(n, Config{})
+		if err != nil {
+			t.Fatalf("Factor(%s = %d*%d): %v", n, c.p, c.q, err)
+		}
+		checkFactors(t, n, f1, f2)
+		// The returned factors are exactly {p, q}.
+		got := map[string]bool{f1: true, f2: true}
+		if !got[strconv.FormatUint(c.p, 10)] || !got[strconv.FormatUint(c.q, 10)] {
+			t.Fatalf("Factor(%s) = %s, %s; want %d, %d", n, f1, f2, c.p, c.q)
+		}
+		if err := trace.Validate(events); err != nil {
+			t.Fatalf("trace invalid: %v", err)
+		}
+	}
+}
+
+func TestFactorLargeSemiprime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large factorization is slow")
+	}
+	// 18-digit semiprime: 1000000007 * 998244353.
+	n := "998244359987710471"
+	f1, f2, events, err := Factor(n, Config{FactorBase: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFactors(t, n, f1, f2)
+	got := map[string]bool{f1: true, f2: true}
+	if !got["1000000007"] || !got["998244353"] {
+		t.Fatalf("factors %s, %s", f1, f2)
+	}
+	s, err := trace.Measure(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CFRAC churn: lots of allocation, little stays live (the
+	// collected relations are the only persistent storage).
+	if s.Allocs < 5000 {
+		t.Fatalf("only %d allocations", s.Allocs)
+	}
+	if s.MaxLive*8 > s.TotalBytes {
+		t.Fatalf("max live %d too high vs total %d; cfrac should churn", s.MaxLive, s.TotalBytes)
+	}
+}
+
+func TestFactorTraceWellFormedAndChurny(t *testing.T) {
+	n := strconv.FormatUint(1000003*1000033, 10)
+	_, _, events, err := Factor(n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(events); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := trace.Measure(events)
+	if s.Frees < s.Allocs*8/10 {
+		t.Fatalf("only %d/%d freed; cfrac must free its temporaries", s.Frees, s.Allocs)
+	}
+}
+
+func TestFactorDeterministic(t *testing.T) {
+	n := strconv.FormatUint(10007*10009, 10)
+	f1a, f2a, ev1, err := Factor(n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1b, f2b, ev2, err := Factor(n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1a != f1b || f2a != f2b || len(ev1) != len(ev2) {
+		t.Fatal("factorization not deterministic")
+	}
+}
+
+func TestNatDivSmall(t *testing.T) {
+	h := mheap.New()
+	a := mlib.Raw{H: h}
+	x, _ := mlib.NatFromDecimal(a, "1000000000000000000000")
+	q := natDivSmall(a, x, 5)
+	if got := mlib.NatToDecimal(h, q); got != "200000000000000000000" {
+		t.Fatalf("div = %s", got)
+	}
+}
+
+func TestNatDivBig(t *testing.T) {
+	h := mheap.New()
+	a := mlib.Raw{H: h}
+	x, _ := mlib.NatFromDecimal(a, "999999999999999999998000000000000000000001")
+	d, _ := mlib.NatFromDecimal(a, "999999999999999999999")
+	q := natDivBig(a, x, d)
+	if got := mlib.NatToDecimal(h, q); got != "999999999999999999999" {
+		t.Fatalf("quotient = %s", got)
+	}
+}
+
+func BenchmarkFactorMedium(b *testing.B) {
+	n := strconv.FormatUint(1000003*1000033, 10)
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Factor(n, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// Package circuit is the SIS stand-in: it parses a BLIF-subset
+// netlist into a boolean network allocated on the simulated heap,
+// applies local optimizations (constant propagation, buffer and
+// double-inverter collapsing), and verifies the optimized network
+// against the original with random input vectors — the workload of the
+// paper's SIS run ("verification with 1024 random input vectors").
+//
+// The network itself (nodes, fanin vectors, covers, name strings) is
+// long-lived storage held for the whole run, while simulation churns
+// small per-vector records — the mixture that gives SIS its
+// characteristically high live-byte fraction.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// Node kinds, stored in the node's data[0].
+const (
+	nodeInput = iota
+	nodeLogic
+	nodeLatch
+	nodeConst0
+	nodeConst1
+)
+
+// Node heap layout: slots [name string, fanin vector]; data
+// [kind u8 | value u8 | state u8 | nrows u8] followed by the cover:
+// nrows rows of nfanin bytes each ({0,1,2}), output implicitly 1.
+const (
+	slotName  = 0
+	slotFanin = 1
+
+	offNKind  = 0
+	offValue  = 1
+	offState  = 2
+	offNRows  = 3
+	coverBase = 4
+)
+
+// Network is a parsed boolean network. The Go-side struct holds only
+// names and heap references (the program's statics); all node storage
+// is on the managed heap.
+type Network struct {
+	Name    string
+	alloc   mlib.Allocator
+	nodes   map[string]mheap.Ref
+	order   []string // topological order of logic nodes
+	Inputs  []string
+	Outputs []string
+	Latches []string
+}
+
+func (n *Network) heap() *mheap.Heap { return n.alloc.Heap() }
+
+// Node returns the heap node for a signal name.
+func (n *Network) Node(name string) (mheap.Ref, bool) {
+	r, ok := n.nodes[name]
+	return r, ok
+}
+
+// NumNodes returns the number of signals in the network.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+func (n *Network) newNode(name string, kind byte, nfanin, nrows int) mheap.Ref {
+	r := n.alloc.Alloc(2, coverBase+nrows*nfanin)
+	h := n.heap()
+	h.Data(r)[offNKind] = kind
+	h.Data(r)[offNRows] = byte(nrows)
+	h.SetPtr(r, slotName, mlib.NewString(n.alloc, name))
+	n.nodes[name] = r
+	return r
+}
+
+func (n *Network) kind(r mheap.Ref) byte { return n.heap().Data(r)[offNKind] }
+
+func (n *Network) faninLen(r mheap.Ref) int {
+	v := n.heap().Ptr(r, slotFanin)
+	if v == mheap.Nil {
+		return 0
+	}
+	return mlib.VLen(n.heap(), v)
+}
+
+func (n *Network) fanin(r mheap.Ref, i int) mheap.Ref {
+	return mlib.VAt(n.heap(), n.heap().Ptr(r, slotFanin), i)
+}
+
+func (n *Network) nodeName(r mheap.Ref) string {
+	return mlib.StringVal(n.heap(), n.heap().Ptr(r, slotName))
+}
+
+// Free releases all network storage.
+func (n *Network) Free() {
+	h := n.heap()
+	for _, r := range n.nodes {
+		if s := h.Ptr(r, slotName); s != mheap.Nil {
+			h.SetPtr(r, slotName, mheap.Nil)
+			h.Free(s)
+		}
+		if v := h.Ptr(r, slotFanin); v != mheap.Nil {
+			h.SetPtr(r, slotFanin, mheap.Nil)
+			for i := 0; i < mlib.VLen(h, v); i++ {
+				mlib.VSet(h, v, i, mheap.Nil)
+			}
+			h.Free(v)
+		}
+	}
+	for _, r := range n.nodes {
+		h.Free(r)
+	}
+	n.nodes = nil
+	n.order = nil
+}
+
+// ParseBLIF reads the BLIF subset: .model, .inputs, .outputs, .names
+// with single-output covers, .latch, .end.
+func ParseBLIF(a mlib.Allocator, src string) (*Network, error) {
+	n := &Network{alloc: a, nodes: make(map[string]mheap.Ref)}
+	type pending struct {
+		out    string
+		fanins []string
+		rows   []string
+	}
+	type pendingLatch struct {
+		in, out string
+		init    byte
+	}
+	var logics []pending
+	var latches []pendingLatch
+	var cur *pending
+
+	flushCur := func() {
+		if cur != nil {
+			logics = append(logics, *cur)
+			cur = nil
+		}
+	}
+
+	// Join continuation lines (trailing backslash).
+	src = strings.ReplaceAll(src, "\\\n", " ")
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case ".model":
+			if len(f) > 1 {
+				n.Name = f[1]
+			}
+		case ".inputs":
+			flushCur()
+			n.Inputs = append(n.Inputs, f[1:]...)
+		case ".outputs":
+			flushCur()
+			n.Outputs = append(n.Outputs, f[1:]...)
+		case ".names":
+			flushCur()
+			if len(f) < 2 {
+				return nil, fmt.Errorf("circuit: line %d: bad .names", lineno+1)
+			}
+			cur = &pending{out: f[len(f)-1], fanins: f[1 : len(f)-1]}
+		case ".latch":
+			flushCur()
+			if len(f) < 3 {
+				return nil, fmt.Errorf("circuit: line %d: bad .latch", lineno+1)
+			}
+			var init byte
+			if len(f) >= 4 && f[3] == "1" {
+				init = 1
+			}
+			latches = append(latches, pendingLatch{in: f[1], out: f[2], init: init})
+		case ".end":
+			flushCur()
+		default:
+			if strings.HasPrefix(f[0], ".") {
+				return nil, fmt.Errorf("circuit: line %d: unsupported directive %s", lineno+1, f[0])
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("circuit: line %d: cover row outside .names", lineno+1)
+			}
+			// Cover row: "<pattern> 1" or bare "1" for constants.
+			switch {
+			case len(f) == 2 && f[1] == "1":
+				if len(f[0]) != len(cur.fanins) {
+					return nil, fmt.Errorf("circuit: line %d: row width %d, want %d", lineno+1, len(f[0]), len(cur.fanins))
+				}
+				cur.rows = append(cur.rows, f[0])
+			case len(f) == 1 && f[0] == "1" && len(cur.fanins) == 0:
+				cur.rows = append(cur.rows, "")
+			case len(f) == 1 && f[0] == "0" && len(cur.fanins) == 0:
+				// constant 0: no rows
+			default:
+				return nil, fmt.Errorf("circuit: line %d: unsupported cover row %q", lineno+1, line)
+			}
+		}
+	}
+	flushCur()
+
+	// Materialize nodes: inputs, latch outputs, then logic.
+	for _, in := range n.Inputs {
+		n.newNode(in, nodeInput, 0, 0)
+	}
+	for _, l := range latches {
+		r := n.newNode(l.out, nodeLatch, 0, 0)
+		n.heap().Data(r)[offState] = l.init
+		n.Latches = append(n.Latches, l.out)
+	}
+	for _, p := range logics {
+		if _, dup := n.nodes[p.out]; dup {
+			return nil, fmt.Errorf("circuit: duplicate driver for %s", p.out)
+		}
+		kind := byte(nodeLogic)
+		if len(p.fanins) == 0 {
+			if len(p.rows) > 0 {
+				kind = nodeConst1
+			} else {
+				kind = nodeConst0
+			}
+		}
+		r := n.newNode(p.out, kind, len(p.fanins), len(p.rows))
+		d := n.heap().Data(r)
+		for ri, row := range p.rows {
+			for ci := 0; ci < len(p.fanins); ci++ {
+				var v byte
+				switch row[ci] {
+				case '0':
+					v = 0
+				case '1':
+					v = 1
+				case '-':
+					v = 2
+				default:
+					return nil, fmt.Errorf("circuit: bad cover char %q", row[ci])
+				}
+				d[coverBase+ri*len(p.fanins)+ci] = v
+			}
+		}
+	}
+	// Wire fanins (all nodes now exist) and latch inputs.
+	for _, p := range logics {
+		r := n.nodes[p.out]
+		if len(p.fanins) == 0 {
+			continue
+		}
+		vec := mlib.NewVector(n.alloc, len(p.fanins))
+		n.heap().SetPtr(r, slotFanin, vec)
+		for i, fn := range p.fanins {
+			src, ok := n.nodes[fn]
+			if !ok {
+				return nil, fmt.Errorf("circuit: %s references undefined signal %s", p.out, fn)
+			}
+			mlib.VSet(n.heap(), vec, i, src)
+		}
+	}
+	for _, l := range latches {
+		r := n.nodes[l.out]
+		src, ok := n.nodes[l.in]
+		if !ok {
+			return nil, fmt.Errorf("circuit: latch input %s undefined", l.in)
+		}
+		vec := mlib.NewVector(n.alloc, 1)
+		n.heap().SetPtr(r, slotFanin, vec)
+		mlib.VSet(n.heap(), vec, 0, src)
+	}
+	for _, out := range n.Outputs {
+		if _, ok := n.nodes[out]; !ok {
+			return nil, fmt.Errorf("circuit: output %s undefined", out)
+		}
+	}
+	if err := n.computeOrder(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// computeOrder topologically sorts the combinational logic (latch
+// outputs and inputs are sources; latch next-state is read after
+// evaluation).
+func (n *Network) computeOrder() error {
+	state := make(map[string]int, len(n.nodes)) // 0 new, 1 visiting, 2 done
+	var order []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("circuit: combinational cycle through %s", name)
+		case 2:
+			return nil
+		}
+		r := n.nodes[name]
+		if k := n.kind(r); k == nodeInput || k == nodeLatch || k == nodeConst0 || k == nodeConst1 {
+			state[name] = 2
+			if k != nodeInput && k != nodeLatch {
+				order = append(order, name)
+			}
+			return nil
+		}
+		state[name] = 1
+		for i := 0; i < n.faninLen(r); i++ {
+			if err := visit(n.nodeName(n.fanin(r, i))); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		order = append(order, name)
+		return nil
+	}
+	for _, name := range n.Latches {
+		// Latch next-state functions must be orderable too.
+		r := n.nodes[name]
+		if n.faninLen(r) > 0 {
+			if err := visit(n.nodeName(n.fanin(r, 0))); err != nil {
+				return err
+			}
+		}
+	}
+	for _, out := range n.Outputs {
+		if err := visit(out); err != nil {
+			return err
+		}
+	}
+	n.order = order
+	return nil
+}
+
+// evalNode computes a logic node's value from its fanins' values.
+func (n *Network) evalNode(r mheap.Ref) byte {
+	h := n.heap()
+	d := h.Data(r)
+	nf := n.faninLen(r)
+	rows := int(d[offNRows])
+	for ri := 0; ri < rows; ri++ {
+		match := true
+		for ci := 0; ci < nf; ci++ {
+			want := d[coverBase+ri*nf+ci]
+			if want == 2 {
+				continue
+			}
+			fv := h.Data(n.fanin(r, ci))[offValue]
+			if fv != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Step applies one input vector (bit i of x drives Inputs[i]) and
+// returns the output values; latches advance afterwards. A transient
+// per-vector record is allocated and freed, modelling the simulator's
+// event storage.
+func (n *Network) Step(x uint64) []byte {
+	h := n.heap()
+	// Per-vector scratch record (simulation event storage).
+	scratch := n.alloc.Alloc(0, len(n.order)+8)
+	for i, in := range n.Inputs {
+		h.Data(n.nodes[in])[offValue] = byte(x>>uint(i)) & 1
+	}
+	for _, name := range n.Latches {
+		r := n.nodes[name]
+		h.Data(r)[offValue] = h.Data(r)[offState]
+	}
+	for _, name := range n.order {
+		r := n.nodes[name]
+		switch n.kind(r) {
+		case nodeConst0:
+			h.Data(r)[offValue] = 0
+		case nodeConst1:
+			h.Data(r)[offValue] = 1
+		default:
+			h.Data(r)[offValue] = n.evalNode(r)
+		}
+	}
+	out := make([]byte, len(n.Outputs))
+	for i, name := range n.Outputs {
+		out[i] = h.Data(n.nodes[name])[offValue]
+	}
+	// Latch next state = value of the latch's input signal.
+	for _, name := range n.Latches {
+		r := n.nodes[name]
+		if n.faninLen(r) > 0 {
+			h.Data(r)[offState] = h.Data(n.fanin(r, 0))[offValue]
+		}
+	}
+	h.Free(scratch)
+	h.Tick(uint64(20 * len(n.order)))
+	return out
+}
+
+// Reset restores all latches to state 0 (the generator's initial
+// values are 0; parsed init values are not preserved across Reset).
+func (n *Network) Reset() {
+	for _, name := range n.Latches {
+		n.heap().Data(n.nodes[name])[offState] = 0
+	}
+}
+
+// Verify runs both networks on `vectors` random input vectors and
+// compares outputs, returning a signature checksum. The networks must
+// have identical input/output name lists.
+func Verify(a, b *Network, vectors int, seed uint64) (signature uint64, err error) {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return 0, fmt.Errorf("circuit: interface mismatch: %d/%d inputs, %d/%d outputs",
+			len(a.Inputs), len(b.Inputs), len(a.Outputs), len(b.Outputs))
+	}
+	a.Reset()
+	b.Reset()
+	r := xrand.New(seed)
+	for v := 0; v < vectors; v++ {
+		x := r.Uint64()
+		oa := a.Step(x)
+		ob := b.Step(x)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				return signature, fmt.Errorf("circuit: vector %d: output %s differs (%d vs %d)",
+					v, a.Outputs[i], oa[i], ob[i])
+			}
+			signature = signature*31 + uint64(oa[i]) + 7
+		}
+	}
+	return signature, nil
+}

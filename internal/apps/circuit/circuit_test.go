@@ -1,0 +1,340 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+func newAlloc() (mlib.Raw, *mheap.Heap) {
+	h := mheap.New()
+	return mlib.Raw{H: h}, h
+}
+
+const andOrBLIF = `
+.model tiny
+.inputs a b c
+.outputs x y
+.names a b t1
+11 1
+.names t1 c x
+1- 1
+-1 1
+.names a y
+0 1
+.end
+`
+
+func TestParseBLIF(t *testing.T) {
+	a, _ := newAlloc()
+	n, err := ParseBLIF(a, andOrBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "tiny" {
+		t.Errorf("model name %q", n.Name)
+	}
+	if len(n.Inputs) != 3 || len(n.Outputs) != 2 {
+		t.Fatalf("io: %v %v", n.Inputs, n.Outputs)
+	}
+	if n.NumNodes() != 6 { // a b c t1 x y
+		t.Fatalf("nodes = %d", n.NumNodes())
+	}
+	n.Free()
+}
+
+func TestParseBLIFErrors(t *testing.T) {
+	a, _ := newAlloc()
+	cases := []string{
+		".model m\n.inputs a\n.outputs x\n.names a x\n2 1\n.end",                               // bad cover char... '2' invalid in row
+		".model m\n.inputs a\n.outputs x\n.names a x\n11 1\n.end",                              // row width
+		".model m\n.inputs a\n.outputs x\n.end",                                                // undefined output
+		".model m\n.inputs a\n.outputs x\n11 1\n.end",                                          // row outside .names
+		".model m\n.inputs a\n.outputs x\n.frob\n.end",                                         // unknown directive
+		".model m\n.inputs a\n.outputs x\n.names a x\n1 1\n.names x x2\n.names b x\n1 1\n.end", // dup driver... b undefined first
+	}
+	for i, src := range cases {
+		if _, err := ParseBLIF(a, src); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseBLIFRejectsCycle(t *testing.T) {
+	a, _ := newAlloc()
+	src := `
+.model loop
+.inputs a
+.outputs x
+.names a x y
+11 1
+.names a y x
+11 1
+.end`
+	if _, err := ParseBLIF(a, src); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestCombinationalTruthTable(t *testing.T) {
+	a, _ := newAlloc()
+	n, err := ParseBLIF(a, andOrBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Free()
+	// x = (a AND b) OR c, y = NOT a; inputs packed a=bit0 b=bit1 c=bit2.
+	for x := uint64(0); x < 8; x++ {
+		av, bv, cv := x&1, (x>>1)&1, (x>>2)&1
+		out := n.Step(x)
+		wantX := byte(0)
+		if (av == 1 && bv == 1) || cv == 1 {
+			wantX = 1
+		}
+		wantY := byte(1 - av)
+		if out[0] != wantX || out[1] != wantY {
+			t.Errorf("inputs %03b: got x=%d y=%d, want %d %d", x, out[0], out[1], wantX, wantY)
+		}
+	}
+}
+
+func TestConstantNodes(t *testing.T) {
+	a, _ := newAlloc()
+	src := `
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+0
+.end`
+	n, err := ParseBLIF(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Free()
+	out := n.Step(0)
+	if out[0] != 1 || out[1] != 0 {
+		t.Fatalf("constants = %v", out)
+	}
+}
+
+func TestLatchSequence(t *testing.T) {
+	// q delays a by one cycle.
+	a, _ := newAlloc()
+	src := `
+.model dff
+.inputs a
+.outputs q
+.latch a q 0
+.end`
+	n, err := ParseBLIF(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Free()
+	inputs := []uint64{1, 0, 1, 1, 0}
+	want := []byte{0, 1, 0, 1, 1}
+	for i, x := range inputs {
+		out := n.Step(x)
+		if out[0] != want[i] {
+			t.Fatalf("cycle %d: q = %d, want %d", i, out[0], want[i])
+		}
+	}
+	n.Reset()
+	if out := n.Step(0); out[0] != 0 {
+		t.Fatal("Reset did not clear latch state")
+	}
+}
+
+func TestOptimizePreservesBehaviour(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		blif := GenerateBLIF(8, 60, 3, seed)
+		res, err := Run(blif, 256)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Removed == 0 {
+			t.Logf("seed %d removed no gates (allowed but unusual)", seed)
+		}
+		if err := trace.Validate(res.Events); err != nil {
+			t.Fatalf("seed %d: invalid trace: %v", seed, err)
+		}
+	}
+}
+
+func TestOptimizeRemovesBuffers(t *testing.T) {
+	a, _ := newAlloc()
+	src := `
+.model bufchain
+.inputs a
+.outputs x
+.names a b1
+1 1
+.names b1 b2
+1 1
+.names b2 x
+0 1
+.end`
+	opt, removed, err := OptimizeBLIF(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed %d buffers, want 2\n%s", removed, opt)
+	}
+	if strings.Contains(opt, "b1") {
+		t.Fatalf("buffer b1 still referenced:\n%s", opt)
+	}
+}
+
+func TestOptimizeCollapsesDoubleInverters(t *testing.T) {
+	a, _ := newAlloc()
+	src := `
+.model invinv
+.inputs a
+.outputs x
+.names a n1
+0 1
+.names n1 n2
+0 1
+.names n2 x
+1 1
+.end`
+	opt, removed, err := OptimizeBLIF(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed < 1 {
+		t.Fatalf("no inverter pair removed:\n%s", opt)
+	}
+	// Functional check.
+	orig, err := ParseBLIF(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Free()
+	optN, err := ParseBLIF(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer optN.Free()
+	if _, err := Verify(orig, optN, 16, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDetectsDifference(t *testing.T) {
+	a, _ := newAlloc()
+	n1, err := ParseBLIF(a, ".model a\n.inputs i\n.outputs o\n.names i o\n1 1\n.end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Free()
+	n2, err := ParseBLIF(a, ".model b\n.inputs i\n.outputs o\n.names i o\n0 1\n.end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Free()
+	if _, err := Verify(n1, n2, 64, 1); err == nil {
+		t.Fatal("buffer vs inverter verified as equal")
+	}
+}
+
+func TestVerifyInterfaceMismatch(t *testing.T) {
+	a, _ := newAlloc()
+	n1, _ := ParseBLIF(a, ".model a\n.inputs i\n.outputs o\n.names i o\n1 1\n.end")
+	n2, _ := ParseBLIF(a, ".model b\n.inputs i j\n.outputs o\n.names i j o\n11 1\n.end")
+	defer n1.Free()
+	defer n2.Free()
+	if _, err := Verify(n1, n2, 4, 1); err == nil {
+		t.Fatal("interface mismatch accepted")
+	}
+}
+
+func TestGenerateBLIFDeterministicAndParses(t *testing.T) {
+	if GenerateBLIF(6, 40, 2, 5) != GenerateBLIF(6, 40, 2, 5) {
+		t.Fatal("generator not deterministic")
+	}
+	a, _ := newAlloc()
+	n, err := ParseBLIF(a, GenerateBLIF(6, 40, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() < 40 {
+		t.Fatalf("only %d nodes", n.NumNodes())
+	}
+	n.Free()
+}
+
+func TestRunTraceShape(t *testing.T) {
+	blif := GenerateBLIF(10, 120, 4, 99)
+	res, err := Run(blif, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := trace.Measure(res.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SIS-like: a large fraction of peak storage is still live at the
+	// end while verification ran (network is long-lived), yet there
+	// was real churn (scratch records freed).
+	if s.Frees == 0 {
+		t.Fatal("no churn recorded")
+	}
+	if s.Allocs < 700 {
+		t.Fatalf("only %d allocs", s.Allocs)
+	}
+}
+
+func TestNetworkFreeReturnsAllStorage(t *testing.T) {
+	a, h := newAlloc()
+	n, err := ParseBLIF(a, GenerateBLIF(6, 50, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Step(0b101010)
+	n.Free()
+	if h.NumObjects() != 0 {
+		t.Fatalf("%d objects leaked after Free", h.NumObjects())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDeterministicSignature(t *testing.T) {
+	blif := GenerateBLIF(8, 80, 3, 7)
+	r1, err := Run(blif, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(blif, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Signature != r2.Signature || r1.Signature == 0 {
+		t.Fatalf("signatures: %d vs %d", r1.Signature, r2.Signature)
+	}
+	if len(r1.Events) != len(r2.Events) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(r1.Events), len(r2.Events))
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	a, _ := newAlloc()
+	n, err := ParseBLIF(a, GenerateBLIF(16, 300, 8, 11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Free()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(uint64(i))
+	}
+}

@@ -1,0 +1,33 @@
+package circuit
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// FuzzParseBLIF: arbitrary netlist text must parse or error cleanly.
+func FuzzParseBLIF(f *testing.F) {
+	f.Add(andOrBLIF)
+	f.Add(".model m\n.inputs a\n.outputs x\n.latch a x 1\n.end")
+	f.Add(".model m\n.inputs a\n.outputs x\n.names a x\n1 1\n.end")
+	f.Add(".names x x\n1 1")
+	f.Add(".model \\\n continued")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			return
+		}
+		h := mheap.New()
+		a := mlib.Raw{H: h}
+		n, err := ParseBLIF(a, src)
+		if err == nil && n != nil {
+			// A parsed network must simulate without panicking.
+			n.Step(0)
+			n.Free()
+		}
+		if err := h.CheckIntegrity(); err != nil {
+			t.Fatalf("heap corrupted by %q: %v", src, err)
+		}
+	})
+}

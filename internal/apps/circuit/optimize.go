@@ -1,0 +1,232 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// isBuffer reports whether node r is a single-input identity
+// (cover {"1"}), and isInverter a single-input complement ({"0"}).
+func (n *Network) isBuffer(r mheap.Ref) bool {
+	d := n.heap().Data(r)
+	return n.kind(r) == nodeLogic && n.faninLen(r) == 1 &&
+		d[offNRows] == 1 && d[coverBase] == 1
+}
+
+func (n *Network) isInverter(r mheap.Ref) bool {
+	d := n.heap().Data(r)
+	return n.kind(r) == nodeLogic && n.faninLen(r) == 1 &&
+		d[offNRows] == 1 && d[coverBase] == 0
+}
+
+// OptimizeBLIF rewrites a BLIF source applying the sweep
+// optimizations a synthesis tool performs before verification:
+// buffers are bypassed and double inverters collapsed. The output is a
+// new BLIF text whose network is functionally identical (which Verify
+// then confirms with random vectors). The rewrite happens on a
+// scratch network so the transformation itself allocates and frees
+// heap storage like the real tool's sweep pass.
+func OptimizeBLIF(a mlib.Allocator, src string) (string, int, error) {
+	n, err := ParseBLIF(a, src)
+	if err != nil {
+		return "", 0, err
+	}
+	defer n.Free()
+	h := n.heap()
+
+	// forward maps a signal to the signal that can replace it.
+	forward := make(map[string]string)
+	resolve := func(name string) string {
+		for {
+			next, ok := forward[name]
+			if !ok {
+				return name
+			}
+			name = next
+		}
+	}
+	removed := 0
+	outputs := make(map[string]bool, len(n.Outputs))
+	for _, o := range n.Outputs {
+		outputs[o] = true
+	}
+	// Deterministic iteration: traces must be reproducible.
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := n.nodes[name]
+		if outputs[name] {
+			continue // keep output drivers in place
+		}
+		switch {
+		case n.isBuffer(r):
+			forward[name] = n.nodeName(n.fanin(r, 0))
+			removed++
+		case n.isInverter(r):
+			src := n.fanin(r, 0)
+			if n.isInverter(src) && !outputs[n.nodeName(src)] {
+				forward[name] = n.nodeName(n.fanin(src, 0))
+				removed++
+			}
+		}
+	}
+
+	// Re-emit BLIF with forwarding applied and dropped nodes omitted.
+	var b strings.Builder
+	fmt.Fprintf(&b, ".model %s_opt\n.inputs %s\n.outputs %s\n",
+		n.Name, strings.Join(n.Inputs, " "), strings.Join(n.Outputs, " "))
+	for _, name := range n.Latches {
+		r := n.nodes[name]
+		in := resolve(n.nodeName(n.fanin(r, 0)))
+		fmt.Fprintf(&b, ".latch %s %s 0\n", in, name)
+	}
+	for _, name := range names {
+		r := n.nodes[name]
+		if _, dropped := forward[name]; dropped {
+			continue
+		}
+		switch n.kind(r) {
+		case nodeInput, nodeLatch:
+			continue
+		case nodeConst0:
+			fmt.Fprintf(&b, ".names %s\n0\n", name)
+			continue
+		case nodeConst1:
+			fmt.Fprintf(&b, ".names %s\n1\n", name)
+			continue
+		}
+		nf := n.faninLen(r)
+		names := make([]string, nf)
+		for i := 0; i < nf; i++ {
+			names[i] = resolve(n.nodeName(n.fanin(r, i)))
+		}
+		fmt.Fprintf(&b, ".names %s %s\n", strings.Join(names, " "), name)
+		d := h.Data(r)
+		rows := int(d[offNRows])
+		for ri := 0; ri < rows; ri++ {
+			for ci := 0; ci < nf; ci++ {
+				switch d[coverBase+ri*nf+ci] {
+				case 0:
+					b.WriteByte('0')
+				case 1:
+					b.WriteByte('1')
+				default:
+					b.WriteByte('-')
+				}
+			}
+			b.WriteString(" 1\n")
+		}
+	}
+	b.WriteString(".end\n")
+	return b.String(), removed, nil
+}
+
+// GenerateBLIF builds a random sequential circuit in BLIF: layered
+// AND/OR/inverter logic with buffer and double-inverter chains (for
+// the optimizer to find) and a few latches. Deterministic in seed.
+func GenerateBLIF(inputs, gates, latches int, seed uint64) string {
+	r := xrand.New(seed)
+	var b strings.Builder
+	b.WriteString(".model synth\n.inputs")
+	signals := make([]string, 0, inputs+gates)
+	for i := 0; i < inputs; i++ {
+		name := fmt.Sprintf("in%d", i)
+		fmt.Fprintf(&b, " %s", name)
+		signals = append(signals, name)
+	}
+	b.WriteString("\n")
+	var gateLines strings.Builder
+	var outputs []string
+	for g := 0; g < gates; g++ {
+		name := fmt.Sprintf("g%d", g)
+		pick := func() string { return signals[r.Intn(len(signals))] }
+		switch r.Intn(6) {
+		case 0: // buffer
+			fmt.Fprintf(&gateLines, ".names %s %s\n1 1\n", pick(), name)
+		case 1: // inverter (chains form naturally)
+			fmt.Fprintf(&gateLines, ".names %s %s\n0 1\n", pick(), name)
+		case 2: // AND2
+			fmt.Fprintf(&gateLines, ".names %s %s %s\n11 1\n", pick(), pick(), name)
+		case 3: // OR2
+			fmt.Fprintf(&gateLines, ".names %s %s %s\n1- 1\n-1 1\n", pick(), pick(), name)
+		case 4: // XOR2
+			fmt.Fprintf(&gateLines, ".names %s %s %s\n10 1\n01 1\n", pick(), pick(), name)
+		default: // AND2 with complemented input
+			fmt.Fprintf(&gateLines, ".names %s %s %s\n01 1\n", pick(), pick(), name)
+		}
+		signals = append(signals, name)
+	}
+	for l := 0; l < latches; l++ {
+		name := fmt.Sprintf("q%d", l)
+		src := signals[r.Intn(len(signals))]
+		fmt.Fprintf(&gateLines, ".latch %s %s 0\n", src, name)
+		signals = append(signals, name)
+	}
+	// A few extra gates consuming latch outputs.
+	for g := 0; g < latches; g++ {
+		name := fmt.Sprintf("gl%d", g)
+		a := signals[r.Intn(len(signals))]
+		c := signals[r.Intn(len(signals))]
+		fmt.Fprintf(&gateLines, ".names %s %s %s\n11 1\n", a, c, name)
+		signals = append(signals, name)
+	}
+	// Outputs: the last few signals.
+	nOut := 4
+	if nOut > len(signals) {
+		nOut = len(signals)
+	}
+	outputs = signals[len(signals)-nOut:]
+	fmt.Fprintf(&b, ".outputs %s\n", strings.Join(outputs, " "))
+	b.WriteString(gateLines.String())
+	b.WriteString(".end\n")
+	return b.String()
+}
+
+// Result reports a synthesis-and-verify run.
+type Result struct {
+	Gates     int
+	Removed   int
+	Signature uint64
+	Events    []trace.Event
+}
+
+// Run generates (or accepts) a BLIF circuit, optimizes it, verifies
+// equivalence with random vectors on a fresh recording heap, and
+// returns the trace.
+func Run(blif string, vectors int) (*Result, error) {
+	h := mheap.New()
+	var events []trace.Event
+	h.SetRecorder(func(e trace.Event) { events = append(events, e) })
+	a := mlib.Raw{H: h}
+
+	optimized, removed, err := OptimizeBLIF(a, blif)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := ParseBLIF(a, blif)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := ParseBLIF(a, optimized)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: optimized netlist unparsable: %w", err)
+	}
+	sig, err := Verify(orig, opt, vectors, 0x515515)
+	res := &Result{Gates: orig.NumNodes(), Removed: removed, Signature: sig}
+	orig.Free()
+	opt.Free()
+	res.Events = events
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}

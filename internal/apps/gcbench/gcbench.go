@@ -1,0 +1,204 @@
+// Package gcbench runs a garbage-collected workload — the classic
+// Ellis/Boehm GCBench shape: short-lived complete binary trees built
+// top-down and dropped, over a long-lived backbone — directly on the
+// reachability-based dynamic-threatening-boundary collector of
+// internal/gc. Unlike the malloc/free mini-applications, nothing here
+// is freed explicitly: storage dies by becoming unreachable and only
+// the collector's boundary policy decides when it is reclaimed.
+//
+// This is the paper's deployment story made concrete: a program in a
+// garbage-collected language, a collector tuned by one constraint.
+package gcbench
+
+import (
+	"fmt"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/gc"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// Tree nodes: 2 pointer slots (left, right) and an 8-byte value.
+const nodeData = 8
+
+// Config sizes the benchmark.
+type Config struct {
+	// Policy drives the collector (required).
+	Policy core.Policy
+	// TriggerBytes is the scavenge trigger; default 256 KB.
+	TriggerBytes uint64
+	// MaxDepth bounds the transient tree sizes (default 10: trees of
+	// up to 2^11-1 nodes).
+	MaxDepth int
+	// LongLivedDepth sizes the permanent tree (default 12).
+	LongLivedDepth int
+	// FilterRecent enables the remembered-set write-barrier filter.
+	FilterRecent bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TriggerBytes == 0 {
+		c.TriggerBytes = 256 * 1024
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 10
+	}
+	if c.LongLivedDepth == 0 {
+		c.LongLivedDepth = 12
+	}
+	return c
+}
+
+// Result reports the run.
+type Result struct {
+	Checksum    int64 // deterministic function of all tree walks
+	Collections int
+	TracedBytes uint64
+	Reclaimed   uint64
+	FinalBytes  uint64 // heap bytes in use at the end
+	MaxRemember int    // peak remembered-set size
+	History     []core.Scavenge
+}
+
+// bench carries the run state.
+type bench struct {
+	c   *gc.Collector
+	h   *mheap.Heap
+	sum int64
+	rem int
+}
+
+func (b *bench) note() {
+	if s := b.c.RememberedSize(); s > b.rem {
+		b.rem = s
+	}
+}
+
+// newNode allocates a tree node with rooted children (GC discipline:
+// every live temporary is rooted across allocation).
+func (b *bench) newNode(left, right mheap.Ref, v int64) mheap.Ref {
+	b.c.PushRoot(left)
+	b.c.PushRoot(right)
+	n := b.c.Alloc(2, nodeData)
+	b.c.PopRoot()
+	b.c.PopRoot()
+	if left != mheap.Nil {
+		b.h.SetPtr(n, 0, left)
+	}
+	if right != mheap.Nil {
+		b.h.SetPtr(n, 1, right)
+	}
+	d := b.h.Data(n)
+	for i := 0; i < 8; i++ {
+		d[i] = byte(v >> uint(8*i))
+	}
+	b.note()
+	return n
+}
+
+// buildBottomUp constructs a complete tree of the given depth.
+func (b *bench) buildBottomUp(depth int, v int64) mheap.Ref {
+	if depth == 0 {
+		return b.newNode(mheap.Nil, mheap.Nil, v)
+	}
+	left := b.buildBottomUp(depth-1, 2*v)
+	b.c.PushRoot(left)
+	right := b.buildBottomUp(depth-1, 2*v+1)
+	b.c.PushRoot(right)
+	n := b.newNode(left, right, v)
+	b.c.PopRoot()
+	b.c.PopRoot()
+	return n
+}
+
+// buildTopDown allocates the root first and fills children in with
+// pointer stores — the GCBench variant that exercises the write
+// barrier with forward-in-time pointers.
+func (b *bench) buildTopDown(node mheap.Ref, depth int, v int64) {
+	if depth == 0 {
+		return
+	}
+	b.c.PushRoot(node)
+	left := b.newNode(mheap.Nil, mheap.Nil, 2*v)
+	b.h.SetPtr(node, 0, left) // forward-in-time store
+	right := b.newNode(mheap.Nil, mheap.Nil, 2*v+1)
+	b.h.SetPtr(node, 1, right)
+	b.c.PopRoot()
+	b.buildTopDown(b.h.Ptr(node, 0), depth-1, 2*v)
+	b.buildTopDown(b.h.Ptr(node, 1), depth-1, 2*v+1)
+	b.note()
+}
+
+// walk checksums a tree.
+func (b *bench) walk(n mheap.Ref) int64 {
+	if n == mheap.Nil {
+		return 0
+	}
+	d := b.h.Data(n)
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(d[i]) << uint(8*i)
+	}
+	return v + b.walk(b.h.Ptr(n, 0)) - b.walk(b.h.Ptr(n, 1))
+}
+
+// Run executes the benchmark under the configured collector.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("gcbench: Config.Policy is required")
+	}
+	h := mheap.New()
+	c, err := gc.New(h, gc.Options{
+		Policy:       cfg.Policy,
+		TriggerBytes: cfg.TriggerBytes,
+		AutoCollect:  true,
+		FilterRecent: cfg.FilterRecent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := &bench{c: c, h: h}
+
+	// Long-lived backbone, kept for the whole run.
+	longLived := b.buildBottomUp(cfg.LongLivedDepth, 1)
+	c.SetGlobal("longLived", longLived)
+	b.sum += b.walk(longLived)
+
+	// Transient trees of increasing depth, built both ways, walked,
+	// then dropped (become garbage the collector must find).
+	for depth := 4; depth <= cfg.MaxDepth; depth += 2 {
+		iters := 1 << uint(cfg.MaxDepth-depth+2)
+		for i := 0; i < iters; i++ {
+			t1 := b.buildBottomUp(depth, int64(i))
+			c.SetGlobal("tmp", t1)
+			b.sum += b.walk(t1)
+
+			t2 := b.newNode(mheap.Nil, mheap.Nil, int64(i))
+			c.SetGlobal("tmp", t2) // t1 is garbage now
+			b.buildTopDown(t2, depth, int64(i))
+			b.sum += b.walk(t2)
+			c.SetGlobal("tmp", mheap.Nil) // t2 too
+		}
+	}
+
+	// The backbone must have survived every collection intact.
+	b.sum += b.walk(longLived)
+
+	res := &Result{
+		Checksum:    b.sum,
+		Collections: c.Collections(),
+		TracedBytes: c.TracedBytes(),
+		Reclaimed:   c.ReclaimedBytes(),
+		FinalBytes:  h.BytesInUse(),
+		MaxRemember: b.rem,
+		History:     c.History().Scavenges,
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		return res, fmt.Errorf("gcbench: heap corrupted: %w", err)
+	}
+	if err := c.CheckRememberedInvariant(); err != nil {
+		return res, fmt.Errorf("gcbench: %w", err)
+	}
+	return res, nil
+}

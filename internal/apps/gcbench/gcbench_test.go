@@ -1,0 +1,137 @@
+package gcbench
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+)
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func small(p core.Policy) Config {
+	return Config{Policy: p, TriggerBytes: 64 * 1024, MaxDepth: 8, LongLivedDepth: 10}
+}
+
+func TestRunRequiresPolicy(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing policy accepted")
+	}
+}
+
+func TestChecksumIdenticalAcrossPolicies(t *testing.T) {
+	// The computation's result must not depend on the collector: any
+	// divergence means a live object was reclaimed.
+	policies := []core.Policy{
+		core.Full{},
+		core.Fixed{K: 1},
+		core.Fixed{K: 4},
+		core.DtbFM{TraceMax: 32 * 1024},
+		core.DtbMem{MemMax: 512 * 1024},
+	}
+	var want int64
+	for i, p := range policies {
+		res := run(t, small(p))
+		if i == 0 {
+			want = res.Checksum
+			continue
+		}
+		if res.Checksum != want {
+			t.Fatalf("%s produced checksum %d, want %d", p.Name(), res.Checksum, want)
+		}
+	}
+}
+
+func TestCollectionsActuallyRan(t *testing.T) {
+	res := run(t, small(core.Full{}))
+	if res.Collections == 0 {
+		t.Fatal("no collections")
+	}
+	if res.Reclaimed == 0 {
+		t.Fatal("nothing reclaimed despite dropped trees")
+	}
+	if res.TracedBytes == 0 {
+		t.Fatal("nothing traced")
+	}
+}
+
+func TestFullKeepsHeapNearLongLived(t *testing.T) {
+	res := run(t, small(core.Full{}))
+	// After the run, live data is the long-lived tree (2^11-1 nodes of
+	// 48 bytes each with headers) plus stack leftovers; the Full
+	// collector's final heap should be within a trigger interval of it.
+	longLivedBytes := uint64((1<<11 - 1) * 48)
+	if res.FinalBytes > longLivedBytes+64*1024 {
+		t.Fatalf("final heap %d bytes; long-lived tree is only %d", res.FinalBytes, longLivedBytes)
+	}
+}
+
+func TestFixed1LeavesMoreGarbageThanFull(t *testing.T) {
+	full := run(t, small(core.Full{}))
+	fixed1 := run(t, small(core.Fixed{K: 1}))
+	if fixed1.FinalBytes <= full.FinalBytes {
+		t.Fatalf("Fixed1 final heap %d not above Full's %d (tenured garbage missing)",
+			fixed1.FinalBytes, full.FinalBytes)
+	}
+	if fixed1.TracedBytes >= full.TracedBytes {
+		t.Fatalf("Fixed1 traced %d not below Full's %d", fixed1.TracedBytes, full.TracedBytes)
+	}
+}
+
+func TestDtbMemRespectsBudgetOnRealCollector(t *testing.T) {
+	budget := uint64(700 * 1024)
+	res := run(t, Config{
+		Policy:       core.DtbMem{MemMax: budget},
+		TriggerBytes: 64 * 1024, MaxDepth: 10, LongLivedDepth: 11,
+	})
+	for _, s := range res.History {
+		if s.MemBefore > budget+64*1024 {
+			t.Fatalf("scavenge %d saw %d bytes in use, budget %d (+trigger)", s.N, s.MemBefore, budget)
+		}
+	}
+}
+
+func TestFilterRecentSameChecksumSmallerSet(t *testing.T) {
+	plain := run(t, small(core.Fixed{K: 1}))
+	cfg := small(core.Fixed{K: 1})
+	cfg.FilterRecent = true
+	filtered := run(t, cfg)
+	if plain.Checksum != filtered.Checksum {
+		t.Fatal("filter changed program results")
+	}
+	if filtered.MaxRemember > plain.MaxRemember {
+		t.Fatalf("filtered remembered set %d above eager %d", filtered.MaxRemember, plain.MaxRemember)
+	}
+}
+
+func TestWriteBarrierTrafficRecorded(t *testing.T) {
+	// buildTopDown stores forward-in-time pointers: the remembered set
+	// must have seen them.
+	res := run(t, small(core.Fixed{K: 4}))
+	if res.MaxRemember == 0 {
+		t.Fatal("no remembered entries despite top-down tree construction")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, small(core.DtbFM{TraceMax: 32 * 1024}))
+	b := run(t, small(core.DtbFM{TraceMax: 32 * 1024}))
+	if a.Checksum != b.Checksum || a.Collections != b.Collections || a.TracedBytes != b.TracedBytes {
+		t.Fatal("gcbench run not deterministic")
+	}
+}
+
+func BenchmarkGCBench(b *testing.B) {
+	cfg := Config{Policy: core.DtbFM{TraceMax: 32 * 1024}, TriggerBytes: 64 * 1024, MaxDepth: 8, LongLivedDepth: 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

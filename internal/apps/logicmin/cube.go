@@ -1,0 +1,318 @@
+// Package logicmin is the Espresso stand-in: a cube-based two-level
+// logic minimizer working on covers of single-output boolean
+// functions. Every cube lives on the simulated heap, and the
+// allocation-heavy phases of the real program — complementation by
+// Shannon expansion, expansion against the OFF-set, irredundant-cover
+// extraction by tautology checking — are all here, so a minimization
+// run produces the pass-structured allocation trace that made Espresso
+// an interesting GC benchmark: covers built up during a pass and freed
+// together at its end.
+package logicmin
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// Literal values inside a cube, one byte per input variable.
+const (
+	lZero = 0 // variable complemented
+	lOne  = 1 // variable true
+	lDash = 2 // don't care
+)
+
+// Cube operations. A cube is a heap object with one byte per input.
+
+func newCube(a mlib.Allocator, nvars int) mheap.Ref {
+	c := a.Alloc(0, nvars)
+	d := a.Heap().Data(c)
+	for i := range d {
+		d[i] = lDash
+	}
+	return c
+}
+
+func cubeFromString(a mlib.Allocator, s string) (mheap.Ref, error) {
+	c := a.Alloc(0, len(s))
+	d := a.Heap().Data(c)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			d[i] = lZero
+		case '1':
+			d[i] = lOne
+		case '-', '2':
+			d[i] = lDash
+		default:
+			a.Heap().Free(c)
+			return mheap.Nil, fmt.Errorf("logicmin: bad cube character %q", s[i])
+		}
+	}
+	return c, nil
+}
+
+func cubeString(h *mheap.Heap, c mheap.Ref) string {
+	d := h.Data(c)
+	var b strings.Builder
+	for _, v := range d {
+		switch v {
+		case lZero:
+			b.WriteByte('0')
+		case lOne:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+func cubeCopy(a mlib.Allocator, c mheap.Ref) mheap.Ref {
+	h := a.Heap()
+	n := h.Size(c)
+	out := a.Alloc(0, n)
+	copy(h.Data(out), h.Data(c))
+	return out
+}
+
+// cubeContains reports p ⊇ q: every assignment in q is in p.
+func cubeContains(h *mheap.Heap, p, q mheap.Ref) bool {
+	dp, dq := h.Data(p), h.Data(q)
+	for i := range dp {
+		if dp[i] != lDash && dp[i] != dq[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cubesDisjoint reports whether p ∩ q is empty (some variable is
+// required 0 by one and 1 by the other).
+func cubesDisjoint(h *mheap.Heap, p, q mheap.Ref) bool {
+	dp, dq := h.Data(p), h.Data(q)
+	for i := range dp {
+		if (dp[i] == lZero && dq[i] == lOne) || (dp[i] == lOne && dq[i] == lZero) {
+			return true
+		}
+	}
+	return false
+}
+
+// cubeEval reports whether the cube covers the minterm x (bit i of x
+// is input i).
+func cubeEval(h *mheap.Heap, c mheap.Ref, x uint64) bool {
+	d := h.Data(c)
+	for i, v := range d {
+		bit := byte(x>>uint(i)) & 1
+		if v != lDash && v != bit {
+			return false
+		}
+	}
+	return true
+}
+
+// Cover helpers. A cover is a Go slice of cube refs; the refs (and
+// their storage) live on the managed heap, like the cube-pointer
+// arrays of the C original.
+
+func freeCover(h *mheap.Heap, cover []mheap.Ref) {
+	for _, c := range cover {
+		h.Free(c)
+	}
+}
+
+func copyCover(a mlib.Allocator, cover []mheap.Ref) []mheap.Ref {
+	out := make([]mheap.Ref, 0, len(cover))
+	for _, c := range cover {
+		out = append(out, cubeCopy(a, c))
+	}
+	return out
+}
+
+// coverEval reports whether any cube covers minterm x.
+func coverEval(h *mheap.Heap, cover []mheap.Ref, x uint64) bool {
+	for _, c := range cover {
+		if cubeEval(h, c, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// cofactorCube computes the cofactor of cube c with respect to cube p
+// (the Shannon cofactor generalized to cubes). It returns Nil when the
+// cofactor is empty.
+func cofactorCube(a mlib.Allocator, c, p mheap.Ref) mheap.Ref {
+	h := a.Heap()
+	if cubesDisjoint(h, c, p) {
+		return mheap.Nil
+	}
+	out := cubeCopy(a, c)
+	d := h.Data(out)
+	dp := h.Data(p)
+	for i := range d {
+		if dp[i] != lDash {
+			d[i] = lDash
+		}
+	}
+	return out
+}
+
+// cofactorCover cofactors a whole cover against cube p.
+func cofactorCover(a mlib.Allocator, cover []mheap.Ref, p mheap.Ref) []mheap.Ref {
+	var out []mheap.Ref
+	for _, c := range cover {
+		if cc := cofactorCube(a, c, p); cc != mheap.Nil {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// selectBinate picks the variable that appears in the most cubes in
+// both polarities (the classic espresso branching heuristic); -1 if
+// the cover is unate in every variable (no 0/1 conflict).
+func selectBinate(h *mheap.Heap, cover []mheap.Ref, nvars int) int {
+	best, bestScore := -1, 0
+	for v := 0; v < nvars; v++ {
+		zeros, ones := 0, 0
+		for _, c := range cover {
+			switch h.Data(c)[v] {
+			case lZero:
+				zeros++
+			case lOne:
+				ones++
+			}
+		}
+		if zeros > 0 && ones > 0 && zeros+ones > bestScore {
+			best, bestScore = v, zeros+ones
+		}
+	}
+	return best
+}
+
+// isTautology reports whether the cover covers the entire space of
+// nvars inputs, by unate reduction and Shannon recursion.
+func isTautology(a mlib.Allocator, cover []mheap.Ref, nvars int) bool {
+	h := a.Heap()
+	if len(cover) == 0 {
+		return false
+	}
+	for _, c := range cover {
+		allDash := true
+		for _, v := range h.Data(c) {
+			if v != lDash {
+				allDash = false
+				break
+			}
+		}
+		if allDash {
+			return true
+		}
+	}
+	v := selectBinate(h, cover, nvars)
+	if v < 0 {
+		// Unate cover without an all-dash cube cannot be a tautology
+		// (unate reduction theorem).
+		return false
+	}
+	// Recurse on both cofactors of variable v.
+	for _, val := range []byte{lZero, lOne} {
+		branch := newCube(a, nvars)
+		h.Data(branch)[v] = val
+		cof := cofactorCover(a, cover, branch)
+		h.Free(branch)
+		taut := isTautology(a, cof, nvars)
+		freeCover(h, cof)
+		if !taut {
+			return false
+		}
+	}
+	return true
+}
+
+// complement computes the OFF-set of a cover by Shannon expansion —
+// the most allocation-intensive phase, as in the original.
+func complement(a mlib.Allocator, cover []mheap.Ref, nvars int) []mheap.Ref {
+	h := a.Heap()
+	if len(cover) == 0 {
+		return []mheap.Ref{newCube(a, nvars)} // complement of ∅ is the universe
+	}
+	for _, c := range cover {
+		allDash := true
+		for _, v := range h.Data(c) {
+			if v != lDash {
+				allDash = false
+				break
+			}
+		}
+		if allDash {
+			return nil // complement of the universe is empty
+		}
+	}
+	// Single-cube complement: one cube per non-dash literal (De
+	// Morgan, disjoint sharp).
+	if len(cover) == 1 {
+		var out []mheap.Ref
+		src := h.Data(cover[0])
+		for i, v := range src {
+			if v == lDash {
+				continue
+			}
+			c := newCube(a, nvars)
+			d := h.Data(c)
+			// Fix preceding literals to their cube values to keep the
+			// result disjoint.
+			for j := 0; j < i; j++ {
+				if src[j] != lDash {
+					d[j] = src[j]
+				}
+			}
+			if v == lZero {
+				d[i] = lOne
+			} else {
+				d[i] = lZero
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	v := selectBinate(h, cover, nvars)
+	if v < 0 {
+		// Unate: complement as intersection of single-cube
+		// complements via recursive splitting on any non-dash var.
+		v = firstActiveVar(h, cover)
+		if v < 0 {
+			return nil
+		}
+	}
+	var out []mheap.Ref
+	for _, val := range []byte{lZero, lOne} {
+		branch := newCube(a, nvars)
+		h.Data(branch)[v] = val
+		cof := cofactorCover(a, cover, branch)
+		compl := complement(a, cof, nvars)
+		freeCover(h, cof)
+		// AND the branch literal back into each complement cube.
+		for _, c := range compl {
+			h.Data(c)[v] = val
+			out = append(out, c)
+		}
+		h.Free(branch)
+	}
+	return out
+}
+
+func firstActiveVar(h *mheap.Heap, cover []mheap.Ref) int {
+	for _, c := range cover {
+		for i, v := range h.Data(c) {
+			if v != lDash {
+				return i
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,32 @@
+package logicmin
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// FuzzParsePLA: arbitrary PLA text must parse or error, never panic or
+// leak heap objects on the error path.
+func FuzzParsePLA(f *testing.F) {
+	f.Add(".i 3\n.o 1\n01- 1\n1-1 -\n.e\n")
+	f.Add(".i 2\n.o 1\n00 0\n")
+	f.Add("# junk\n.i 24\n.o 1\n")
+	f.Add(".i 3\n01- 1")
+	f.Add(".p 5\n.i 1\n.o 1\n1 1")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			return
+		}
+		h := mheap.New()
+		a := mlib.Raw{H: h}
+		p, err := ParsePLA(a, src)
+		if err == nil && p != nil {
+			p.Free(h)
+		}
+		if err := h.CheckIntegrity(); err != nil {
+			t.Fatalf("heap corrupted by %q: %v", src, err)
+		}
+	})
+}

@@ -1,0 +1,361 @@
+package logicmin
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+func newAlloc() (mlib.Raw, *mheap.Heap) {
+	h := mheap.New()
+	return mlib.Raw{H: h}, h
+}
+
+func mustCube(t *testing.T, a mlib.Allocator, s string) mheap.Ref {
+	t.Helper()
+	c, err := cubeFromString(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCubeStringRoundTrip(t *testing.T) {
+	a, h := newAlloc()
+	for _, s := range []string{"01-", "----", "1", "0101"} {
+		c := mustCube(t, a, s)
+		if got := cubeString(h, c); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	if _, err := cubeFromString(a, "01x"); err == nil {
+		t.Error("bad cube accepted")
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	a, h := newAlloc()
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"---", "01-", true},
+		{"01-", "010", true},
+		{"01-", "01-", true},
+		{"010", "01-", false},
+		{"1--", "0--", false},
+	}
+	for _, c := range cases {
+		p, q := mustCube(t, a, c.p), mustCube(t, a, c.q)
+		if got := cubeContains(h, p, q); got != c.want {
+			t.Errorf("contains(%s, %s) = %v", c.p, c.q, got)
+		}
+	}
+}
+
+func TestCubesDisjoint(t *testing.T) {
+	a, h := newAlloc()
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"0--", "1--", true},
+		{"0--", "-1-", false},
+		{"01-", "0-1", false},
+		{"01-", "00-", true},
+	}
+	for _, c := range cases {
+		p, q := mustCube(t, a, c.p), mustCube(t, a, c.q)
+		if got := cubesDisjoint(h, p, q); got != c.want {
+			t.Errorf("disjoint(%s, %s) = %v", c.p, c.q, got)
+		}
+	}
+}
+
+func TestCubeEval(t *testing.T) {
+	a, h := newAlloc()
+	c := mustCube(t, a, "1-0") // x0=1, x2=0
+	cases := []struct {
+		x    uint64
+		want bool
+	}{
+		{0b001, true}, {0b011, true}, {0b101, false}, {0b000, false},
+	}
+	for _, tc := range cases {
+		if got := cubeEval(h, c, tc.x); got != tc.want {
+			t.Errorf("eval(%03b) = %v", tc.x, got)
+		}
+	}
+}
+
+func TestTautology(t *testing.T) {
+	a, h := newAlloc()
+	// x ∪ ¬x is a tautology.
+	cover := []mheap.Ref{mustCube(t, a, "1--"), mustCube(t, a, "0--")}
+	if !isTautology(a, cover, 3) {
+		t.Error("x ∪ ¬x not recognized as tautology")
+	}
+	freeCover(h, cover)
+	// A single non-universe cube is not.
+	c2 := []mheap.Ref{mustCube(t, a, "1--")}
+	if isTautology(a, c2, 3) {
+		t.Error("single literal reported tautology")
+	}
+	freeCover(h, c2)
+	// Empty cover is not.
+	if isTautology(a, nil, 3) {
+		t.Error("empty cover reported tautology")
+	}
+	// All-dash cube is.
+	c3 := []mheap.Ref{mustCube(t, a, "---")}
+	if !isTautology(a, c3, 3) {
+		t.Error("universe cube not tautology")
+	}
+	freeCover(h, c3)
+}
+
+func TestComplementAgainstBruteForce(t *testing.T) {
+	// Property: for random small covers, complement(F) holds exactly
+	// the minterms F does not.
+	r := xrand.New(31)
+	for trial := 0; trial < 40; trial++ {
+		a, h := newAlloc()
+		nvars := 3 + r.Intn(4) // 3..6
+		var cover []mheap.Ref
+		ncubes := r.Intn(5)
+		for i := 0; i < ncubes; i++ {
+			c := newCube(a, nvars)
+			d := h.Data(c)
+			for j := range d {
+				d[j] = byte(r.Intn(3))
+			}
+			cover = append(cover, c)
+		}
+		compl := complement(a, cover, nvars)
+		for x := uint64(0); x < 1<<uint(nvars); x++ {
+			inF := coverEval(h, cover, x)
+			inC := coverEval(h, compl, x)
+			if inF == inC {
+				t.Fatalf("trial %d: minterm %b in both/neither (F=%v C=%v)", trial, x, inF, inC)
+			}
+		}
+		freeCover(h, cover)
+		freeCover(h, compl)
+		if h.NumObjects() != 0 {
+			t.Fatalf("trial %d: %d objects leaked", trial, h.NumObjects())
+		}
+	}
+}
+
+func TestParsePLA(t *testing.T) {
+	a, h := newAlloc()
+	src := `# comment
+.i 3
+.o 1
+.p 3
+01- 1
+1-1 1
+000 -
+.e`
+	p, err := ParsePLA(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInputs != 3 || len(p.On) != 2 || len(p.DC) != 1 {
+		t.Fatalf("parsed %d inputs, %d on, %d dc", p.NumInputs, len(p.On), len(p.DC))
+	}
+	if cubeString(h, p.On[0]) != "01-" {
+		t.Fatalf("first cube %s", cubeString(h, p.On[0]))
+	}
+	p.Free(h)
+}
+
+func TestParsePLAErrors(t *testing.T) {
+	a, _ := newAlloc()
+	cases := []string{
+		"01- 1",            // cube before .i
+		".i 0\n",           // bad input count
+		".i 3\n.o 2\n",     // multi-output
+		".i 3\n01 1\n",     // wrong cube width
+		".i 3\n01x 1\n",    // bad character
+		".i 3\n010 9\n",    // bad output
+		".i 3\n.unknown\n", // unknown directive
+		"",                 // no .i at all
+	}
+	for _, src := range cases {
+		if _, err := ParsePLA(a, src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestMinimizeClassicExamples(t *testing.T) {
+	// f = x'y + xy (3 vars, extra var irrelevant) minimizes to y.
+	a, h := newAlloc()
+	src := ".i 2\n.o 1\n01 1\n11 1\n"
+	p, err := ParsePLA(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := Minimize(a, p)
+	if len(min) != 1 {
+		t.Fatalf("minimized to %d cubes, want 1", len(min))
+	}
+	if got := cubeString(h, min[0]); got != "-1" {
+		t.Fatalf("minimized cube %s, want -1", got)
+	}
+	freeCover(h, min)
+	p.Free(h)
+}
+
+func TestMinimizeWithDontCares(t *testing.T) {
+	// ON = {000}, DC = {001, 01-}: can expand to 0--.
+	a, h := newAlloc()
+	src := ".i 3\n.o 1\n000 1\n001 -\n01- -\n"
+	p, err := ParsePLA(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := Minimize(a, p)
+	if len(min) != 1 || cubeString(h, min[0]) != "0--" {
+		t.Fatalf("minimized: %v cubes, first %s", len(min), cubeString(h, min[0]))
+	}
+	freeCover(h, min)
+	p.Free(h)
+}
+
+func TestMinimizeNeverGrows(t *testing.T) {
+	r := xrand.New(77)
+	for trial := 0; trial < 15; trial++ {
+		a, h := newAlloc()
+		src := GeneratePLA(6+r.Intn(3), 8+r.Intn(12), r.Intn(4), r.Uint64())
+		p, err := ParsePLA(a, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := len(p.On)
+		onCopy := copyCover(a, p.On)
+		dcRefs := p.DC
+		min := Minimize(a, p)
+		if len(min) > before {
+			t.Fatalf("trial %d: grew from %d to %d cubes", trial, before, len(min))
+		}
+		if err := Equivalent(h, p.NumInputs, onCopy, dcRefs, min, 2000, xrand.New(1)); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		freeCover(h, onCopy)
+		freeCover(h, min)
+		p.Free(h)
+		if h.NumObjects() != 0 {
+			t.Fatalf("trial %d: leaked %d objects", trial, h.NumObjects())
+		}
+	}
+}
+
+func TestMinimizeExhaustiveEquivalence(t *testing.T) {
+	// For small input counts, check every minterm rather than a sample.
+	r := xrand.New(123)
+	for trial := 0; trial < 20; trial++ {
+		a, h := newAlloc()
+		nvars := 4
+		src := GeneratePLA(nvars, 5, 2, r.Uint64())
+		p, err := ParsePLA(a, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onCopy := copyCover(a, p.On)
+		dc := p.DC
+		min := Minimize(a, p)
+		for x := uint64(0); x < 1<<uint(nvars); x++ {
+			inOn := coverEval(h, onCopy, x)
+			inDC := coverEval(h, dc, x)
+			inMin := coverEval(h, min, x)
+			if inOn && !inDC && !inMin {
+				t.Fatalf("trial %d: care ON minterm %b lost", trial, x)
+			}
+			if !inOn && !inDC && inMin {
+				t.Fatalf("trial %d: OFF minterm %b gained", trial, x)
+			}
+		}
+		freeCover(h, onCopy)
+		freeCover(h, min)
+		p.Free(h)
+	}
+}
+
+func TestFormatPLAParsesBack(t *testing.T) {
+	a, h := newAlloc()
+	p, err := ParsePLA(a, ".i 3\n.o 1\n01- 1\n1-1 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatPLA(h, 3, p.On)
+	if !strings.Contains(text, "01- 1") {
+		t.Fatalf("format output:\n%s", text)
+	}
+	p2, err := ParsePLA(a, text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(p2.On) != 2 {
+		t.Fatalf("reparse got %d cubes", len(p2.On))
+	}
+	p.Free(h)
+	p2.Free(h)
+}
+
+func TestRunBatchTrace(t *testing.T) {
+	plas := []string{
+		GeneratePLA(8, 14, 3, 1),
+		GeneratePLA(9, 16, 2, 2),
+		GeneratePLA(7, 12, 4, 3),
+	}
+	res, err := RunBatch(plas, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CubesOut > res.CubesIn {
+		t.Fatalf("batch grew covers: %d -> %d", res.CubesIn, res.CubesOut)
+	}
+	if err := trace.Validate(res.Events); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	s, err := trace.Measure(res.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Allocs < 500 {
+		t.Fatalf("only %d allocations", s.Allocs)
+	}
+	if s.Allocs != s.Frees {
+		t.Fatalf("leaked: %d allocs vs %d frees", s.Allocs, s.Frees)
+	}
+}
+
+func TestGeneratePLADeterministic(t *testing.T) {
+	if GeneratePLA(6, 10, 2, 9) != GeneratePLA(6, 10, 2, 9) {
+		t.Fatal("generator not deterministic")
+	}
+	if GeneratePLA(6, 10, 2, 9) == GeneratePLA(6, 10, 2, 10) {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func BenchmarkMinimize(b *testing.B) {
+	src := GeneratePLA(8, 16, 3, 42)
+	for i := 0; i < b.N; i++ {
+		a, h := mlib.Raw{H: mheap.New()}, (*mheap.Heap)(nil)
+		_ = h
+		p, err := ParsePLA(a, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		min := Minimize(a, p)
+		freeCover(a.Heap(), min)
+		p.Free(a.Heap())
+	}
+}

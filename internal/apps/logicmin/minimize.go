@@ -1,0 +1,296 @@
+package logicmin
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// PLA is a parsed single-output PLA: an ON-set cover and a
+// don't-care cover over NumInputs variables, with cubes on the heap.
+type PLA struct {
+	NumInputs int
+	On        []mheap.Ref
+	DC        []mheap.Ref
+}
+
+// Free releases all the PLA's cubes.
+func (p *PLA) Free(h *mheap.Heap) {
+	freeCover(h, p.On)
+	freeCover(h, p.DC)
+	p.On, p.DC = nil, nil
+}
+
+// ParsePLA reads the Berkeley PLA subset: ".i n", ".o 1", optional
+// ".p k", cube lines "<inputs> <output>" where output 1 is ON and
+// output - is don't-care, terminated by optional ".e".
+func ParsePLA(a mlib.Allocator, src string) (*PLA, error) {
+	p := &PLA{}
+	for lineno, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == ".i":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("logicmin: line %d: bad .i", lineno+1)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 || n > 24 {
+				return nil, fmt.Errorf("logicmin: line %d: bad input count", lineno+1)
+			}
+			p.NumInputs = n
+		case fields[0] == ".o":
+			if len(fields) != 2 || fields[1] != "1" {
+				return nil, fmt.Errorf("logicmin: line %d: only single-output PLAs supported", lineno+1)
+			}
+		case fields[0] == ".p", fields[0] == ".e", fields[0] == ".ilb", fields[0] == ".ob":
+			// cube-count hint and labels: ignored
+		case strings.HasPrefix(fields[0], "."):
+			return nil, fmt.Errorf("logicmin: line %d: unsupported directive %s", lineno+1, fields[0])
+		default:
+			if p.NumInputs == 0 {
+				return nil, fmt.Errorf("logicmin: line %d: cube before .i", lineno+1)
+			}
+			if len(fields) != 2 || len(fields[0]) != p.NumInputs {
+				return nil, fmt.Errorf("logicmin: line %d: bad cube line %q", lineno+1, line)
+			}
+			c, err := cubeFromString(a, fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("logicmin: line %d: %v", lineno+1, err)
+			}
+			switch fields[1] {
+			case "1":
+				p.On = append(p.On, c)
+			case "-", "2":
+				p.DC = append(p.DC, c)
+			case "0":
+				a.Heap().Free(c) // explicit OFF cube: implied anyway
+			default:
+				a.Heap().Free(c)
+				return nil, fmt.Errorf("logicmin: line %d: bad output %q", lineno+1, fields[1])
+			}
+		}
+	}
+	if p.NumInputs == 0 {
+		return nil, fmt.Errorf("logicmin: missing .i directive")
+	}
+	return p, nil
+}
+
+// FormatPLA renders a cover back to PLA text.
+func FormatPLA(h *mheap.Heap, nvars int, on []mheap.Ref) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".i %d\n.o 1\n.p %d\n", nvars, len(on))
+	for _, c := range on {
+		b.WriteString(cubeString(h, c))
+		b.WriteString(" 1\n")
+	}
+	b.WriteString(".e\n")
+	return b.String()
+}
+
+// expand grows each cube literal-by-literal against the OFF-set: a
+// literal may be raised to don't-care when the raised cube still
+// intersects no OFF-set cube. Raised cubes then swallow any cubes they
+// contain.
+func expand(a mlib.Allocator, on, off []mheap.Ref) []mheap.Ref {
+	h := a.Heap()
+	out := make([]mheap.Ref, 0, len(on))
+	for _, c := range on {
+		e := cubeCopy(a, c)
+		d := h.Data(e)
+		for i := range d {
+			if d[i] == lDash {
+				continue
+			}
+			saved := d[i]
+			d[i] = lDash
+			ok := true
+			for _, oc := range off {
+				if !cubesDisjoint(h, e, oc) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				d[i] = saved
+			}
+		}
+		out = append(out, e)
+	}
+	freeCover(h, on)
+	// Single-cube containment: drop cubes contained in a surviving
+	// other. For equal cubes the earlier one wins.
+	dead := make([]bool, len(out))
+	for i, c := range out {
+		for j, d := range out {
+			if i == j || dead[j] {
+				continue
+			}
+			if cubeContains(h, d, c) && !(cubeContains(h, c, d) && j > i) {
+				dead[i] = true
+				break
+			}
+		}
+	}
+	kept := make([]mheap.Ref, 0, len(out))
+	for i, c := range out {
+		if dead[i] {
+			h.Free(c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// irredundant removes cubes covered by the rest of the cover together
+// with the don't-care set, using tautology checks on cofactors.
+func irredundant(a mlib.Allocator, on, dc []mheap.Ref, nvars int) []mheap.Ref {
+	h := a.Heap()
+	kept := make([]mheap.Ref, 0, len(on))
+	alive := make([]bool, len(on))
+	for i := range alive {
+		alive[i] = true
+	}
+	for i, c := range on {
+		// rest = (on \ c) ∪ dc, cofactored against c.
+		var rest []mheap.Ref
+		for j, o := range on {
+			if j != i && alive[j] {
+				rest = append(rest, o)
+			}
+		}
+		rest = append(rest, dc...)
+		cof := cofactorCover(a, rest, c)
+		covered := isTautology(a, cof, nvars)
+		freeCover(h, cof)
+		if covered {
+			alive[i] = false
+			h.Free(c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// Minimize runs the espresso-lite loop (complement, expand,
+// irredundant to convergence) on a PLA, consuming its ON cover and
+// returning the minimized cover. The DC cover is left intact.
+func Minimize(a mlib.Allocator, p *PLA) []mheap.Ref {
+	h := a.Heap()
+	// OFF-set: complement of ON ∪ DC.
+	onDC := append(append([]mheap.Ref{}, p.On...), p.DC...)
+	off := complement(a, onDC, p.NumInputs)
+
+	cover := p.On
+	p.On = nil
+	prev := len(cover) + 1
+	for pass := 0; pass < 8 && len(cover) < prev; pass++ {
+		prev = len(cover)
+		cover = expand(a, cover, off)
+		cover = irredundant(a, cover, p.DC, p.NumInputs)
+	}
+	freeCover(h, off)
+	return cover
+}
+
+// Equivalent samples random minterms to check (F − DC) ⊆ M ⊆ F ∪ DC:
+// the minimized cover must keep every care ON point and gain no OFF
+// point. Points in the don't-care set are free in either direction
+// (including ON points that are also listed as don't-cares — the care
+// set is ON minus DC, as in espresso).
+func Equivalent(h *mheap.Heap, nvars int, on, dc, minimized []mheap.Ref, samples int, r *xrand.Rand) error {
+	limit := uint64(1) << uint(nvars)
+	for i := 0; i < samples; i++ {
+		x := r.Uint64() % limit
+		inOn := coverEval(h, on, x)
+		inDC := coverEval(h, dc, x)
+		inMin := coverEval(h, minimized, x)
+		if inOn && !inDC && !inMin {
+			return fmt.Errorf("logicmin: minterm %b in care ON-set but dropped", x)
+		}
+		if !inOn && !inDC && inMin {
+			return fmt.Errorf("logicmin: minterm %b in OFF-set but covered", x)
+		}
+	}
+	return nil
+}
+
+// GeneratePLA builds a random single-output PLA with the given inputs
+// and cube counts, deterministic in the seed.
+func GeneratePLA(nvars, onCubes, dcCubes int, seed uint64) string {
+	r := xrand.New(seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, ".i %d\n.o 1\n.p %d\n", nvars, onCubes+dcCubes)
+	emit := func(out byte) {
+		for i := 0; i < nvars; i++ {
+			switch r.Intn(3) {
+			case 0:
+				b.WriteByte('0')
+			case 1:
+				b.WriteByte('1')
+			default:
+				b.WriteByte('-')
+			}
+		}
+		b.WriteByte(' ')
+		b.WriteByte(out)
+		b.WriteByte('\n')
+	}
+	for i := 0; i < onCubes; i++ {
+		emit('1')
+	}
+	for i := 0; i < dcCubes; i++ {
+		emit('-')
+	}
+	b.WriteString(".e\n")
+	return b.String()
+}
+
+// Result reports a minimization batch.
+type Result struct {
+	CubesIn  int
+	CubesOut int
+	Events   []trace.Event
+}
+
+// RunBatch parses and minimizes each PLA on a fresh heap, verifying
+// equivalence by sampling, and returns the combined trace — one
+// minimization per program phase, as the paper's Espresso runs were.
+func RunBatch(plas []string, samples int) (*Result, error) {
+	h := mheap.New()
+	var events []trace.Event
+	h.SetRecorder(func(e trace.Event) { events = append(events, e) })
+	a := mlib.Raw{H: h}
+	res := &Result{}
+	r := xrand.New(0xE59)
+	for i, src := range plas {
+		p, err := ParsePLA(a, src)
+		if err != nil {
+			return res, fmt.Errorf("pla %d: %w", i, err)
+		}
+		onCopy := copyCover(a, p.On)
+		res.CubesIn += len(p.On)
+		min := Minimize(a, p)
+		res.CubesOut += len(min)
+		if err := Equivalent(h, p.NumInputs, onCopy, p.DC, min, samples, r); err != nil {
+			return res, fmt.Errorf("pla %d: %w", i, err)
+		}
+		freeCover(h, onCopy)
+		freeCover(h, min)
+		p.Free(h)
+		h.Tick(50_000) // inter-problem work
+	}
+	res.Events = events
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package logicmin
+
+// Multi-output PLA support. Real espresso minimizes all outputs
+// jointly over a shared cube space; this implementation minimizes each
+// output against its own don't-care set independently (a standard
+// simplification that preserves per-output correctness, at the cost of
+// missing sharing between outputs). Parsing and formatting use the
+// Berkeley multi-output cube rows: one input pattern followed by one
+// character per output — 1 (ON), 0 (OFF), - or ~ (don't care).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// MultiPLA is a parsed multi-output PLA: one single-output PLA per
+// output function, sharing the input variable count.
+type MultiPLA struct {
+	NumInputs  int
+	NumOutputs int
+	Funcs      []*PLA
+}
+
+// Free releases all covers.
+func (m *MultiPLA) Free(h *mheap.Heap) {
+	for _, p := range m.Funcs {
+		p.Free(h)
+	}
+	m.Funcs = nil
+}
+
+// ParseMultiPLA reads a PLA with any number of outputs.
+func ParseMultiPLA(a mlib.Allocator, src string) (*MultiPLA, error) {
+	m := &MultiPLA{}
+	for lineno, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == ".i":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("logicmin: line %d: bad .i", lineno+1)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 || n > 24 {
+				return nil, fmt.Errorf("logicmin: line %d: bad input count", lineno+1)
+			}
+			m.NumInputs = n
+		case fields[0] == ".o":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("logicmin: line %d: bad .o", lineno+1)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 || n > 64 {
+				return nil, fmt.Errorf("logicmin: line %d: bad output count", lineno+1)
+			}
+			m.NumOutputs = n
+			for i := 0; i < n; i++ {
+				m.Funcs = append(m.Funcs, &PLA{NumInputs: m.NumInputs})
+			}
+		case fields[0] == ".p", fields[0] == ".e", fields[0] == ".ilb", fields[0] == ".ob":
+			// ignored
+		case strings.HasPrefix(fields[0], "."):
+			return nil, fmt.Errorf("logicmin: line %d: unsupported directive %s", lineno+1, fields[0])
+		default:
+			if m.NumInputs == 0 || m.NumOutputs == 0 {
+				return nil, fmt.Errorf("logicmin: line %d: cube before .i/.o", lineno+1)
+			}
+			if len(fields) != 2 || len(fields[0]) != m.NumInputs || len(fields[1]) != m.NumOutputs {
+				return nil, fmt.Errorf("logicmin: line %d: bad cube line %q", lineno+1, line)
+			}
+			for o := 0; o < m.NumOutputs; o++ {
+				var dst *[]mheap.Ref
+				switch fields[1][o] {
+				case '1':
+					dst = &m.Funcs[o].On
+				case '-', '~', '2':
+					dst = &m.Funcs[o].DC
+				case '0':
+					continue
+				default:
+					return nil, fmt.Errorf("logicmin: line %d: bad output character %q", lineno+1, fields[1][o])
+				}
+				c, err := cubeFromString(a, fields[0])
+				if err != nil {
+					return nil, fmt.Errorf("logicmin: line %d: %v", lineno+1, err)
+				}
+				*dst = append(*dst, c)
+			}
+		}
+	}
+	if m.NumInputs == 0 || m.NumOutputs == 0 {
+		return nil, fmt.Errorf("logicmin: missing .i or .o directive")
+	}
+	return m, nil
+}
+
+// MinimizeAll minimizes every output function independently, consuming
+// the ON covers and returning one minimized cover per output. The DC
+// covers stay owned by the MultiPLA.
+func (m *MultiPLA) MinimizeAll(a mlib.Allocator) [][]mheap.Ref {
+	out := make([][]mheap.Ref, m.NumOutputs)
+	for o, p := range m.Funcs {
+		out[o] = Minimize(a, p)
+	}
+	return out
+}
+
+// FormatMultiPLA renders per-output covers back to multi-output PLA
+// text using one-hot output masks (each cube row asserts exactly one
+// output; don't-cares are not re-emitted).
+func FormatMultiPLA(h *mheap.Heap, nvars int, covers [][]mheap.Ref) string {
+	var b strings.Builder
+	total := 0
+	for _, c := range covers {
+		total += len(c)
+	}
+	fmt.Fprintf(&b, ".i %d\n.o %d\n.p %d\n", nvars, len(covers), total)
+	for o, cover := range covers {
+		mask := strings.Repeat("0", o) + "1" + strings.Repeat("0", len(covers)-o-1)
+		for _, c := range cover {
+			b.WriteString(cubeString(h, c))
+			b.WriteByte(' ')
+			b.WriteString(mask)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString(".e\n")
+	return b.String()
+}
+
+// GenerateMultiPLA builds a random multi-output PLA, deterministic in
+// the seed.
+func GenerateMultiPLA(nvars, nouts, cubes int, seed uint64) string {
+	r := xrand.New(seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, ".i %d\n.o %d\n.p %d\n", nvars, nouts, cubes)
+	for i := 0; i < cubes; i++ {
+		for v := 0; v < nvars; v++ {
+			b.WriteByte("01-"[r.Intn(3)])
+		}
+		b.WriteByte(' ')
+		any := false
+		outs := make([]byte, nouts)
+		for o := 0; o < nouts; o++ {
+			switch r.Intn(4) {
+			case 0:
+				outs[o] = '1'
+				any = true
+			case 1:
+				outs[o] = '-'
+			default:
+				outs[o] = '0'
+			}
+		}
+		if !any {
+			outs[r.Intn(nouts)] = '1'
+		}
+		b.Write(outs)
+		b.WriteByte('\n')
+	}
+	b.WriteString(".e\n")
+	return b.String()
+}
+
+// RunMultiBatch parses and minimizes multi-output PLAs on a recording
+// heap, verifying each output function by sampling.
+func RunMultiBatch(plas []string, samples int) (*Result, error) {
+	h := mheap.New()
+	var events []trace.Event
+	h.SetRecorder(func(e trace.Event) { events = append(events, e) })
+	a := mlib.Raw{H: h}
+	res := &Result{}
+	r := xrand.New(0xE5A)
+	for i, src := range plas {
+		m, err := ParseMultiPLA(a, src)
+		if err != nil {
+			return res, fmt.Errorf("pla %d: %w", i, err)
+		}
+		onCopies := make([][]mheap.Ref, m.NumOutputs)
+		for o, p := range m.Funcs {
+			onCopies[o] = copyCover(a, p.On)
+			res.CubesIn += len(p.On)
+		}
+		covers := m.MinimizeAll(a)
+		for o, cover := range covers {
+			res.CubesOut += len(cover)
+			if err := Equivalent(h, m.NumInputs, onCopies[o], m.Funcs[o].DC, cover, samples, r); err != nil {
+				return res, fmt.Errorf("pla %d output %d: %w", i, o, err)
+			}
+			freeCover(h, onCopies[o])
+			freeCover(h, cover)
+		}
+		m.Free(h)
+		h.Tick(50_000)
+	}
+	res.Events = events
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package logicmin
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+func TestParseMultiPLA(t *testing.T) {
+	a, h := newAlloc()
+	src := `.i 3
+.o 2
+01- 10
+1-1 01
+000 1-
+111 -1
+.e`
+	m, err := ParseMultiPLA(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumInputs != 3 || m.NumOutputs != 2 {
+		t.Fatalf("dims %d/%d", m.NumInputs, m.NumOutputs)
+	}
+	// Output 0: ON = {01-, 000}, DC = {111}.
+	if len(m.Funcs[0].On) != 2 || len(m.Funcs[0].DC) != 1 {
+		t.Fatalf("output 0: %d on, %d dc", len(m.Funcs[0].On), len(m.Funcs[0].DC))
+	}
+	// Output 1: ON = {1-1, 111}, DC = {000}.
+	if len(m.Funcs[1].On) != 2 || len(m.Funcs[1].DC) != 1 {
+		t.Fatalf("output 1: %d on, %d dc", len(m.Funcs[1].On), len(m.Funcs[1].DC))
+	}
+	m.Free(h)
+	if h.NumObjects() != 0 {
+		t.Fatalf("leaked %d", h.NumObjects())
+	}
+}
+
+func TestParseMultiPLAErrors(t *testing.T) {
+	a, _ := newAlloc()
+	cases := []string{
+		".i 2\n01 1\n",         // no .o
+		".o 2\n.i 2\n01 1\n",   // output width mismatch
+		".i 2\n.o 2\n01 1x\n",  // bad output char
+		".i 2\n.o 0\n",         // bad output count
+		".i 2\n.o 2\n011 11\n", // input width mismatch
+		".i 2\n.o 2\n.weird\n", // unknown directive
+	}
+	for _, src := range cases {
+		if _, err := ParseMultiPLA(a, src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestMinimizeAllPerOutputEquivalence(t *testing.T) {
+	r := xrand.New(5150)
+	for trial := 0; trial < 10; trial++ {
+		a, h := newAlloc()
+		src := GenerateMultiPLA(5, 3, 10, r.Uint64())
+		m, err := ParseMultiPLA(a, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Keep heap-independent oracle copies as cube strings.
+		type oracle struct{ on, dc []string }
+		oracles := make([]oracle, m.NumOutputs)
+		for o, p := range m.Funcs {
+			oracles[o] = oracle{coverStrings(h, p.On), coverStrings(h, p.DC)}
+		}
+		covers := m.MinimizeAll(a)
+		for o, cover := range covers {
+			for x := uint64(0); x < 1<<5; x++ {
+				inOn := stringCoverEval(oracles[o].on, x)
+				inDC := stringCoverEval(oracles[o].dc, x)
+				inMin := coverEval(h, cover, x)
+				if inOn && !inDC && !inMin {
+					t.Fatalf("trial %d output %d: care minterm %b lost", trial, o, x)
+				}
+				if !inOn && !inDC && inMin {
+					t.Fatalf("trial %d output %d: off minterm %b gained", trial, o, x)
+				}
+			}
+			freeCover(h, cover)
+		}
+		m.Free(h)
+		if h.NumObjects() != 0 {
+			t.Fatalf("trial %d: leaked %d objects", trial, h.NumObjects())
+		}
+	}
+}
+
+// coverStrings snapshots a cover as cube strings so it can be
+// evaluated after the heap copies are consumed by minimization.
+func coverStrings(h *mheap.Heap, cover []mheap.Ref) []string {
+	out := make([]string, len(cover))
+	for i, c := range cover {
+		out[i] = cubeString(h, c)
+	}
+	return out
+}
+
+func stringCoverEval(cover []string, x uint64) bool {
+	for _, s := range cover {
+		match := true
+		for i := 0; i < len(s); i++ {
+			bit := byte('0' + (x>>uint(i))&1)
+			if s[i] != '-' && s[i] != bit {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFormatMultiPLARoundTrip(t *testing.T) {
+	a, h := newAlloc()
+	src := GenerateMultiPLA(4, 2, 8, 42)
+	m, err := ParseMultiPLA(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covers := make([][]mheap.Ref, m.NumOutputs)
+	for o, p := range m.Funcs {
+		covers[o] = copyCover(a, p.On)
+	}
+	text := FormatMultiPLA(h, 4, covers)
+	if !strings.Contains(text, ".o 2") {
+		t.Fatalf("bad format:\n%s", text)
+	}
+	m2, err := ParseMultiPLA(a, text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	for o := range covers {
+		if len(m2.Funcs[o].On) != len(covers[o]) {
+			t.Fatalf("output %d: %d cubes after round trip, want %d",
+				o, len(m2.Funcs[o].On), len(covers[o]))
+		}
+	}
+	m2.Free(h)
+	m.Free(h)
+	for _, c := range covers {
+		freeCover(h, c)
+	}
+	if h.NumObjects() != 0 {
+		t.Fatalf("leaked %d", h.NumObjects())
+	}
+}
+
+func TestRunMultiBatch(t *testing.T) {
+	plas := []string{
+		GenerateMultiPLA(7, 3, 14, 1),
+		GenerateMultiPLA(8, 2, 16, 2),
+	}
+	res, err := RunMultiBatch(plas, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CubesOut > res.CubesIn {
+		t.Fatalf("grew: %d -> %d", res.CubesIn, res.CubesOut)
+	}
+	if err := trace.Validate(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := trace.Measure(res.Events)
+	if s.Allocs != s.Frees {
+		t.Fatalf("leaked %d objects in batch", s.Allocs-s.Frees)
+	}
+}
+
+func TestGenerateMultiPLAEveryCubeAssertsSomething(t *testing.T) {
+	src := GenerateMultiPLA(5, 3, 30, 9)
+	for _, line := range strings.Split(src, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 || strings.HasPrefix(f[0], ".") {
+			continue
+		}
+		if !strings.ContainsAny(f[1], "1-") {
+			t.Fatalf("cube %q asserts no output", line)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package logicmin
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+func TestTautologyBruteForce(t *testing.T) {
+	r := xrand.New(99)
+	for trial := 0; trial < 300; trial++ {
+		a, h := newAlloc()
+		nvars := 2 + r.Intn(4)
+		var cover []mheap.Ref
+		for i := 0; i < 1+r.Intn(6); i++ {
+			c := newCube(a, nvars)
+			d := h.Data(c)
+			for j := range d {
+				d[j] = byte(r.Intn(3))
+			}
+			cover = append(cover, c)
+		}
+		want := true
+		for x := uint64(0); x < 1<<uint(nvars); x++ {
+			if !coverEval(h, cover, x) {
+				want = false
+				break
+			}
+		}
+		if got := isTautology(a, cover, nvars); got != want {
+			strs := make([]string, len(cover))
+			for i, c := range cover {
+				strs[i] = cubeString(h, c)
+			}
+			t.Fatalf("trial %d: isTautology=%v want %v for %v", trial, got, want, strs)
+		}
+	}
+}

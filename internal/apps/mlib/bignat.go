@@ -1,0 +1,358 @@
+package mlib
+
+// Arbitrary-precision unsigned integers whose limbs live in heap
+// objects — the substrate the CFRAC mini-application factors with,
+// mirroring the original cfrac's multiple-precision package whose
+// constant limb allocation made it a classic GC benchmark.
+//
+// Representation: a heap object with no pointer slots whose data is a
+// little-endian array of 32-bit limbs, most significant limb last,
+// with no trailing zero limbs (so the zero value has no limbs at all).
+// All operations allocate fresh result objects; the caller frees
+// intermediates, exactly like the C original.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+const limbBytes = 4
+
+// natLimbs decodes a bignat's limbs (least significant first).
+func natLimbs(h *mheap.Heap, r mheap.Ref) []uint32 {
+	d := h.Data(r)
+	limbs := make([]uint32, len(d)/limbBytes)
+	for i := range limbs {
+		limbs[i] = binary.LittleEndian.Uint32(d[i*limbBytes:])
+	}
+	return limbs
+}
+
+// natFromLimbs allocates a bignat from limbs, trimming high zeros.
+func natFromLimbs(a Allocator, limbs []uint32) mheap.Ref {
+	n := len(limbs)
+	for n > 0 && limbs[n-1] == 0 {
+		n--
+	}
+	r := a.Alloc(0, n*limbBytes)
+	d := a.Heap().Data(r)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(d[i*limbBytes:], limbs[i])
+	}
+	return r
+}
+
+// NatFromUint64 allocates a bignat holding v.
+func NatFromUint64(a Allocator, v uint64) mheap.Ref {
+	return natFromLimbs(a, []uint32{uint32(v), uint32(v >> 32)})
+}
+
+// NatFromDecimal allocates a bignat from a decimal string.
+func NatFromDecimal(a Allocator, s string) (mheap.Ref, error) {
+	if s == "" {
+		return mheap.Nil, fmt.Errorf("mlib: empty decimal string")
+	}
+	limbs := []uint32{}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return mheap.Nil, fmt.Errorf("mlib: bad decimal digit %q", c)
+		}
+		// limbs = limbs*10 + digit
+		carry := uint64(c - '0')
+		for j := range limbs {
+			cur := uint64(limbs[j])*10 + carry
+			limbs[j] = uint32(cur)
+			carry = cur >> 32
+		}
+		for carry > 0 {
+			limbs = append(limbs, uint32(carry))
+			carry >>= 32
+		}
+	}
+	return natFromLimbs(a, limbs), nil
+}
+
+// NatToDecimal renders a bignat in decimal (no heap allocation).
+func NatToDecimal(h *mheap.Heap, r mheap.Ref) string {
+	limbs := natLimbs(h, r)
+	if len(limbs) == 0 {
+		return "0"
+	}
+	var digits []byte
+	for len(limbs) > 0 {
+		// Divide by 10 in place, collecting the remainder.
+		var rem uint64
+		for i := len(limbs) - 1; i >= 0; i-- {
+			cur := rem<<32 | uint64(limbs[i])
+			limbs[i] = uint32(cur / 10)
+			rem = cur % 10
+		}
+		digits = append(digits, byte('0'+rem))
+		for len(limbs) > 0 && limbs[len(limbs)-1] == 0 {
+			limbs = limbs[:len(limbs)-1]
+		}
+	}
+	for i, j := 0, len(digits)-1; i < j; i, j = i+1, j-1 {
+		digits[i], digits[j] = digits[j], digits[i]
+	}
+	return string(digits)
+}
+
+// NatIsZero reports whether the bignat is zero.
+func NatIsZero(h *mheap.Heap, r mheap.Ref) bool { return len(h.Data(r)) == 0 }
+
+// NatToUint64 converts a small bignat; ok is false when it overflows.
+func NatToUint64(h *mheap.Heap, r mheap.Ref) (v uint64, ok bool) {
+	limbs := natLimbs(h, r)
+	if len(limbs) > 2 {
+		return 0, false
+	}
+	for i, l := range limbs {
+		v |= uint64(l) << (32 * i)
+	}
+	return v, true
+}
+
+// NatCmp compares two bignats: -1, 0 or +1.
+func NatCmp(h *mheap.Heap, x, y mheap.Ref) int {
+	a, b := natLimbs(h, x), natLimbs(h, y)
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// NatAdd allocates x + y.
+func NatAdd(a Allocator, x, y mheap.Ref) mheap.Ref {
+	h := a.Heap()
+	al, bl := natLimbs(h, x), natLimbs(h, y)
+	if len(al) < len(bl) {
+		al, bl = bl, al
+	}
+	out := make([]uint32, len(al)+1)
+	var carry uint64
+	for i := range al {
+		sum := uint64(al[i]) + carry
+		if i < len(bl) {
+			sum += uint64(bl[i])
+		}
+		out[i] = uint32(sum)
+		carry = sum >> 32
+	}
+	out[len(al)] = uint32(carry)
+	return natFromLimbs(a, out)
+}
+
+// NatSub allocates x - y; it panics if y > x (callers compare first,
+// as the C original did).
+func NatSub(a Allocator, x, y mheap.Ref) mheap.Ref {
+	h := a.Heap()
+	al, bl := natLimbs(h, x), natLimbs(h, y)
+	if NatCmp(h, x, y) < 0 {
+		panic("mlib: NatSub underflow")
+	}
+	out := make([]uint32, len(al))
+	var borrow int64
+	for i := range al {
+		diff := int64(al[i]) - borrow
+		if i < len(bl) {
+			diff -= int64(bl[i])
+		}
+		if diff < 0 {
+			diff += 1 << 32
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out[i] = uint32(diff)
+	}
+	return natFromLimbs(a, out)
+}
+
+// NatMul allocates x * y (schoolbook).
+func NatMul(a Allocator, x, y mheap.Ref) mheap.Ref {
+	h := a.Heap()
+	al, bl := natLimbs(h, x), natLimbs(h, y)
+	out := make([]uint32, len(al)+len(bl))
+	for i, av := range al {
+		var carry uint64
+		for j, bv := range bl {
+			cur := uint64(out[i+j]) + uint64(av)*uint64(bv) + carry
+			out[i+j] = uint32(cur)
+			carry = cur >> 32
+		}
+		k := i + len(bl)
+		for carry > 0 {
+			cur := uint64(out[k]) + carry
+			out[k] = uint32(cur)
+			carry = cur >> 32
+			k++
+		}
+	}
+	return natFromLimbs(a, out)
+}
+
+// NatMod allocates x mod m via binary long division. m must be
+// non-zero.
+func NatMod(a Allocator, x, m mheap.Ref) mheap.Ref {
+	h := a.Heap()
+	if NatIsZero(h, m) {
+		panic("mlib: NatMod by zero")
+	}
+	ml := natLimbs(h, m)
+	rem := make([]uint32, 0, len(ml)+1)
+	xl := natLimbs(h, x)
+	// Process bits most-significant first.
+	for i := len(xl) - 1; i >= 0; i-- {
+		for bit := 31; bit >= 0; bit-- {
+			// rem = rem<<1 | bit
+			var carry uint32 = (xl[i] >> uint(bit)) & 1
+			for j := 0; j < len(rem); j++ {
+				nc := rem[j] >> 31
+				rem[j] = rem[j]<<1 | carry
+				carry = nc
+			}
+			if carry > 0 {
+				rem = append(rem, carry)
+			}
+			if cmpLimbs(rem, ml) >= 0 {
+				subLimbs(rem, ml)
+				for len(rem) > 0 && rem[len(rem)-1] == 0 {
+					rem = rem[:len(rem)-1]
+				}
+			}
+		}
+	}
+	return natFromLimbs(a, rem)
+}
+
+func cmpLimbs(a, b []uint32) int {
+	an, bn := len(a), len(b)
+	for an > 0 && a[an-1] == 0 {
+		an--
+	}
+	for bn > 0 && b[bn-1] == 0 {
+		bn--
+	}
+	if an != bn {
+		if an < bn {
+			return -1
+		}
+		return 1
+	}
+	for i := an - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// subLimbs computes a -= b in place; a must be >= b.
+func subLimbs(a, b []uint32) {
+	var borrow int64
+	for i := range a {
+		diff := int64(a[i]) - borrow
+		if i < len(b) {
+			diff -= int64(b[i])
+		}
+		if diff < 0 {
+			diff += 1 << 32
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		a[i] = uint32(diff)
+	}
+}
+
+// NatMulMod allocates (x*y) mod m, freeing the intermediate product.
+func NatMulMod(a Allocator, x, y, m mheap.Ref) mheap.Ref {
+	h := a.Heap()
+	prod := NatMul(a, x, y)
+	out := NatMod(a, prod, m)
+	h.Free(prod)
+	return out
+}
+
+// NatGCD allocates gcd(x, y) by the Euclidean algorithm, freeing all
+// intermediates.
+func NatGCD(a Allocator, x, y mheap.Ref) mheap.Ref {
+	h := a.Heap()
+	// Work on copies so the inputs stay owned by the caller.
+	u := natFromLimbs(a, natLimbs(h, x))
+	v := natFromLimbs(a, natLimbs(h, y))
+	for !NatIsZero(h, v) {
+		r := NatMod(a, u, v)
+		h.Free(u)
+		u, v = v, r
+	}
+	h.Free(v)
+	return u
+}
+
+// NatSqrt allocates the integer square root (floor) of x using
+// Newton's method on uint64 halves... no: x may exceed uint64, so use
+// a digit-by-digit binary method over the limbs.
+func NatSqrt(a Allocator, x mheap.Ref) mheap.Ref {
+	h := a.Heap()
+	xl := natLimbs(h, x)
+	bits := len(xl) * 32
+	root := make([]uint32, (len(xl)+2)/2+1)
+	// Binary search on the root, testing candidate bits high to low.
+	tmp := make([]uint32, len(root)*2+2)
+	for bit := (bits + 1) / 2; bit >= 0; bit-- {
+		setBit(root, bit)
+		// tmp = root*root
+		mulLimbs(tmp, root, root)
+		if cmpLimbs(tmp, xl) > 0 {
+			clearBit(root, bit)
+		}
+	}
+	return natFromLimbs(a, root)
+}
+
+func setBit(a []uint32, i int)   { a[i/32] |= 1 << uint(i%32) }
+func clearBit(a []uint32, i int) { a[i/32] &^= 1 << uint(i%32) }
+
+// mulLimbs computes out = a*b, where out is pre-sized and zeroed here.
+func mulLimbs(out, a, b []uint32) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		var carry uint64
+		for j, bv := range b {
+			cur := uint64(out[i+j]) + uint64(av)*uint64(bv) + carry
+			out[i+j] = uint32(cur)
+			carry = cur >> 32
+		}
+		k := i + len(b)
+		for carry > 0 {
+			cur := uint64(out[k]) + carry
+			out[k] = uint32(cur)
+			carry = cur >> 32
+			k++
+		}
+	}
+}

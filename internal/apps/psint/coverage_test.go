@@ -1,0 +1,254 @@
+package psint
+
+// Tests for the less-travelled interpreter paths: exec, deferred
+// procedures, cross-type comparison, kind rendering and operator
+// error branches.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+func TestExecOperator(t *testing.T) {
+	// exec on a procedure runs it.
+	ip, _ := runProgram(t, "{ 1 2 add } exec")
+	if got := topInt(t, ip); got != 3 {
+		t.Fatalf("exec proc = %d", got)
+	}
+	ip.Close()
+	// exec on a plain value pushes it back.
+	ip2, _ := runProgram(t, "42 exec")
+	if got := topInt(t, ip2); got != 42 {
+		t.Fatalf("exec int = %d", got)
+	}
+	ip2.Close()
+	// exec on an executable name resolves and runs it.
+	ip3, _ := runProgram(t, "/f { 7 } def /f load exec")
+	if got := topInt(t, ip3); got != 7 {
+		t.Fatalf("exec name = %d", got)
+	}
+	ip3.Close()
+}
+
+func TestNestedProcPushesItself(t *testing.T) {
+	// A procedure inside a procedure is deferred: running the outer
+	// pushes the inner as an operand.
+	ip, _ := runProgram(t, "/f { { 9 } } def f exec")
+	if got := topInt(t, ip); got != 9 {
+		t.Fatalf("nested proc = %d", got)
+	}
+	ip.Close()
+}
+
+func TestProcBoundValuesExecute(t *testing.T) {
+	// A name defined to a non-procedure pushes its value when executed.
+	ip, _ := runProgram(t, "/x [1 2] def x length")
+	if got := topInt(t, ip); got != 2 {
+		t.Fatalf("bound array length = %d", got)
+	}
+	ip.Close()
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KNull: "null", KInt: "integer", KReal: "real", KBool: "boolean",
+		KName: "name", KLitName: "literalname", KString: "string",
+		KArray: "array", KDict: "dict", KMark: "mark",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind should include its number")
+	}
+}
+
+func TestCompareCrossTypes(t *testing.T) {
+	// Mixed types compare equal only by identity.
+	ip, _ := runProgram(t, "1 (1) eq")
+	r, _ := ip.pop()
+	if ip.boolVal(r) {
+		t.Fatal("int compared equal to string")
+	}
+	ip.release(r)
+	ip.Close()
+	// Identity comparison: dup makes the same object equal to itself.
+	ip2, _ := runProgram(t, "[1] dup eq")
+	r2, _ := ip2.pop()
+	if !ip2.boolVal(r2) {
+		t.Fatal("array not identical to itself")
+	}
+	ip2.release(r2)
+	ip2.Close()
+	// Distinct arrays are not eq (PostScript composite identity).
+	ip3, _ := runProgram(t, "[1] [1] eq")
+	r3, _ := ip3.pop()
+	if ip3.boolVal(r3) {
+		t.Fatal("distinct arrays compared equal")
+	}
+	ip3.release(r3)
+	ip3.Close()
+}
+
+func TestCompareBooleansAndNames(t *testing.T) {
+	cases := map[string]bool{
+		"false true lt": true,
+		"true true eq":  true,
+		"true false eq": false,
+		"/abc /abd lt":  true,
+		// Name vs string mixes kinds: compared by identity, so ne.
+		"/x (x) eq": false,
+	}
+	for src, want := range cases {
+		ip, _ := runProgram(t, src)
+		r, err := ip.pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ip.boolVal(r); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+		ip.release(r)
+		ip.Close()
+	}
+}
+
+func TestGsaveRestoresState(t *testing.T) {
+	ip, _ := runProgram(t, "3 setlinewidth gsave 9 setlinewidth grestore")
+	if ip.gs.lineWidth != 3 {
+		t.Fatalf("grestore left line width %v", ip.gs.lineWidth)
+	}
+	ip.Close()
+	// Extra grestore at the outermost level is tolerated.
+	ip2, _ := runProgram(t, "grestore grestore")
+	ip2.Close()
+}
+
+func TestStringWidthAndShowAdvance(t *testing.T) {
+	ip, _ := runProgram(t, "/F findfont 10 scalefont setfont (ab) stringwidth")
+	y := topNum(t, ip)
+	w := topNum(t, ip)
+	if y != 0 || w <= 0 {
+		t.Fatalf("stringwidth = (%v, %v)", w, y)
+	}
+	ip.Close()
+	// show advances the current point by the same width.
+	ip2, _ := runProgram(t, `/F findfont 10 scalefont setfont
+		newpath 0 0 moveto (ab) show currentpoint`)
+	topNum(t, ip2) // y
+	x := topNum(t, ip2)
+	if x <= 0 {
+		t.Fatalf("show did not advance: x = %v", x)
+	}
+	ip2.Close()
+}
+
+func TestShowWithoutPointErrors(t *testing.T) {
+	h := mheap.New()
+	ip := New(h)
+	if err := ip.Run("(text) show"); err == nil {
+		t.Fatal("show without current point accepted")
+	}
+	ip.Close()
+}
+
+func TestMoreOperatorErrorBranches(t *testing.T) {
+	cases := []string{
+		"5 index",                   // rangecheck
+		"-1 copy",                   // rangecheck
+		"99 roll",                   // stackunderflow-ish rangecheck
+		"counttomark",               // unmatchedmark
+		"cleartomark",               // unmatchedmark
+		"-3 array",                  // rangecheck
+		"-2 string",                 // rangecheck
+		"[1 2] (k) get",             // typecheck index
+		"1 dict 5 get",              // typecheck key
+		"[1] 0 9 9 put 9",           // put arity: consumes val,idx,target... malformed on purpose
+		"1 0 0 0 for",               // zero increment
+		"1 2 known",                 // typecheck
+		"(s) 9 9 put",               // put into string unsupported
+		"/x load",                   // undefined via load
+		"aload",                     // stackunderflow
+		"1 astore",                  // typecheck
+		"1 2 curveto",               // stackunderflow
+		"1 neg neg neg neg neg mul", // stackunderflow via mul
+		"-1 sqrt",                   // rangecheck
+	}
+	for _, src := range cases {
+		h := mheap.New()
+		ip := New(h)
+		if err := ip.Run(src); err == nil {
+			t.Errorf("%q did not error", src)
+		}
+		ip.Close()
+		if err := h.CheckIntegrity(); err != nil {
+			t.Errorf("%q corrupted heap: %v", src, err)
+		}
+	}
+}
+
+func TestForallOnNestedProcsAndExit(t *testing.T) {
+	ip, _ := runProgram(t, "/n 0 def [1 2 3 4 5] { /n exch n add def n 5 gt { exit } if } forall n")
+	if got := topInt(t, ip); got != 6 { // 1+2+3 = 6 > 5 -> exit
+		t.Fatalf("forall/exit = %d", got)
+	}
+	ip.Close()
+}
+
+func TestRepeatZeroAndForDownward(t *testing.T) {
+	ip, _ := runProgram(t, "7 0 { pop } repeat")
+	if got := topInt(t, ip); got != 7 {
+		t.Fatalf("repeat 0 consumed the stack: %d", got)
+	}
+	ip.Close()
+	ip2, _ := runProgram(t, "/s 0 def 10 -2 0 { /s exch s add def } for s")
+	if got := topInt(t, ip2); got != 30 { // 10+8+6+4+2+0
+		t.Fatalf("downward for = %d", got)
+	}
+	ip2.Close()
+}
+
+func TestDeepDictStack(t *testing.T) {
+	ip, _ := runProgram(t, `
+		/x 1 def
+		4 dict begin /x 2 def
+		4 dict begin /x 3 def
+		x end x end x
+	`)
+	if got := topInt(t, ip); got != 1 {
+		t.Fatalf("outer x = %d", got)
+	}
+	if got := topInt(t, ip); got != 2 {
+		t.Fatalf("middle x = %d", got)
+	}
+	if got := topInt(t, ip); got != 3 {
+		t.Fatalf("inner x = %d", got)
+	}
+	ip.Close()
+}
+
+func TestCloseIsIdempotentEnough(t *testing.T) {
+	h := mheap.New()
+	ip := New(h)
+	if err := ip.Run("1 2 3"); err != nil {
+		t.Fatal(err)
+	}
+	ip.Close()
+	if h.NumObjects() != 0 {
+		t.Fatalf("%d leaked", h.NumObjects())
+	}
+}
+
+func TestScannerRejectsBareDelimiters(t *testing.T) {
+	// Regression: a bare ')' once looped the scanner forever (found by
+	// FuzzRun; the crasher lives in testdata/fuzz/FuzzRun).
+	for _, src := range []string{")", "1 2 )", ")dup mul} 5 exch exec"} {
+		if _, err := scan(src); err == nil {
+			t.Errorf("scan(%q) accepted unmatched )", src)
+		}
+	}
+}

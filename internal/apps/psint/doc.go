@@ -1,0 +1,112 @@
+package psint
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// GenerateDocument produces a PostScript-subset document resembling
+// the paper's GhostScript inputs (a reference manual / thesis run with
+// NODISPLAY): pages of text lines with rules, boxes and the occasional
+// figure, driven by loops and procedures so the interpreter's control
+// operators get real exercise. Deterministic in (pages, seed).
+func GenerateDocument(pages int, seed uint64) string {
+	r := xrand.New(seed)
+	var b strings.Builder
+	b.WriteString("% synthetic manual, NODISPLAY interpretation\n")
+	b.WriteString("/pt { 1 mul } def\n")
+	b.WriteString("/line { moveto lineto stroke } def\n")
+	b.WriteString("/rule { newpath 72 exch moveto 468 0 rlineto stroke } def\n")
+	b.WriteString("/box { newpath moveto dup 0 rlineto 0 36 rlineto neg 0 rlineto closepath stroke } def\n")
+	b.WriteString("/para { /y exch def 0 1 3 { /i exch def 72 y i 12 mul sub moveto body show } for } def\n")
+	words := []string{"storage", "reclamation", "boundary", "threatened", "immune",
+		"scavenge", "generation", "pointer", "barrier", "pause", "tenured", "garbage"}
+	for p := 0; p < pages; p++ {
+		b.WriteString("% page\n/Times-Roman findfont 10 scalefont setfont\n")
+		fmt.Fprintf(&b, "720 rule\n")
+		lines := 18 + r.Intn(10)
+		for l := 0; l < lines; l++ {
+			y := 700 - l*14
+			var text strings.Builder
+			for w := 0; w < 6+r.Intn(6); w++ {
+				text.WriteString(words[r.Intn(len(words))])
+				text.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "72 %d moveto (%s) show\n", y, strings.TrimSpace(text.String()))
+		}
+		// A boxed figure on some pages.
+		if r.Bool(0.4) {
+			fmt.Fprintf(&b, "%d %d %d box\n", 100+r.Intn(200), 100+r.Intn(100), 150+r.Intn(80))
+		}
+		// A computational flourish: build and sum a table with loops.
+		fmt.Fprintf(&b, "/acc 0 def 1 1 %d { /acc exch acc add def } for\n", 20+r.Intn(20))
+		b.WriteString("72 72 moveto gsave 0.5 setgray 36 rule grestore\nshowpage\n")
+	}
+	return b.String()
+}
+
+// GenerateDrawing produces a graphics-heavy document (the paper's
+// GHOST(2) was a thesis full of figures): pie charts from arcs,
+// function plots from trigonometry, and labelled axes, wrapped in the
+// per-page save/restore discipline real drivers use.
+func GenerateDrawing(pages int, seed uint64) string {
+	r := xrand.New(seed)
+	var b strings.Builder
+	b.WriteString("% synthetic thesis figures\n")
+	b.WriteString("/circle { /r exch def /cy exch def /cx exch def newpath cx cy r 0 360 arc closepath stroke } def\n")
+	b.WriteString("/slice { /a2 exch def /a1 exch def newpath 306 400 moveto 306 400 120 a1 a2 arc closepath fill } def\n")
+	for p := 0; p < pages; p++ {
+		b.WriteString("save\n/Helvetica findfont 9 scalefont setfont\n")
+		// A pie chart with a random number of slices.
+		n := 3 + r.Intn(5)
+		angle := 0
+		for s := 0; s < n && angle < 360; s++ {
+			next := angle + 20 + r.Intn((360-angle)/(n-s)+1)
+			if next > 360 || s == n-1 {
+				next = 360
+			}
+			fmt.Fprintf(&b, "%f setgray %d %d slice\n", float64(s)/float64(n), angle, next)
+			angle = next
+		}
+		// Concentric circles.
+		for c := 0; c < 2+r.Intn(4); c++ {
+			fmt.Fprintf(&b, "%d %d %d circle\n", 150+r.Intn(50), 150+r.Intn(40), 20+c*12)
+		}
+		// A sine plot built with for + sin and curve labels via cvs.
+		fmt.Fprintf(&b, "newpath 72 120 moveto 0 4 %d { /x exch def 72 x add 120 x %d add sin 40 mul add lineto } for stroke\n",
+			200+r.Intn(160), r.Intn(90))
+		b.WriteString("/lbl 12 string def 72 100 moveto 42 lbl cvs show\n")
+		b.WriteString("restore showpage\n")
+	}
+	return b.String()
+}
+
+// Result reports an interpretation run.
+type Result struct {
+	Pages    int
+	OpCount  int
+	Checksum float64
+	Events   []trace.Event
+}
+
+// RunDocument interprets a document on a fresh managed heap, recording
+// the allocation trace. leakCheck (used by tests) additionally
+// verifies the interpreter freed everything on Close.
+func RunDocument(src string) (*Result, error) {
+	h := mheap.New()
+	var events []trace.Event
+	h.SetRecorder(func(e trace.Event) { events = append(events, e) })
+	ip := New(h)
+	err := ip.Run(src)
+	res := &Result{Pages: ip.Pages, OpCount: ip.OpCount, Checksum: ip.Checksum}
+	ip.Close()
+	res.Events = events
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,36 @@
+package psint
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// FuzzRun: arbitrary program text must never panic the interpreter or
+// corrupt the heap — errors are the only acceptable failure mode.
+// OpCount bounds keep pathological loops from hanging the fuzzer.
+func FuzzRun(f *testing.F) {
+	f.Add("1 2 add")
+	f.Add("{ dup mul } 5 exch exec")
+	f.Add("[1 2 3] { 1 add } forall")
+	f.Add("/f { f } def f") // recursion -> execstackoverflow
+	f.Add("((nested) strings) length")
+	f.Add("} { [ ] ) (")
+	f.Add("newpath 0 0 moveto 10 10 lineto stroke showpage")
+	f.Add("%!PS\n/x 1 def x x add =")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		h := mheap.New()
+		ip := New(h)
+		_ = ip.Run(src) // errors are fine; panics are not
+		ip.Close()
+		if err := h.CheckIntegrity(); err != nil {
+			t.Fatalf("heap corrupted by %q: %v", src, err)
+		}
+		if h.NumObjects() != 0 {
+			t.Fatalf("program %q leaked %d objects", src, h.NumObjects())
+		}
+	})
+}

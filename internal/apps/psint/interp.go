@@ -1,0 +1,487 @@
+package psint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// token is one scanned input token. Tokens live outside the heap (the
+// program text is static data, as in a real interpreter); objects are
+// allocated on the heap when tokens are executed.
+type token struct {
+	kind tokenKind
+	num  float64
+	isIn bool // numeric token is integral
+	str  string
+	proc []token // body of a {...} procedure
+	arr  []token // body of a [...] literal (executed to build the array)
+}
+
+type tokenKind uint8
+
+const (
+	tNumber tokenKind = iota
+	tName
+	tLitName
+	tString
+	tProc
+	tArrayOpen
+	tArrayClose
+)
+
+// scan tokenizes PostScript-subset source.
+func scan(src string) ([]token, error) {
+	var out []token
+	var stack [][]token // open procedure bodies
+	emit := func(t token) {
+		if len(stack) > 0 {
+			stack[len(stack)-1] = append(stack[len(stack)-1], t)
+		} else {
+			out = append(out, t)
+		}
+	}
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '%': // comment to end of line
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			stack = append(stack, nil)
+			i++
+		case c == '}':
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("psint: unbalanced }")
+			}
+			body := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			emit(token{kind: tProc, proc: body})
+			i++
+		case c == '[':
+			emit(token{kind: tArrayOpen})
+			i++
+		case c == ']':
+			emit(token{kind: tArrayClose})
+			i++
+		case c == '(':
+			depth, j := 1, i+1
+			var b strings.Builder
+			for j < n && depth > 0 {
+				switch src[j] {
+				case '(':
+					depth++
+					b.WriteByte(src[j])
+				case ')':
+					depth--
+					if depth > 0 {
+						b.WriteByte(src[j])
+					}
+				case '\\':
+					j++
+					if j < n {
+						b.WriteByte(src[j])
+					}
+				default:
+					b.WriteByte(src[j])
+				}
+				j++
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("psint: unterminated string")
+			}
+			emit(token{kind: tString, str: b.String()})
+			i = j
+		case c == '/':
+			j := i + 1
+			for j < n && !isDelim(src[j]) {
+				j++
+			}
+			emit(token{kind: tLitName, str: src[i+1 : j]})
+			i = j
+		case c == ')':
+			return nil, fmt.Errorf("psint: unmatched )")
+		default:
+			j := i
+			for j < n && !isDelim(src[j]) {
+				j++
+			}
+			if j == i {
+				// A delimiter with no handler above (defensive: all
+				// are covered, but a zero-width token must never slip
+				// through or the scanner would not advance).
+				return nil, fmt.Errorf("psint: unexpected character %q", c)
+			}
+			word := src[i:j]
+			i = j
+			if v, err := strconv.ParseInt(word, 10, 64); err == nil {
+				emit(token{kind: tNumber, num: float64(v), isIn: true})
+			} else if f, err := strconv.ParseFloat(word, 64); err == nil {
+				emit(token{kind: tNumber, num: f})
+			} else {
+				emit(token{kind: tName, str: word})
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("psint: unbalanced {")
+	}
+	return out, nil
+}
+
+func isDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '{', '}', '[', ']', '(', ')', '/', '%':
+		return true
+	}
+	return false
+}
+
+// gstate is one graphics-state snapshot (heap object referenced for
+// realism; the numeric state lives Go-side for simplicity).
+type gstate struct {
+	ctm       [6]float64 // a b c d tx ty
+	lineWidth float64
+	gray      float64
+	obj       mheap.Ref // heap shadow object, freed at grestore
+}
+
+// Interp is one interpreter instance over a managed heap.
+type Interp struct {
+	heap  *mheap.Heap
+	alloc mlib.Allocator
+
+	ops   map[string]func(*Interp) error
+	dicts []*mlib.Dict // backing tables for KDict objects
+
+	stack     []mheap.Ref // operand stack; each entry owns a reference
+	dictStack []mheap.Ref // dict objects; each owns a reference
+	userdict  mheap.Ref
+
+	// Graphics state.
+	gs        gstate
+	gsStack   []gstate
+	path      []mheap.Ref // current path segments (owned)
+	display   []mheap.Ref // page display list (owned), freed at showpage
+	curX      float64
+	curY      float64
+	hasPoint  bool
+	fontSize  float64
+	fontName  string
+	exitFlag  bool
+	procDepth int
+
+	// Observable results.
+	Pages    int
+	OpCount  int
+	Checksum float64
+}
+
+// New creates an interpreter on the given heap.
+func New(h *mheap.Heap) *Interp {
+	ip := &Interp{
+		heap:  h,
+		alloc: mlib.Raw{H: h},
+		gs:    gstate{ctm: [6]float64{1, 0, 0, 1, 0, 0}, lineWidth: 1, gray: 0},
+	}
+	ip.ops = builtinOps()
+	ip.userdict = ip.newDict(64)
+	ip.dictStack = []mheap.Ref{ip.retain(ip.userdict)}
+	return ip
+}
+
+// Close releases the interpreter's remaining storage (stacks, dicts,
+// page state), letting tests assert the heap drains to empty.
+func (ip *Interp) Close() {
+	ip.clearStack()
+	for _, d := range ip.dictStack {
+		ip.release(d)
+	}
+	ip.dictStack = nil
+	ip.release(ip.userdict)
+	ip.userdict = mheap.Nil
+	ip.freePath()
+	ip.freeDisplay()
+	for len(ip.gsStack) > 0 {
+		gs := ip.gsStack[len(ip.gsStack)-1]
+		ip.gsStack = ip.gsStack[:len(ip.gsStack)-1]
+		ip.heap.Free(gs.obj)
+	}
+}
+
+// Stack helpers. push takes ownership of one reference.
+
+func (ip *Interp) push(r mheap.Ref) { ip.stack = append(ip.stack, r) }
+
+func (ip *Interp) pop() (mheap.Ref, error) {
+	if len(ip.stack) == 0 {
+		return mheap.Nil, fmt.Errorf("psint: stackunderflow")
+	}
+	r := ip.stack[len(ip.stack)-1]
+	ip.stack = ip.stack[:len(ip.stack)-1]
+	return r, nil
+}
+
+func (ip *Interp) popNum() (float64, error) {
+	r, err := ip.pop()
+	if err != nil {
+		return 0, err
+	}
+	defer ip.release(r)
+	return ip.numVal(r)
+}
+
+func (ip *Interp) popInt() (int64, error) {
+	r, err := ip.pop()
+	if err != nil {
+		return 0, err
+	}
+	defer ip.release(r)
+	if ip.kind(r) != KInt {
+		return 0, fmt.Errorf("psint: typecheck: expected integer, got %s", ip.kind(r))
+	}
+	return ip.intVal(r), nil
+}
+
+func (ip *Interp) popBool() (bool, error) {
+	r, err := ip.pop()
+	if err != nil {
+		return false, err
+	}
+	defer ip.release(r)
+	if ip.kind(r) != KBool {
+		return false, fmt.Errorf("psint: typecheck: expected boolean, got %s", ip.kind(r))
+	}
+	return ip.boolVal(r), nil
+}
+
+func (ip *Interp) popKind(k Kind) (mheap.Ref, error) {
+	r, err := ip.pop()
+	if err != nil {
+		return mheap.Nil, err
+	}
+	if got := ip.kind(r); got != k {
+		ip.release(r)
+		return mheap.Nil, fmt.Errorf("psint: typecheck: expected %s, got %s", k, got)
+	}
+	return r, nil
+}
+
+func (ip *Interp) clearStack() {
+	for _, r := range ip.stack {
+		ip.release(r)
+	}
+	ip.stack = ip.stack[:0]
+}
+
+// Depth returns the operand-stack depth.
+func (ip *Interp) Depth() int { return len(ip.stack) }
+
+// lookup resolves a name through the dict stack (top first), then the
+// builtin table. The returned ref is borrowed (not retained).
+func (ip *Interp) lookup(name string) (mheap.Ref, bool) {
+	for i := len(ip.dictStack) - 1; i >= 0; i-- {
+		if v, ok := ip.dictOf(ip.dictStack[i]).Get(name); ok {
+			return v, true
+		}
+	}
+	return mheap.Nil, false
+}
+
+// Run executes a program.
+func (ip *Interp) Run(src string) error {
+	toks, err := scan(src)
+	if err != nil {
+		return err
+	}
+	return ip.execTokens(toks)
+}
+
+func (ip *Interp) execTokens(toks []token) error {
+	for i := 0; i < len(toks); i++ {
+		if ip.exitFlag {
+			return nil
+		}
+		if err := ip.execToken(toks[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildProc materializes a procedure body as an executable array whose
+// elements are fresh objects; nested procedures recurse.
+func (ip *Interp) buildProc(body []token) (mheap.Ref, error) {
+	arr := ip.newArray(len(body), true)
+	for i, t := range body {
+		el, err := ip.tokenObject(t)
+		if err != nil {
+			ip.release(arr)
+			return mheap.Nil, err
+		}
+		ip.arraySet(arr, i, el)
+	}
+	return arr, nil
+}
+
+// tokenObject allocates the object a token denotes (procedures
+// included); array-syntax tokens are invalid here.
+func (ip *Interp) tokenObject(t token) (mheap.Ref, error) {
+	switch t.kind {
+	case tNumber:
+		if t.isIn {
+			return ip.newInt(int64(t.num)), nil
+		}
+		return ip.newReal(t.num), nil
+	case tString:
+		return ip.newStringObj(t.str), nil
+	case tLitName:
+		return ip.newName(t.str, true), nil
+	case tName:
+		return ip.newName(t.str, false), nil
+	case tProc:
+		return ip.buildProc(t.proc)
+	default:
+		return mheap.Nil, fmt.Errorf("psint: cannot build object from array syntax")
+	}
+}
+
+func (ip *Interp) execToken(t token) error {
+	ip.OpCount++
+	ip.heap.Tick(8) // nominal instruction cost per token
+	switch t.kind {
+	case tNumber, tString, tLitName:
+		obj, err := ip.tokenObject(t)
+		if err != nil {
+			return err
+		}
+		ip.push(obj)
+		return nil
+	case tProc:
+		obj, err := ip.buildProc(t.proc)
+		if err != nil {
+			return err
+		}
+		ip.push(obj)
+		return nil
+	case tArrayOpen:
+		ip.push(ip.newMark())
+		return nil
+	case tArrayClose:
+		return ip.buildArrayFromMark()
+	case tName:
+		return ip.execName(t.str)
+	default:
+		return fmt.Errorf("psint: unknown token kind %d", t.kind)
+	}
+}
+
+func (ip *Interp) buildArrayFromMark() error {
+	// Find the mark.
+	m := -1
+	for i := len(ip.stack) - 1; i >= 0; i-- {
+		if ip.kind(ip.stack[i]) == KMark {
+			m = i
+			break
+		}
+	}
+	if m < 0 {
+		return fmt.Errorf("psint: unmatchedmark")
+	}
+	n := len(ip.stack) - m - 1
+	arr := ip.newArray(n, false)
+	for i := 0; i < n; i++ {
+		ip.arraySet(arr, i, ip.stack[m+1+i]) // ownership moves into the array
+	}
+	ip.release(ip.stack[m]) // the mark
+	ip.stack = ip.stack[:m]
+	ip.push(arr)
+	return nil
+}
+
+func (ip *Interp) execName(name string) error {
+	if v, ok := ip.lookup(name); ok {
+		if ip.kind(v) == KArray && ip.flags(v)&flagExec != 0 {
+			return ip.execProcArray(v)
+		}
+		ip.push(ip.retain(v))
+		return nil
+	}
+	if op, ok := ip.ops[name]; ok {
+		return op(ip)
+	}
+	return fmt.Errorf("psint: undefined: %s", name)
+}
+
+// execProcArray runs an executable array element by element.
+func (ip *Interp) execProcArray(proc mheap.Ref) error {
+	ip.procDepth++
+	if ip.procDepth > 500 {
+		ip.procDepth--
+		return fmt.Errorf("psint: execstackoverflow")
+	}
+	defer func() { ip.procDepth-- }()
+	// Hold the procedure alive across its own execution (it may
+	// redefine itself).
+	ip.retain(proc)
+	defer ip.release(proc)
+	for i, n := 0, ip.arrayLen(proc); i < n; i++ {
+		if ip.exitFlag {
+			break
+		}
+		ip.OpCount++
+		ip.heap.Tick(8)
+		el := ip.arrayAt(proc, i)
+		switch ip.kind(el) {
+		case KName:
+			if err := ip.execName(ip.nameVal(el)); err != nil {
+				return err
+			}
+		case KArray:
+			// A nested procedure pushes itself (deferred execution).
+			ip.push(ip.retain(el))
+		default:
+			ip.push(ip.retain(el))
+		}
+	}
+	return nil
+}
+
+// execValue executes an arbitrary object: procedures run, everything
+// else pushes. Consumes the caller's reference.
+func (ip *Interp) execValue(v mheap.Ref) error {
+	if ip.kind(v) == KArray && ip.flags(v)&flagExec != 0 {
+		err := ip.execProcArray(v)
+		ip.release(v)
+		return err
+	}
+	if ip.kind(v) == KName {
+		name := ip.nameVal(v)
+		ip.release(v)
+		return ip.execName(name)
+	}
+	ip.push(v)
+	return nil
+}
+
+func (ip *Interp) freePath() {
+	for _, s := range ip.path {
+		ip.heap.Free(s)
+	}
+	ip.path = ip.path[:0]
+	ip.hasPoint = false
+}
+
+func (ip *Interp) freeDisplay() {
+	for _, s := range ip.display {
+		ip.heap.Free(s)
+	}
+	ip.display = ip.display[:0]
+}

@@ -1,0 +1,270 @@
+// Package psint is the GhostScript stand-in: a PostScript-subset
+// interpreter whose every object — numbers, names, strings, arrays,
+// procedures, dictionaries, path segments — is allocated on the
+// simulated byte-array heap. Storage is reclaimed with reference
+// counts (malloc/free style, like the C interpreters the paper
+// traced), so running a document produces a realistic allocation
+// trace: fast churn from arithmetic temporaries, page-lifetime path
+// data freed at showpage, and long-lived dictionaries and fonts.
+package psint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/dtbgc/dtbgc/internal/apps/mlib"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// Kind tags a PostScript object.
+type Kind uint8
+
+const (
+	KNull Kind = iota
+	KInt
+	KReal
+	KBool
+	KName    // executable name
+	KLitName // literal /name
+	KString
+	KArray // also procedures, with the executable flag set
+	KDict
+	KMark
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KNull:
+		return "null"
+	case KInt:
+		return "integer"
+	case KReal:
+		return "real"
+	case KBool:
+		return "boolean"
+	case KName:
+		return "name"
+	case KLitName:
+		return "literalname"
+	case KString:
+		return "string"
+	case KArray:
+		return "array"
+	case KDict:
+		return "dict"
+	case KMark:
+		return "mark"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Object layout on the heap:
+//
+//	slot 0: payload (string bytes object, array vector, dict table) or Nil
+//	data:   [kind u8 | flags u8 | rc u16 | pad u32 | value u64]
+//
+// value holds the int64, float bits, bool, or array length.
+const (
+	objData  = 16
+	offKind  = 0
+	offFlags = 1
+	offRC    = 2
+	offValue = 8
+
+	flagExec = 1 << 0 // array is a procedure
+)
+
+// Interp owns the heap and stacks; defined in interp.go.
+
+func (ip *Interp) newObject(k Kind, payload mheap.Ref, value uint64, flags uint8) mheap.Ref {
+	r := ip.alloc.Alloc(1, objData)
+	h := ip.heap
+	d := h.Data(r)
+	d[offKind] = byte(k)
+	d[offFlags] = flags
+	binary.LittleEndian.PutUint16(d[offRC:], 1)
+	binary.LittleEndian.PutUint64(d[offValue:], value)
+	if payload != mheap.Nil {
+		h.SetPtr(r, 0, payload)
+	}
+	return r
+}
+
+func (ip *Interp) kind(r mheap.Ref) Kind { return Kind(ip.heap.Data(r)[offKind]) }
+
+func (ip *Interp) flags(r mheap.Ref) uint8 { return ip.heap.Data(r)[offFlags] }
+
+func (ip *Interp) value(r mheap.Ref) uint64 {
+	return binary.LittleEndian.Uint64(ip.heap.Data(r)[offValue:])
+}
+
+func (ip *Interp) rc(r mheap.Ref) int {
+	return int(binary.LittleEndian.Uint16(ip.heap.Data(r)[offRC:]))
+}
+
+func (ip *Interp) setRC(r mheap.Ref, n int) {
+	binary.LittleEndian.PutUint16(ip.heap.Data(r)[offRC:], uint16(n))
+}
+
+// retain bumps an object's reference count.
+func (ip *Interp) retain(r mheap.Ref) mheap.Ref {
+	if r != mheap.Nil {
+		ip.setRC(r, ip.rc(r)+1)
+	}
+	return r
+}
+
+// release drops a reference, freeing the object (and, recursively, its
+// payload) at zero.
+func (ip *Interp) release(r mheap.Ref) {
+	if r == mheap.Nil {
+		return
+	}
+	n := ip.rc(r) - 1
+	if n > 0 {
+		ip.setRC(r, n)
+		return
+	}
+	h := ip.heap
+	payload := h.Ptr(r, 0)
+	switch ip.kind(r) {
+	case KString, KName, KLitName:
+		if payload != mheap.Nil {
+			h.SetPtr(r, 0, mheap.Nil)
+			h.Free(payload)
+		}
+	case KArray:
+		if payload != mheap.Nil {
+			h.SetPtr(r, 0, mheap.Nil)
+			for i, n := 0, mlib.VLen(h, payload); i < n; i++ {
+				el := mlib.VAt(h, payload, i)
+				if el != mheap.Nil {
+					mlib.VSet(h, payload, i, mheap.Nil)
+					ip.release(el)
+				}
+			}
+			h.Free(payload)
+		}
+	case KDict:
+		if payload != mheap.Nil {
+			// Clear the slot before FreeAll tears the table down so
+			// the object never holds a dangling reference.
+			h.SetPtr(r, 0, mheap.Nil)
+			idx := int(ip.value(r))
+			if d := ip.dicts[idx]; d != nil {
+				for _, v := range ip.dictValues(d) {
+					ip.release(v)
+				}
+				d.FreeAll() // frees nodes, key strings and the table
+				ip.dicts[idx] = nil
+			}
+		}
+	}
+	h.Free(r)
+}
+
+func (ip *Interp) dictValues(d *mlib.Dict) []mheap.Ref {
+	var vals []mheap.Ref
+	for _, k := range d.Keys() {
+		if v, ok := d.Get(k); ok && v != mheap.Nil {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+// Constructors.
+
+func (ip *Interp) newInt(v int64) mheap.Ref { return ip.newObject(KInt, mheap.Nil, uint64(v), 0) }
+
+func (ip *Interp) newReal(v float64) mheap.Ref {
+	return ip.newObject(KReal, mheap.Nil, math.Float64bits(v), 0)
+}
+
+func (ip *Interp) newBool(v bool) mheap.Ref {
+	var b uint64
+	if v {
+		b = 1
+	}
+	return ip.newObject(KBool, mheap.Nil, b, 0)
+}
+
+func (ip *Interp) newName(s string, literal bool) mheap.Ref {
+	k := KName
+	if literal {
+		k = KLitName
+	}
+	return ip.newObject(k, mlib.NewString(ip.alloc, s), 0, 0)
+}
+
+func (ip *Interp) newStringObj(s string) mheap.Ref {
+	return ip.newObject(KString, mlib.NewString(ip.alloc, s), 0, 0)
+}
+
+func (ip *Interp) newArray(n int, exec bool) mheap.Ref {
+	var fl uint8
+	if exec {
+		fl = flagExec
+	}
+	return ip.newObject(KArray, mlib.NewVector(ip.alloc, n), uint64(n), fl)
+}
+
+func (ip *Interp) newMark() mheap.Ref { return ip.newObject(KMark, mheap.Nil, 0, 0) }
+
+func (ip *Interp) newDict(buckets int) mheap.Ref {
+	d := mlib.NewDict(ip.alloc, buckets)
+	ip.dicts = append(ip.dicts, d)
+	idx := len(ip.dicts) - 1
+	return ip.newObject(KDict, d.Table(), uint64(idx), 0)
+}
+
+// Accessors.
+
+func (ip *Interp) intVal(r mheap.Ref) int64 { return int64(ip.value(r)) }
+
+func (ip *Interp) realVal(r mheap.Ref) float64 { return math.Float64frombits(ip.value(r)) }
+
+// numVal coerces int or real to float64.
+func (ip *Interp) numVal(r mheap.Ref) (float64, error) {
+	switch ip.kind(r) {
+	case KInt:
+		return float64(ip.intVal(r)), nil
+	case KReal:
+		return ip.realVal(r), nil
+	default:
+		return 0, fmt.Errorf("psint: typecheck: expected number, got %s", ip.kind(r))
+	}
+}
+
+func (ip *Interp) boolVal(r mheap.Ref) bool { return ip.value(r) != 0 }
+
+func (ip *Interp) nameVal(r mheap.Ref) string {
+	return mlib.StringVal(ip.heap, ip.heap.Ptr(r, 0))
+}
+
+func (ip *Interp) stringVal(r mheap.Ref) string {
+	return mlib.StringVal(ip.heap, ip.heap.Ptr(r, 0))
+}
+
+func (ip *Interp) arrayLen(r mheap.Ref) int { return int(ip.value(r)) }
+
+func (ip *Interp) arrayAt(r mheap.Ref, i int) mheap.Ref {
+	return mlib.VAt(ip.heap, ip.heap.Ptr(r, 0), i)
+}
+
+// arraySet stores el (transferring one reference) into slot i,
+// releasing any previous occupant.
+func (ip *Interp) arraySet(r mheap.Ref, i int, el mheap.Ref) {
+	vec := ip.heap.Ptr(r, 0)
+	if old := mlib.VAt(ip.heap, vec, i); old != mheap.Nil {
+		mlib.VSet(ip.heap, vec, i, mheap.Nil)
+		ip.release(old)
+	}
+	if el != mheap.Nil {
+		mlib.VSet(ip.heap, vec, i, el)
+	}
+}
+
+func (ip *Interp) dictOf(r mheap.Ref) *mlib.Dict { return ip.dicts[int(ip.value(r))] }

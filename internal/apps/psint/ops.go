@@ -1,0 +1,1075 @@
+package psint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// Path segments are raw heap records: [op u8 | pad | 6 float64 coords].
+const (
+	segMove  = 1
+	segLine  = 2
+	segCurve = 3
+	segClose = 4
+)
+
+func (ip *Interp) newSegment(op byte, coords ...float64) mheap.Ref {
+	r := ip.alloc.Alloc(0, 8+6*8)
+	d := ip.heap.Data(r)
+	d[0] = op
+	for i, c := range coords {
+		binary.LittleEndian.PutUint64(d[8+i*8:], math.Float64bits(c))
+	}
+	return r
+}
+
+func (ip *Interp) segOp(r mheap.Ref) byte { return ip.heap.Data(r)[0] }
+
+func (ip *Interp) segCoord(r mheap.Ref, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(ip.heap.Data(r)[8+i*8:]))
+}
+
+// transform applies the CTM.
+func (ip *Interp) transform(x, y float64) (float64, float64) {
+	m := ip.gs.ctm
+	return m[0]*x + m[2]*y + m[4], m[1]*x + m[3]*y + m[5]
+}
+
+func builtinOps() map[string]func(*Interp) error {
+	ops := map[string]func(*Interp) error{}
+
+	// --- arithmetic ---
+	binNum := func(f func(a, b float64) (float64, error)) func(*Interp) error {
+		return func(ip *Interp) error {
+			b, err := ip.pop()
+			if err != nil {
+				return err
+			}
+			a, err := ip.pop()
+			if err != nil {
+				ip.release(b)
+				return err
+			}
+			av, err1 := ip.numVal(a)
+			bv, err2 := ip.numVal(b)
+			bothInt := ip.kind(a) == KInt && ip.kind(b) == KInt
+			ip.release(a)
+			ip.release(b)
+			if err1 != nil {
+				return err1
+			}
+			if err2 != nil {
+				return err2
+			}
+			v, err := f(av, bv)
+			if err != nil {
+				return err
+			}
+			if bothInt && v == math.Trunc(v) {
+				ip.push(ip.newInt(int64(v)))
+			} else {
+				ip.push(ip.newReal(v))
+			}
+			return nil
+		}
+	}
+	ops["add"] = binNum(func(a, b float64) (float64, error) { return a + b, nil })
+	ops["sub"] = binNum(func(a, b float64) (float64, error) { return a - b, nil })
+	ops["mul"] = binNum(func(a, b float64) (float64, error) { return a * b, nil })
+	ops["div"] = func(ip *Interp) error {
+		b, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		a, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		if b == 0 {
+			return fmt.Errorf("psint: undefinedresult: div by 0")
+		}
+		ip.push(ip.newReal(a / b))
+		return nil
+	}
+	ops["idiv"] = func(ip *Interp) error {
+		b, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		a, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		if b == 0 {
+			return fmt.Errorf("psint: undefinedresult: idiv by 0")
+		}
+		ip.push(ip.newInt(a / b))
+		return nil
+	}
+	ops["mod"] = func(ip *Interp) error {
+		b, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		a, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		if b == 0 {
+			return fmt.Errorf("psint: undefinedresult: mod by 0")
+		}
+		ip.push(ip.newInt(a % b))
+		return nil
+	}
+	ops["neg"] = func(ip *Interp) error {
+		r, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		k := ip.kind(r)
+		v, err := ip.numVal(r)
+		ip.release(r)
+		if err != nil {
+			return err
+		}
+		if k == KInt {
+			ip.push(ip.newInt(-int64(v)))
+		} else {
+			ip.push(ip.newReal(-v))
+		}
+		return nil
+	}
+	ops["abs"] = func(ip *Interp) error {
+		v, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		ip.push(ip.newReal(math.Abs(v)))
+		return nil
+	}
+	ops["sqrt"] = func(ip *Interp) error {
+		v, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return fmt.Errorf("psint: rangecheck: sqrt of negative")
+		}
+		ip.push(ip.newReal(math.Sqrt(v)))
+		return nil
+	}
+	ops["round"] = func(ip *Interp) error {
+		v, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		ip.push(ip.newInt(int64(math.Round(v))))
+		return nil
+	}
+	ops["truncate"] = func(ip *Interp) error {
+		v, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		ip.push(ip.newInt(int64(math.Trunc(v))))
+		return nil
+	}
+	ops["cvi"] = ops["truncate"]
+	ops["cvr"] = func(ip *Interp) error {
+		v, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		ip.push(ip.newReal(v))
+		return nil
+	}
+
+	// --- stack manipulation ---
+	ops["dup"] = func(ip *Interp) error {
+		if len(ip.stack) == 0 {
+			return fmt.Errorf("psint: stackunderflow")
+		}
+		ip.push(ip.retain(ip.stack[len(ip.stack)-1]))
+		return nil
+	}
+	ops["pop"] = func(ip *Interp) error {
+		r, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		ip.release(r)
+		return nil
+	}
+	ops["exch"] = func(ip *Interp) error {
+		n := len(ip.stack)
+		if n < 2 {
+			return fmt.Errorf("psint: stackunderflow")
+		}
+		ip.stack[n-1], ip.stack[n-2] = ip.stack[n-2], ip.stack[n-1]
+		return nil
+	}
+	ops["clear"] = func(ip *Interp) error { ip.clearStack(); return nil }
+	ops["count"] = func(ip *Interp) error {
+		ip.push(ip.newInt(int64(len(ip.stack))))
+		return nil
+	}
+	ops["index"] = func(ip *Interp) error {
+		n, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		if n < 0 || int(n) >= len(ip.stack) {
+			return fmt.Errorf("psint: rangecheck: index %d", n)
+		}
+		ip.push(ip.retain(ip.stack[len(ip.stack)-1-int(n)]))
+		return nil
+	}
+	ops["copy"] = func(ip *Interp) error {
+		n, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		if n < 0 || int(n) > len(ip.stack) {
+			return fmt.Errorf("psint: rangecheck: copy %d", n)
+		}
+		base := len(ip.stack) - int(n)
+		for i := 0; i < int(n); i++ {
+			ip.push(ip.retain(ip.stack[base+i]))
+		}
+		return nil
+	}
+	ops["roll"] = func(ip *Interp) error {
+		j, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		n, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		if n < 0 || int(n) > len(ip.stack) {
+			return fmt.Errorf("psint: rangecheck: roll %d", n)
+		}
+		if n == 0 {
+			return nil
+		}
+		base := len(ip.stack) - int(n)
+		seg := ip.stack[base:]
+		j = ((j % n) + n) % n
+		rotated := append(append([]mheap.Ref{}, seg[int(n)-int(j):]...), seg[:int(n)-int(j)]...)
+		copy(seg, rotated)
+		return nil
+	}
+	ops["mark"] = func(ip *Interp) error { ip.push(ip.newMark()); return nil }
+	ops["cleartomark"] = func(ip *Interp) error {
+		for {
+			r, err := ip.pop()
+			if err != nil {
+				return fmt.Errorf("psint: unmatchedmark")
+			}
+			isMark := ip.kind(r) == KMark
+			ip.release(r)
+			if isMark {
+				return nil
+			}
+		}
+	}
+	ops["counttomark"] = func(ip *Interp) error {
+		for i := len(ip.stack) - 1; i >= 0; i-- {
+			if ip.kind(ip.stack[i]) == KMark {
+				ip.push(ip.newInt(int64(len(ip.stack) - 1 - i)))
+				return nil
+			}
+		}
+		return fmt.Errorf("psint: unmatchedmark")
+	}
+
+	// --- relational / boolean ---
+	cmpOp := func(f func(c int) bool) func(*Interp) error {
+		return func(ip *Interp) error {
+			b, err := ip.pop()
+			if err != nil {
+				return err
+			}
+			a, err := ip.pop()
+			if err != nil {
+				ip.release(b)
+				return err
+			}
+			defer ip.release(a)
+			defer ip.release(b)
+			c, err := ip.compare(a, b)
+			if err != nil {
+				return err
+			}
+			ip.push(ip.newBool(f(c)))
+			return nil
+		}
+	}
+	ops["eq"] = cmpOp(func(c int) bool { return c == 0 })
+	ops["ne"] = cmpOp(func(c int) bool { return c != 0 })
+	ops["gt"] = cmpOp(func(c int) bool { return c > 0 })
+	ops["ge"] = cmpOp(func(c int) bool { return c >= 0 })
+	ops["lt"] = cmpOp(func(c int) bool { return c < 0 })
+	ops["le"] = cmpOp(func(c int) bool { return c <= 0 })
+	boolOp := func(f func(a, b bool) bool) func(*Interp) error {
+		return func(ip *Interp) error {
+			b, err := ip.popBool()
+			if err != nil {
+				return err
+			}
+			a, err := ip.popBool()
+			if err != nil {
+				return err
+			}
+			ip.push(ip.newBool(f(a, b)))
+			return nil
+		}
+	}
+	ops["and"] = boolOp(func(a, b bool) bool { return a && b })
+	ops["or"] = boolOp(func(a, b bool) bool { return a || b })
+	ops["xor"] = boolOp(func(a, b bool) bool { return a != b })
+	ops["not"] = func(ip *Interp) error {
+		v, err := ip.popBool()
+		if err != nil {
+			return err
+		}
+		ip.push(ip.newBool(!v))
+		return nil
+	}
+	ops["true"] = func(ip *Interp) error { ip.push(ip.newBool(true)); return nil }
+	ops["false"] = func(ip *Interp) error { ip.push(ip.newBool(false)); return nil }
+
+	// --- control ---
+	ops["if"] = func(ip *Interp) error {
+		proc, err := ip.popKind(KArray)
+		if err != nil {
+			return err
+		}
+		cond, err := ip.popBool()
+		if err != nil {
+			ip.release(proc)
+			return err
+		}
+		if cond {
+			return ip.execValue(proc)
+		}
+		ip.release(proc)
+		return nil
+	}
+	ops["ifelse"] = func(ip *Interp) error {
+		pElse, err := ip.popKind(KArray)
+		if err != nil {
+			return err
+		}
+		pThen, err := ip.popKind(KArray)
+		if err != nil {
+			ip.release(pElse)
+			return err
+		}
+		cond, err := ip.popBool()
+		if err != nil {
+			ip.release(pElse)
+			ip.release(pThen)
+			return err
+		}
+		if cond {
+			ip.release(pElse)
+			return ip.execValue(pThen)
+		}
+		ip.release(pThen)
+		return ip.execValue(pElse)
+	}
+	ops["repeat"] = func(ip *Interp) error {
+		proc, err := ip.popKind(KArray)
+		if err != nil {
+			return err
+		}
+		defer ip.release(proc)
+		n, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < n; i++ {
+			if err := ip.execProcArray(proc); err != nil {
+				return err
+			}
+			if ip.exitFlag {
+				ip.exitFlag = false
+				break
+			}
+		}
+		return nil
+	}
+	ops["for"] = func(ip *Interp) error {
+		proc, err := ip.popKind(KArray)
+		if err != nil {
+			return err
+		}
+		defer ip.release(proc)
+		limit, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		inc, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		init, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		if inc == 0 {
+			return fmt.Errorf("psint: rangecheck: for with zero increment")
+		}
+		for v := init; (inc > 0 && v <= limit) || (inc < 0 && v >= limit); v += inc {
+			if v == math.Trunc(v) {
+				ip.push(ip.newInt(int64(v)))
+			} else {
+				ip.push(ip.newReal(v))
+			}
+			if err := ip.execProcArray(proc); err != nil {
+				return err
+			}
+			if ip.exitFlag {
+				ip.exitFlag = false
+				break
+			}
+		}
+		return nil
+	}
+	ops["loop"] = func(ip *Interp) error {
+		proc, err := ip.popKind(KArray)
+		if err != nil {
+			return err
+		}
+		defer ip.release(proc)
+		for i := 0; ; i++ {
+			if i > 1_000_000 {
+				return fmt.Errorf("psint: loop ran 1e6 iterations without exit")
+			}
+			if err := ip.execProcArray(proc); err != nil {
+				return err
+			}
+			if ip.exitFlag {
+				ip.exitFlag = false
+				return nil
+			}
+		}
+	}
+	ops["exit"] = func(ip *Interp) error { ip.exitFlag = true; return nil }
+	ops["exec"] = func(ip *Interp) error {
+		v, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		return ip.execValue(v)
+	}
+	ops["forall"] = func(ip *Interp) error {
+		proc, err := ip.popKind(KArray)
+		if err != nil {
+			return err
+		}
+		defer ip.release(proc)
+		arr, err := ip.popKind(KArray)
+		if err != nil {
+			return err
+		}
+		defer ip.release(arr)
+		for i, n := 0, ip.arrayLen(arr); i < n; i++ {
+			el := ip.arrayAt(arr, i)
+			if el == mheap.Nil {
+				ip.push(ip.newObject(KNull, mheap.Nil, 0, 0))
+			} else {
+				ip.push(ip.retain(el))
+			}
+			if err := ip.execProcArray(proc); err != nil {
+				return err
+			}
+			if ip.exitFlag {
+				ip.exitFlag = false
+				break
+			}
+		}
+		return nil
+	}
+
+	// --- dictionaries ---
+	ops["def"] = func(ip *Interp) error {
+		val, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		key, err := ip.pop()
+		if err != nil {
+			ip.release(val)
+			return err
+		}
+		if ip.kind(key) != KLitName {
+			k := ip.kind(key)
+			ip.release(val)
+			ip.release(key)
+			return fmt.Errorf("psint: typecheck: def key must be /name, got %s", k)
+		}
+		name := ip.nameVal(key)
+		ip.release(key)
+		d := ip.dictOf(ip.dictStack[len(ip.dictStack)-1])
+		if old, ok := d.Get(name); ok {
+			d.Set(name, val) // val's reference moves into the dict
+			ip.release(old)
+		} else {
+			d.Set(name, val)
+		}
+		return nil
+	}
+	ops["load"] = func(ip *Interp) error {
+		key, err := ip.popKind(KLitName)
+		if err != nil {
+			return err
+		}
+		name := ip.nameVal(key)
+		ip.release(key)
+		v, ok := ip.lookup(name)
+		if !ok {
+			return fmt.Errorf("psint: undefined: %s", name)
+		}
+		ip.push(ip.retain(v))
+		return nil
+	}
+	ops["dict"] = func(ip *Interp) error {
+		n, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		if n < 1 {
+			n = 1
+		}
+		ip.push(ip.newDict(int(n)))
+		return nil
+	}
+	ops["begin"] = func(ip *Interp) error {
+		d, err := ip.popKind(KDict)
+		if err != nil {
+			return err
+		}
+		ip.dictStack = append(ip.dictStack, d) // ownership moves to dict stack
+		return nil
+	}
+	ops["end"] = func(ip *Interp) error {
+		if len(ip.dictStack) <= 1 {
+			return fmt.Errorf("psint: dictstackunderflow")
+		}
+		d := ip.dictStack[len(ip.dictStack)-1]
+		ip.dictStack = ip.dictStack[:len(ip.dictStack)-1]
+		ip.release(d)
+		return nil
+	}
+	ops["known"] = func(ip *Interp) error {
+		key, err := ip.popKind(KLitName)
+		if err != nil {
+			return err
+		}
+		name := ip.nameVal(key)
+		ip.release(key)
+		d, err := ip.popKind(KDict)
+		if err != nil {
+			return err
+		}
+		_, ok := ip.dictOf(d).Get(name)
+		ip.release(d)
+		ip.push(ip.newBool(ok))
+		return nil
+	}
+
+	// --- arrays & strings ---
+	ops["array"] = func(ip *Interp) error {
+		n, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("psint: rangecheck: array %d", n)
+		}
+		ip.push(ip.newArray(int(n), false))
+		return nil
+	}
+	ops["length"] = func(ip *Interp) error {
+		r, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		defer ip.release(r)
+		switch ip.kind(r) {
+		case KArray:
+			ip.push(ip.newInt(int64(ip.arrayLen(r))))
+		case KString:
+			ip.push(ip.newInt(int64(len(ip.stringVal(r)))))
+		case KDict:
+			ip.push(ip.newInt(int64(ip.dictOf(r).Len())))
+		default:
+			return fmt.Errorf("psint: typecheck: length of %s", ip.kind(r))
+		}
+		return nil
+	}
+	ops["get"] = func(ip *Interp) error {
+		idx, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		r, err := ip.pop()
+		if err != nil {
+			ip.release(idx)
+			return err
+		}
+		defer ip.release(r)
+		defer ip.release(idx)
+		switch ip.kind(r) {
+		case KArray:
+			if ip.kind(idx) != KInt {
+				return fmt.Errorf("psint: typecheck: array index")
+			}
+			i := int(ip.intVal(idx))
+			if i < 0 || i >= ip.arrayLen(r) {
+				return fmt.Errorf("psint: rangecheck: get %d", i)
+			}
+			el := ip.arrayAt(r, i)
+			if el == mheap.Nil {
+				ip.push(ip.newObject(KNull, mheap.Nil, 0, 0))
+			} else {
+				ip.push(ip.retain(el))
+			}
+		case KString:
+			if ip.kind(idx) != KInt {
+				return fmt.Errorf("psint: typecheck: string index")
+			}
+			s := ip.stringVal(r)
+			i := int(ip.intVal(idx))
+			if i < 0 || i >= len(s) {
+				return fmt.Errorf("psint: rangecheck: get %d", i)
+			}
+			ip.push(ip.newInt(int64(s[i])))
+		case KDict:
+			if ip.kind(idx) != KLitName {
+				return fmt.Errorf("psint: typecheck: dict key")
+			}
+			v, ok := ip.dictOf(r).Get(ip.nameVal(idx))
+			if !ok {
+				return fmt.Errorf("psint: undefined: %s", ip.nameVal(idx))
+			}
+			ip.push(ip.retain(v))
+		default:
+			return fmt.Errorf("psint: typecheck: get from %s", ip.kind(r))
+		}
+		return nil
+	}
+	ops["put"] = func(ip *Interp) error {
+		val, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		idx, err := ip.pop()
+		if err != nil {
+			ip.release(val)
+			return err
+		}
+		r, err := ip.pop()
+		if err != nil {
+			ip.release(val)
+			ip.release(idx)
+			return err
+		}
+		defer ip.release(r)
+		switch ip.kind(r) {
+		case KArray:
+			if ip.kind(idx) != KInt {
+				ip.release(val)
+				ip.release(idx)
+				return fmt.Errorf("psint: typecheck: array index")
+			}
+			i := int(ip.intVal(idx))
+			ip.release(idx)
+			if i < 0 || i >= ip.arrayLen(r) {
+				ip.release(val)
+				return fmt.Errorf("psint: rangecheck: put %d", i)
+			}
+			ip.arraySet(r, i, val)
+		case KDict:
+			if ip.kind(idx) != KLitName {
+				ip.release(val)
+				ip.release(idx)
+				return fmt.Errorf("psint: typecheck: dict key")
+			}
+			name := ip.nameVal(idx)
+			ip.release(idx)
+			d := ip.dictOf(r)
+			if old, ok := d.Get(name); ok {
+				d.Set(name, val)
+				ip.release(old)
+			} else {
+				d.Set(name, val)
+			}
+		default:
+			ip.release(val)
+			ip.release(idx)
+			return fmt.Errorf("psint: typecheck: put into %s", ip.kind(r))
+		}
+		return nil
+	}
+	ops["astore"] = func(ip *Interp) error {
+		arr, err := ip.popKind(KArray)
+		if err != nil {
+			return err
+		}
+		n := ip.arrayLen(arr)
+		if len(ip.stack) < n {
+			ip.release(arr)
+			return fmt.Errorf("psint: stackunderflow: astore")
+		}
+		base := len(ip.stack) - n
+		for i := 0; i < n; i++ {
+			ip.arraySet(arr, i, ip.stack[base+i])
+		}
+		ip.stack = ip.stack[:base]
+		ip.push(arr)
+		return nil
+	}
+	ops["aload"] = func(ip *Interp) error {
+		arr, err := ip.popKind(KArray)
+		if err != nil {
+			return err
+		}
+		for i, n := 0, ip.arrayLen(arr); i < n; i++ {
+			el := ip.arrayAt(arr, i)
+			if el == mheap.Nil {
+				ip.push(ip.newObject(KNull, mheap.Nil, 0, 0))
+			} else {
+				ip.push(ip.retain(el))
+			}
+		}
+		ip.push(arr)
+		return nil
+	}
+	ops["string"] = func(ip *Interp) error {
+		n, err := ip.popInt()
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("psint: rangecheck: string %d", n)
+		}
+		ip.push(ip.newStringObj(string(make([]byte, n))))
+		return nil
+	}
+	ops["bind"] = func(ip *Interp) error { return nil } // we always late-bind
+
+	// --- graphics ---
+	ops["newpath"] = func(ip *Interp) error { ip.freePath(); return nil }
+	ops["moveto"] = func(ip *Interp) error { return ip.pathOp(segMove, false) }
+	ops["lineto"] = func(ip *Interp) error { return ip.pathOp(segLine, false) }
+	ops["rmoveto"] = func(ip *Interp) error { return ip.pathOp(segMove, true) }
+	ops["rlineto"] = func(ip *Interp) error { return ip.pathOp(segLine, true) }
+	ops["curveto"] = func(ip *Interp) error {
+		var c [6]float64
+		for i := 5; i >= 0; i-- {
+			v, err := ip.popNum()
+			if err != nil {
+				return err
+			}
+			c[i] = v
+		}
+		x1, y1 := ip.transform(c[0], c[1])
+		x2, y2 := ip.transform(c[2], c[3])
+		x3, y3 := ip.transform(c[4], c[5])
+		ip.path = append(ip.path, ip.newSegment(segCurve, x1, y1, x2, y2, x3, y3))
+		ip.curX, ip.curY, ip.hasPoint = x3, y3, true
+		return nil
+	}
+	ops["closepath"] = func(ip *Interp) error {
+		if ip.hasPoint {
+			ip.path = append(ip.path, ip.newSegment(segClose))
+		}
+		return nil
+	}
+	ops["currentpoint"] = func(ip *Interp) error {
+		if !ip.hasPoint {
+			return fmt.Errorf("psint: nocurrentpoint")
+		}
+		ip.push(ip.newReal(ip.curX))
+		ip.push(ip.newReal(ip.curY))
+		return nil
+	}
+	ops["stroke"] = func(ip *Interp) error { return ip.paint(1) }
+	ops["fill"] = func(ip *Interp) error { return ip.paint(2) }
+	ops["showpage"] = func(ip *Interp) error {
+		ip.Pages++
+		ip.freePath()
+		ip.freeDisplay()
+		return nil
+	}
+	ops["gsave"] = func(ip *Interp) error {
+		gs := ip.gs
+		gs.obj = ip.alloc.Alloc(0, 96) // saved-state record
+		ip.gsStack = append(ip.gsStack, gs)
+		return nil
+	}
+	ops["grestore"] = func(ip *Interp) error {
+		if len(ip.gsStack) == 0 {
+			return nil // PostScript tolerates extra grestores at outermost level
+		}
+		gs := ip.gsStack[len(ip.gsStack)-1]
+		ip.gsStack = ip.gsStack[:len(ip.gsStack)-1]
+		ip.heap.Free(gs.obj)
+		gs.obj = mheap.Nil
+		ip.gs = gs
+		return nil
+	}
+	ops["translate"] = func(ip *Interp) error {
+		ty, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		tx, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		m := &ip.gs.ctm
+		m[4] += m[0]*tx + m[2]*ty
+		m[5] += m[1]*tx + m[3]*ty
+		return nil
+	}
+	ops["scale"] = func(ip *Interp) error {
+		sy, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		sx, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		m := &ip.gs.ctm
+		m[0] *= sx
+		m[1] *= sx
+		m[2] *= sy
+		m[3] *= sy
+		return nil
+	}
+	ops["rotate"] = func(ip *Interp) error {
+		deg, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		s, c := math.Sincos(deg * math.Pi / 180)
+		m := ip.gs.ctm
+		ip.gs.ctm[0] = m[0]*c + m[2]*s
+		ip.gs.ctm[1] = m[1]*c + m[3]*s
+		ip.gs.ctm[2] = -m[0]*s + m[2]*c
+		ip.gs.ctm[3] = -m[1]*s + m[3]*c
+		return nil
+	}
+	ops["setlinewidth"] = func(ip *Interp) error {
+		v, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		ip.gs.lineWidth = v
+		return nil
+	}
+	ops["setgray"] = func(ip *Interp) error {
+		v, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		ip.gs.gray = v
+		return nil
+	}
+
+	// --- text ---
+	ops["findfont"] = func(ip *Interp) error {
+		name, err := ip.popKind(KLitName)
+		if err != nil {
+			return err
+		}
+		fontName := ip.nameVal(name)
+		ip.release(name)
+		// Build a small font dictionary like a real interpreter.
+		font := ip.newDict(8)
+		d := ip.dictOf(font)
+		d.Set("FontName", ip.newStringObj(fontName))
+		d.Set("FontSize", ip.newReal(1))
+		ip.push(font)
+		return nil
+	}
+	ops["scalefont"] = func(ip *Interp) error {
+		size, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		font, err := ip.popKind(KDict)
+		if err != nil {
+			return err
+		}
+		d := ip.dictOf(font)
+		if old, ok := d.Get("FontSize"); ok {
+			d.Set("FontSize", ip.newReal(size))
+			ip.release(old)
+		}
+		ip.push(font)
+		return nil
+	}
+	ops["setfont"] = func(ip *Interp) error {
+		font, err := ip.popKind(KDict)
+		if err != nil {
+			return err
+		}
+		d := ip.dictOf(font)
+		if v, ok := d.Get("FontSize"); ok {
+			ip.fontSize, _ = ip.numVal(v)
+		}
+		if v, ok := d.Get("FontName"); ok {
+			ip.fontName = ip.stringVal(v)
+		}
+		ip.release(font)
+		return nil
+	}
+	ops["show"] = func(ip *Interp) error {
+		s, err := ip.popKind(KString)
+		if err != nil {
+			return err
+		}
+		text := ip.stringVal(s)
+		ip.release(s)
+		if !ip.hasPoint {
+			return fmt.Errorf("psint: nocurrentpoint: show")
+		}
+		// Rasterize each glyph: allocate a transient glyph record (the
+		// NODISPLAY path still shapes text), advance, and free it.
+		for i := 0; i < len(text); i++ {
+			glyph := ip.alloc.Alloc(0, 40)
+			w := ip.fontSize * glyphWidth(text[i])
+			ip.Checksum += w + float64(text[i])
+			ip.curX += w
+			ip.heap.Free(glyph)
+		}
+		return nil
+	}
+	ops["stringwidth"] = func(ip *Interp) error {
+		s, err := ip.popKind(KString)
+		if err != nil {
+			return err
+		}
+		text := ip.stringVal(s)
+		ip.release(s)
+		var w float64
+		for i := 0; i < len(text); i++ {
+			w += ip.fontSize * glyphWidth(text[i])
+		}
+		ip.push(ip.newReal(w))
+		ip.push(ip.newReal(0))
+		return nil
+	}
+	builtinOps2(ops)
+	return ops
+}
+
+func glyphWidth(c byte) float64 {
+	if c == ' ' {
+		return 0.30
+	}
+	return 0.45 + float64(c%16)*0.02
+}
+
+// pathOp handles moveto/lineto and their relative forms.
+func (ip *Interp) pathOp(op byte, relative bool) error {
+	y, err := ip.popNum()
+	if err != nil {
+		return err
+	}
+	x, err := ip.popNum()
+	if err != nil {
+		return err
+	}
+	var tx, ty float64
+	if relative {
+		if !ip.hasPoint {
+			return fmt.Errorf("psint: nocurrentpoint")
+		}
+		tx, ty = ip.curX+x, ip.curY+y
+	} else {
+		tx, ty = ip.transform(x, y)
+	}
+	ip.path = append(ip.path, ip.newSegment(op, tx, ty))
+	ip.curX, ip.curY, ip.hasPoint = tx, ty, true
+	return nil
+}
+
+// paint "renders" the current path: the segments move to the page
+// display list (kept until showpage) and transient edge records model
+// rasterization work.
+func (ip *Interp) paint(mode int) error {
+	for _, seg := range ip.path {
+		// Rasterization scratch, freed immediately (fast churn).
+		edge := ip.alloc.Alloc(0, 24)
+		ip.Checksum += float64(mode) + ip.segCoord(seg, 0) + ip.segCoord(seg, 1) + ip.gs.lineWidth*0.01
+		_ = ip.segOp(seg)
+		ip.heap.Free(edge)
+	}
+	// The painted path joins the display list until showpage.
+	ip.display = append(ip.display, ip.path...)
+	ip.path = ip.path[:0]
+	ip.hasPoint = false
+	return nil
+}
+
+// compare orders two objects: numbers numerically, strings and names
+// lexically, bools by value; mixed or other types compare equal only
+// to themselves by identity.
+func (ip *Interp) compare(a, b mheap.Ref) (int, error) {
+	ka, kb := ip.kind(a), ip.kind(b)
+	numeric := func(k Kind) bool { return k == KInt || k == KReal }
+	switch {
+	case numeric(ka) && numeric(kb):
+		av, _ := ip.numVal(a)
+		bv, _ := ip.numVal(b)
+		switch {
+		case av < bv:
+			return -1, nil
+		case av > bv:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case ka == KString && kb == KString:
+		return cmpStrings(ip.stringVal(a), ip.stringVal(b)), nil
+	case (ka == KLitName || ka == KName) && (kb == KLitName || kb == KName):
+		return cmpStrings(ip.nameVal(a), ip.nameVal(b)), nil
+	case ka == KBool && kb == KBool:
+		av, bv := ip.boolVal(a), ip.boolVal(b)
+		switch {
+		case av == bv:
+			return 0, nil
+		case !av:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	default:
+		if a == b {
+			return 0, nil
+		}
+		return 1, nil // unequal, ordering unspecified
+	}
+}
+
+func cmpStrings(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,280 @@
+package psint
+
+// Additional operators: arcs, VM save/restore, type inspection and
+// conversions — the parts of the PostScript machine a drawing-heavy
+// document exercises.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// builtinOps2 adds the extended operator set to a table.
+func builtinOps2(ops map[string]func(*Interp) error) {
+	// --- arcs ---
+	// x y r a1 a2 arc: append a counterclockwise arc as cubic curves.
+	ops["arc"] = func(ip *Interp) error { return ip.arcOp(false) }
+	ops["arcn"] = func(ip *Interp) error { return ip.arcOp(true) }
+
+	// --- VM save/restore (simplified: a checkpoint token whose
+	// restore frees it; the real rollback semantics are out of scope
+	// but the allocation pattern — GhostScript's per-page save — is
+	// what the traces need) ---
+	ops["save"] = func(ip *Interp) error {
+		tok := ip.newObject(KNull, mheap.Nil, 0, 0)
+		ip.push(tok)
+		return nil
+	}
+	ops["restore"] = func(ip *Interp) error {
+		tok, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		if ip.kind(tok) != KNull {
+			ip.release(tok)
+			return fmt.Errorf("psint: typecheck: restore needs a save token")
+		}
+		ip.release(tok)
+		return nil
+	}
+
+	// --- type inspection & conversion ---
+	ops["type"] = func(ip *Interp) error {
+		r, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		var name string
+		switch ip.kind(r) {
+		case KInt:
+			name = "integertype"
+		case KReal:
+			name = "realtype"
+		case KBool:
+			name = "booleantype"
+		case KString:
+			name = "stringtype"
+		case KArray:
+			name = "arraytype"
+		case KDict:
+			name = "dicttype"
+		case KName, KLitName:
+			name = "nametype"
+		case KMark:
+			name = "marktype"
+		default:
+			name = "nulltype"
+		}
+		ip.release(r)
+		ip.push(ip.newName(name, true))
+		return nil
+	}
+	ops["cvn"] = func(ip *Interp) error {
+		s, err := ip.popKind(KString)
+		if err != nil {
+			return err
+		}
+		name := ip.stringVal(s)
+		ip.release(s)
+		ip.push(ip.newName(name, true))
+		return nil
+	}
+	ops["cvs"] = func(ip *Interp) error {
+		// any string cvs -> string form of any (the buffer string is
+		// consumed and a fresh result pushed; real PostScript writes
+		// in place, but the allocation behaviour is equivalent).
+		buf, err := ip.popKind(KString)
+		if err != nil {
+			return err
+		}
+		ip.release(buf)
+		v, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		var s string
+		switch ip.kind(v) {
+		case KInt:
+			s = strconv.FormatInt(ip.intVal(v), 10)
+		case KReal:
+			s = strconv.FormatFloat(ip.realVal(v), 'g', 6, 64)
+		case KBool:
+			s = strconv.FormatBool(ip.boolVal(v))
+		case KString:
+			s = ip.stringVal(v)
+		case KName, KLitName:
+			s = ip.nameVal(v)
+		default:
+			s = "--nostringval--"
+		}
+		ip.release(v)
+		ip.push(ip.newStringObj(s))
+		return nil
+	}
+
+	// --- dictionary lookup predicates ---
+	ops["where"] = func(ip *Interp) error {
+		key, err := ip.popKind(KLitName)
+		if err != nil {
+			return err
+		}
+		name := ip.nameVal(key)
+		ip.release(key)
+		for i := len(ip.dictStack) - 1; i >= 0; i-- {
+			d := ip.dictStack[i]
+			if _, ok := ip.dictOf(d).Get(name); ok {
+				ip.push(ip.retain(d))
+				ip.push(ip.newBool(true))
+				return nil
+			}
+		}
+		ip.push(ip.newBool(false))
+		return nil
+	}
+
+	// --- output (NODISPLAY: folded into the checksum) ---
+	discard := func(ip *Interp) error {
+		r, err := ip.pop()
+		if err != nil {
+			return err
+		}
+		if v, err := ip.numVal(r); err == nil {
+			ip.Checksum += v
+		} else {
+			ip.Checksum++
+		}
+		ip.release(r)
+		return nil
+	}
+	ops["="] = discard
+	ops["=="] = discard
+
+	// --- misc numerics the documents use ---
+	ops["sin"] = func(ip *Interp) error { return ip.trigOp(math.Sin) }
+	ops["cos"] = func(ip *Interp) error { return ip.trigOp(math.Cos) }
+	ops["atan"] = func(ip *Interp) error {
+		den, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		num, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		deg := math.Atan2(num, den) * 180 / math.Pi
+		if deg < 0 {
+			deg += 360
+		}
+		ip.push(ip.newReal(deg))
+		return nil
+	}
+	ops["exp"] = func(ip *Interp) error {
+		e, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		b, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		ip.push(ip.newReal(math.Pow(b, e)))
+		return nil
+	}
+	ops["ln"] = func(ip *Interp) error {
+		v, err := ip.popNum()
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return fmt.Errorf("psint: rangecheck: ln of non-positive")
+		}
+		ip.push(ip.newReal(math.Log(v)))
+		return nil
+	}
+}
+
+func (ip *Interp) trigOp(f func(float64) float64) error {
+	deg, err := ip.popNum()
+	if err != nil {
+		return err
+	}
+	ip.push(ip.newReal(f(deg * math.Pi / 180)))
+	return nil
+}
+
+// arcOp implements arc/arcn: the arc is approximated by cubic Bézier
+// segments of at most 90 degrees, the standard interpreter technique.
+func (ip *Interp) arcOp(clockwise bool) error {
+	a2, err := ip.popNum()
+	if err != nil {
+		return err
+	}
+	a1, err := ip.popNum()
+	if err != nil {
+		return err
+	}
+	radius, err := ip.popNum()
+	if err != nil {
+		return err
+	}
+	cy, err := ip.popNum()
+	if err != nil {
+		return err
+	}
+	cx, err := ip.popNum()
+	if err != nil {
+		return err
+	}
+	if radius < 0 {
+		return fmt.Errorf("psint: rangecheck: negative arc radius")
+	}
+	if clockwise {
+		for a2 > a1 {
+			a2 -= 360
+		}
+	} else {
+		for a2 < a1 {
+			a2 += 360
+		}
+	}
+	point := func(deg float64) (float64, float64) {
+		rad := deg * math.Pi / 180
+		return ip.transform(cx+radius*math.Cos(rad), cy+radius*math.Sin(rad))
+	}
+	sx, sy := point(a1)
+	if ip.hasPoint {
+		ip.path = append(ip.path, ip.newSegment(segLine, sx, sy))
+	} else {
+		ip.path = append(ip.path, ip.newSegment(segMove, sx, sy))
+	}
+	ip.curX, ip.curY, ip.hasPoint = sx, sy, true
+
+	remaining := a2 - a1
+	step := 90.0
+	if clockwise {
+		step = -90.0
+	}
+	for math.Abs(remaining) > 1e-9 {
+		seg := step
+		if math.Abs(remaining) < math.Abs(step) {
+			seg = remaining
+		}
+		b1 := a1 + seg
+		// Bézier control-point distance for a circular arc segment.
+		theta := seg * math.Pi / 180
+		k := 4.0 / 3.0 * math.Tan(theta/4) * radius
+		r1 := a1 * math.Pi / 180
+		r2 := b1 * math.Pi / 180
+		c1x, c1y := ip.transform(cx+radius*math.Cos(r1)-k*math.Sin(r1), cy+radius*math.Sin(r1)+k*math.Cos(r1))
+		c2x, c2y := ip.transform(cx+radius*math.Cos(r2)+k*math.Sin(r2), cy+radius*math.Sin(r2)-k*math.Cos(r2))
+		ex, ey := point(b1)
+		ip.path = append(ip.path, ip.newSegment(segCurve, c1x, c1y, c2x, c2y, ex, ey))
+		ip.curX, ip.curY = ex, ey
+		a1 = b1
+		remaining = a2 - a1
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package psint
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+func TestArcBuildsPath(t *testing.T) {
+	ip, h := runProgram(t, "newpath 100 100 50 0 360 arc closepath")
+	if len(ip.path) < 5 { // move + 4 quarter curves + close
+		t.Fatalf("arc produced only %d segments", len(ip.path))
+	}
+	// The current point returns to the start of a full circle: (150, 100).
+	if math.Abs(ip.curX-150) > 1e-6 || math.Abs(ip.curY-100) > 1e-6 {
+		t.Fatalf("arc endpoint (%v, %v), want (150, 100)", ip.curX, ip.curY)
+	}
+	_ = h
+	ip.Close()
+}
+
+func TestArcPartialAndClockwise(t *testing.T) {
+	ip, _ := runProgram(t, "newpath 0 0 10 0 90 arc currentpoint")
+	y := topNum(t, ip)
+	x := topNum(t, ip)
+	if math.Abs(x-0) > 1e-6 || math.Abs(y-10) > 1e-6 {
+		t.Fatalf("90-degree arc ends at (%v, %v), want (0, 10)", x, y)
+	}
+	ip.Close()
+	ip2, _ := runProgram(t, "newpath 0 0 10 90 0 arcn currentpoint")
+	y2 := topNum(t, ip2)
+	x2 := topNum(t, ip2)
+	if math.Abs(x2-10) > 1e-6 || math.Abs(y2) > 1e-6 {
+		t.Fatalf("arcn ends at (%v, %v), want (10, 0)", x2, y2)
+	}
+	ip2.Close()
+}
+
+func TestArcNegativeRadiusErrors(t *testing.T) {
+	h := mheap.New()
+	ip := New(h)
+	if err := ip.Run("newpath 0 0 -5 0 90 arc"); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	ip.Close()
+}
+
+func TestArcContinuesFromCurrentPoint(t *testing.T) {
+	// With a current point, arc first draws a line to the arc start.
+	ip, _ := runProgram(t, "newpath 0 0 moveto 100 0 10 0 90 arc")
+	if ip.segOp(ip.path[1]) != segLine {
+		t.Fatalf("expected line-to before arc, got op %d", ip.segOp(ip.path[1]))
+	}
+	ip.Close()
+}
+
+func TestSaveRestore(t *testing.T) {
+	ip2, _ := runProgram(t, "save restore")
+	if ip2.Depth() != 0 {
+		t.Fatalf("save/restore left %d items", ip2.Depth())
+	}
+	ip2.Close()
+	// restore of a non-token errors.
+	h3 := mheap.New()
+	ip3 := New(h3)
+	if err := ip3.Run("42 restore"); err == nil {
+		t.Fatal("restore of integer accepted")
+	}
+	ip3.Close()
+}
+
+func TestTypeOperator(t *testing.T) {
+	cases := map[string]string{
+		"42 type":     "integertype",
+		"4.5 type":    "realtype",
+		"true type":   "booleantype",
+		"(s) type":    "stringtype",
+		"[1] type":    "arraytype",
+		"1 dict type": "dicttype",
+		"/n type":     "nametype",
+		"mark type":   "marktype",
+		"save type":   "nulltype",
+	}
+	for src, want := range cases {
+		ip, _ := runProgram(t, src)
+		r, err := ip.pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ip.nameVal(r); got != want {
+			t.Errorf("%q = %s, want %s", src, got, want)
+		}
+		ip.release(r)
+		ip.Close()
+	}
+}
+
+func TestCvsAndCvn(t *testing.T) {
+	ip, _ := runProgram(t, "42 5 string cvs")
+	r, _ := ip.pop()
+	if ip.stringVal(r) != "42" {
+		t.Fatalf("cvs = %q", ip.stringVal(r))
+	}
+	ip.release(r)
+	ip.Close()
+
+	ip2, _ := runProgram(t, "(myname) cvn type")
+	r2, _ := ip2.pop()
+	if ip2.nameVal(r2) != "nametype" {
+		t.Fatal("cvn did not produce a name")
+	}
+	ip2.release(r2)
+	ip2.Close()
+
+	ip3, _ := runProgram(t, "true 8 string cvs length")
+	if got := topInt(t, ip3); got != 4 {
+		t.Fatalf("cvs(true) length = %d", got)
+	}
+	ip3.Close()
+}
+
+func TestWhereOperator(t *testing.T) {
+	ip, _ := runProgram(t, "/x 1 def /x where")
+	found, _ := ip.pop()
+	if !ip.boolVal(found) {
+		t.Fatal("where missed a defined name")
+	}
+	ip.release(found)
+	d, _ := ip.pop()
+	if ip.kind(d) != KDict {
+		t.Fatal("where did not push the dict")
+	}
+	ip.release(d)
+	ip.Close()
+
+	ip2, _ := runProgram(t, "/nosuch where")
+	found2, _ := ip2.pop()
+	if ip2.boolVal(found2) {
+		t.Fatal("where found an undefined name")
+	}
+	ip2.release(found2)
+	if ip2.Depth() != 0 {
+		t.Fatal("where false left extra operands")
+	}
+	ip2.Close()
+}
+
+func TestTrigOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"90 sin", 1},
+		{"0 cos", 1},
+		{"180 cos", -1},
+		{"1 1 atan", 45},
+		{"2 8 exp", 256}, // base 2, exponent 8
+	}
+	for _, c := range cases {
+		ip, _ := runProgram(t, c.src)
+		if got := topNum(t, ip); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+		ip.Close()
+	}
+}
+
+func TestLnErrors(t *testing.T) {
+	h := mheap.New()
+	ip := New(h)
+	if err := ip.Run("0 ln"); err == nil {
+		t.Fatal("ln(0) accepted")
+	}
+	ip.Close()
+}
+
+func TestEqualsFoldsIntoChecksum(t *testing.T) {
+	ip, _ := runProgram(t, "42 = (str) ==")
+	if ip.Depth() != 0 {
+		t.Fatalf("= left %d operands", ip.Depth())
+	}
+	if ip.Checksum != 43 { // 42 + 1 for the non-numeric
+		t.Fatalf("checksum = %v", ip.Checksum)
+	}
+	ip.Close()
+}
+
+func TestGenerateDrawingRuns(t *testing.T) {
+	res, err := RunDocument(GenerateDrawing(3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages != 3 {
+		t.Fatalf("pages = %d", res.Pages)
+	}
+	if err := trace.Validate(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := trace.Measure(res.Events)
+	if s.Allocs != s.Frees {
+		t.Fatalf("drawing leaked: %d allocs, %d frees", s.Allocs, s.Frees)
+	}
+	if s.Allocs < 2000 {
+		t.Fatalf("only %d allocs", s.Allocs)
+	}
+}
+
+func TestGenerateDrawingDeterministic(t *testing.T) {
+	if GenerateDrawing(2, 5) != GenerateDrawing(2, 5) {
+		t.Fatal("drawing generator not deterministic")
+	}
+	a, err := RunDocument(GenerateDrawing(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDocument(GenerateDrawing(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatal("drawing interpretation not deterministic")
+	}
+}

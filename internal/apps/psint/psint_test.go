@@ -1,0 +1,497 @@
+package psint
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+// runProgram executes src on a fresh interpreter and returns it plus
+// its heap; callers inspect the stack before Close.
+func runProgram(t *testing.T, src string) (*Interp, *mheap.Heap) {
+	t.Helper()
+	h := mheap.New()
+	ip := New(h)
+	if err := ip.Run(src); err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return ip, h
+}
+
+// topInt pops and checks the top-of-stack integer.
+func topInt(t *testing.T, ip *Interp) int64 {
+	t.Helper()
+	r, err := ip.pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.release(r)
+	if ip.kind(r) != KInt {
+		t.Fatalf("top of stack is %s, want integer", ip.kind(r))
+	}
+	return ip.intVal(r)
+}
+
+func topNum(t *testing.T, ip *Interp) float64 {
+	t.Helper()
+	r, err := ip.pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.release(r)
+	v, err := ip.numVal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"3 4 add", 7},
+		{"10 4 sub", 6},
+		{"6 7 mul", 42},
+		{"17 5 idiv", 3},
+		{"17 5 mod", 2},
+		{"5 neg", -5},
+		{"9 sqrt round", 3},
+		{"3.7 truncate", 3},
+		{"2 3 add 4 mul", 20},
+	}
+	for _, c := range cases {
+		ip, _ := runProgram(t, c.src)
+		if got := topInt(t, ip); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+		if ip.Depth() != 0 {
+			t.Errorf("%q left %d extra items", c.src, ip.Depth())
+		}
+		ip.Close()
+	}
+}
+
+func TestRealArithmetic(t *testing.T) {
+	ip, _ := runProgram(t, "1 3 div")
+	if got := topNum(t, ip); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("1 3 div = %v", got)
+	}
+	ip.Close()
+}
+
+func TestDivisionByZeroErrors(t *testing.T) {
+	for _, src := range []string{"1 0 div", "1 0 idiv", "1 0 mod"} {
+		h := mheap.New()
+		ip := New(h)
+		if err := ip.Run(src); err == nil {
+			t.Errorf("%q did not error", src)
+		}
+		ip.Close()
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []int64 // expected stack bottom-to-top
+	}{
+		{"1 2 3 pop", []int64{1, 2}},
+		{"1 2 exch", []int64{2, 1}},
+		{"5 dup", []int64{5, 5}},
+		{"1 2 3 2 index", []int64{1, 2, 3, 1}},
+		{"1 2 3 3 1 roll", []int64{3, 1, 2}},
+		{"1 2 3 3 -1 roll", []int64{2, 3, 1}},
+		{"1 2 2 copy", []int64{1, 2, 1, 2}},
+		{"1 2 3 clear count", []int64{0}},
+		{"mark 7 8 9 counttomark exch pop exch pop exch pop exch pop", []int64{3}},
+	}
+	for _, c := range cases {
+		ip, _ := runProgram(t, c.src)
+		if ip.Depth() != len(c.want) {
+			t.Fatalf("%q: depth %d, want %d", c.src, ip.Depth(), len(c.want))
+		}
+		for i := len(c.want) - 1; i >= 0; i-- {
+			if got := topInt(t, ip); got != c.want[i] {
+				t.Fatalf("%q: stack[%d] = %d, want %d", c.src, i, got, c.want[i])
+			}
+		}
+		ip.Close()
+	}
+}
+
+func TestComparisonsAndBooleans(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"1 2 lt", true}, {"2 1 lt", false}, {"2 2 le", true},
+		{"3 3 eq", true}, {"3 4 ne", true},
+		{"(abc) (abd) lt", true}, {"(b) (a) gt", true},
+		{"true false and", false}, {"true false or", true},
+		{"true false xor", true}, {"true not", false},
+		{"1 1.0 eq", true},
+	}
+	for _, c := range cases {
+		ip, _ := runProgram(t, c.src)
+		r, err := ip.pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip.kind(r) != KBool || ip.boolVal(r) != c.want {
+			t.Errorf("%q = %v (%s), want %v", c.src, ip.boolVal(r), ip.kind(r), c.want)
+		}
+		ip.release(r)
+		ip.Close()
+	}
+}
+
+func TestDefAndLookup(t *testing.T) {
+	ip, _ := runProgram(t, "/x 42 def /y x 8 add def y")
+	if got := topInt(t, ip); got != 50 {
+		t.Fatalf("y = %d", got)
+	}
+	ip.Close()
+}
+
+func TestProcedures(t *testing.T) {
+	ip, _ := runProgram(t, "/double { 2 mul } def /quad { double double } def 5 quad")
+	if got := topInt(t, ip); got != 20 {
+		t.Fatalf("quad = %d", got)
+	}
+	ip.Close()
+}
+
+func TestIfIfelse(t *testing.T) {
+	ip, _ := runProgram(t, "3 4 lt { 100 } { 200 } ifelse")
+	if got := topInt(t, ip); got != 100 {
+		t.Fatalf("ifelse = %d", got)
+	}
+	ip.Close()
+	ip2, _ := runProgram(t, "1 5 4 lt { pop 99 } if")
+	if got := topInt(t, ip2); got != 1 {
+		t.Fatalf("if = %d", got)
+	}
+	ip2.Close()
+}
+
+func TestLoops(t *testing.T) {
+	// Sum 1..100 with for.
+	ip, _ := runProgram(t, "/s 0 def 1 1 100 { /s exch s add def } for s")
+	if got := topInt(t, ip); got != 5050 {
+		t.Fatalf("for sum = %d", got)
+	}
+	ip.Close()
+	// repeat.
+	ip2, _ := runProgram(t, "0 10 { 1 add } repeat")
+	if got := topInt(t, ip2); got != 10 {
+		t.Fatalf("repeat = %d", got)
+	}
+	ip2.Close()
+	// loop with exit.
+	ip3, _ := runProgram(t, "/n 0 def { /n n 1 add def n 7 ge { exit } if } loop n")
+	if got := topInt(t, ip3); got != 7 {
+		t.Fatalf("loop/exit = %d", got)
+	}
+	ip3.Close()
+}
+
+func TestNestedLoopExitOnlyBreaksInner(t *testing.T) {
+	src := `/total 0 def
+	1 1 3 { pop
+	  /i 0 def
+	  { /i i 1 add def /total total 1 add def i 2 ge { exit } if } loop
+	} for total`
+	ip, _ := runProgram(t, src)
+	if got := topInt(t, ip); got != 6 {
+		t.Fatalf("nested exit total = %d, want 6", got)
+	}
+	ip.Close()
+}
+
+func TestArrays(t *testing.T) {
+	ip, _ := runProgram(t, "[1 2 3 4] length")
+	if got := topInt(t, ip); got != 4 {
+		t.Fatalf("length = %d", got)
+	}
+	ip.Close()
+	ip2, _ := runProgram(t, "[10 20 30] 1 get")
+	if got := topInt(t, ip2); got != 20 {
+		t.Fatalf("get = %d", got)
+	}
+	ip2.Close()
+	ip3, _ := runProgram(t, "/a 3 array def a 2 99 put a 2 get")
+	if got := topInt(t, ip3); got != 99 {
+		t.Fatalf("put/get = %d", got)
+	}
+	ip3.Close()
+	// aload / astore round trip.
+	ip4, _ := runProgram(t, "[1 2 3] aload pop add add")
+	if got := topInt(t, ip4); got != 6 {
+		t.Fatalf("aload sum = %d", got)
+	}
+	ip4.Close()
+	// forall.
+	ip5, _ := runProgram(t, "/s 0 def [5 6 7] { /s exch s add def } forall s")
+	if got := topInt(t, ip5); got != 18 {
+		t.Fatalf("forall sum = %d", got)
+	}
+	ip5.Close()
+}
+
+func TestDictionaries(t *testing.T) {
+	src := `5 dict begin /k 11 def /m 31 def k m add end`
+	ip, _ := runProgram(t, src)
+	if got := topInt(t, ip); got != 42 {
+		t.Fatalf("dict = %d", got)
+	}
+	ip.Close()
+	ip2, _ := runProgram(t, "/d 4 dict def d /key 7 put d /key get")
+	if got := topInt(t, ip2); got != 7 {
+		t.Fatalf("dict put/get = %d", got)
+	}
+	ip2.Close()
+	ip3, _ := runProgram(t, "/d 4 dict def d /a 1 put d /a known d /b known")
+	r2, _ := ip3.pop()
+	r1, _ := ip3.pop()
+	if !ip3.boolVal(r1) || ip3.boolVal(r2) {
+		t.Fatal("known wrong")
+	}
+	ip3.release(r1)
+	ip3.release(r2)
+	ip3.Close()
+}
+
+func TestGraphicsAndText(t *testing.T) {
+	src := `
+	/Times-Roman findfont 12 scalefont setfont
+	newpath 72 700 moveto 200 700 lineto stroke
+	72 650 moveto (hello world) show
+	gsave 2 2 scale 10 10 moveto 20 20 lineto stroke grestore
+	showpage`
+	ip, _ := runProgram(t, src)
+	if ip.Pages != 1 {
+		t.Fatalf("pages = %d", ip.Pages)
+	}
+	if ip.Checksum == 0 {
+		t.Fatal("no rendering work recorded")
+	}
+	ip.Close()
+}
+
+func TestCurrentPointAndRelative(t *testing.T) {
+	ip, _ := runProgram(t, "newpath 10 20 moveto 5 7 rlineto currentpoint")
+	y := topNum(t, ip)
+	x := topNum(t, ip)
+	if x != 15 || y != 27 {
+		t.Fatalf("currentpoint = (%v, %v)", x, y)
+	}
+	ip.Close()
+}
+
+func TestTransformsApplyToPath(t *testing.T) {
+	ip, _ := runProgram(t, "2 3 scale newpath 10 10 moveto currentpoint")
+	y := topNum(t, ip)
+	x := topNum(t, ip)
+	if x != 20 || y != 30 {
+		t.Fatalf("scaled point = (%v, %v)", x, y)
+	}
+	ip.Close()
+	ip2, _ := runProgram(t, "5 7 translate newpath 1 1 moveto currentpoint")
+	y2 := topNum(t, ip2)
+	x2 := topNum(t, ip2)
+	if x2 != 6 || y2 != 8 {
+		t.Fatalf("translated point = (%v, %v)", x2, y2)
+	}
+	ip2.Close()
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"pop",            // stackunderflow
+		"frobnicate",     // undefined
+		"1 2 if",         // typecheck
+		"[1 2 3] 9 get",  // rangecheck
+		"(abc) 2 moveto", // typecheck via popNum
+		"end",            // dictstackunderflow
+		"show",           // stackunderflow
+		"{ 1 } {",        // scanner unbalanced — Run error
+	}
+	for _, src := range cases {
+		h := mheap.New()
+		ip := New(h)
+		if err := ip.Run(src); err == nil {
+			t.Errorf("%q did not error", src)
+		}
+		ip.Close()
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	ip, _ := runProgram(t, `(a\(b\)c) length`)
+	if got := topInt(t, ip); got != 5 {
+		t.Fatalf("escaped string length = %d", got)
+	}
+	ip.Close()
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	ip, _ := runProgram(t, "1 % this is a comment 2 3\n4 add")
+	if got := topInt(t, ip); got != 5 {
+		t.Fatalf("= %d", got)
+	}
+	ip.Close()
+}
+
+func TestNoLeaksAfterClose(t *testing.T) {
+	// The reference-counted interpreter must return the heap to empty:
+	// every temporary, dict, path segment and font freed.
+	srcs := []string{
+		"1 2 add pop",
+		"/f { dup mul } def 5 f pop",
+		"[1 [2 3] (s)] pop",
+		"/d 8 dict def d /x [1 2 3] put",
+		"newpath 0 0 moveto 10 10 lineto stroke showpage",
+		"/Times-Roman findfont 10 scalefont setfont 0 0 moveto (txt) show showpage",
+		GenerateDocument(2, 7),
+	}
+	for i, src := range srcs {
+		h := mheap.New()
+		ip := New(h)
+		if err := ip.Run(src); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		ip.Close()
+		if h.NumObjects() != 0 {
+			t.Errorf("case %d: %d objects leaked", i, h.NumObjects())
+		}
+		if err := h.CheckIntegrity(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateDocumentDeterministic(t *testing.T) {
+	a := GenerateDocument(3, 42)
+	b := GenerateDocument(3, 42)
+	if a != b {
+		t.Fatal("document generation not deterministic")
+	}
+	c := GenerateDocument(3, 43)
+	if a == c {
+		t.Fatal("different seeds gave identical documents")
+	}
+}
+
+func TestRunDocumentProducesValidTrace(t *testing.T) {
+	res, err := RunDocument(GenerateDocument(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages != 3 {
+		t.Fatalf("pages = %d", res.Pages)
+	}
+	if err := trace.Validate(res.Events); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	s, err := trace.Measure(res.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Allocs < 1000 {
+		t.Fatalf("only %d allocations; interpreter should churn", s.Allocs)
+	}
+	if s.Frees != s.Allocs {
+		t.Fatalf("allocs %d != frees %d: refcounting leaked", s.Allocs, s.Frees)
+	}
+	if s.MaxLive == 0 {
+		t.Fatal("no live bytes recorded")
+	}
+}
+
+func TestRunDocumentDeterministicChecksum(t *testing.T) {
+	a, err := RunDocument(GenerateDocument(2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDocument(GenerateDocument(2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum || a.OpCount != b.OpCount {
+		t.Fatal("interpretation not deterministic")
+	}
+	if a.Checksum == 0 || a.OpCount == 0 {
+		t.Fatal("empty interpretation")
+	}
+}
+
+func TestDocumentPhasesVisibleInTrace(t *testing.T) {
+	// Page data dies at showpage: the live-byte curve must sawtooth.
+	res, err := RunDocument(GenerateDocument(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live, maxLive, minAfterPeak uint64
+	sizes := map[trace.ObjectID]uint64{}
+	minAfterPeak = ^uint64(0)
+	for _, e := range res.Events {
+		switch e.Kind {
+		case trace.KindAlloc:
+			sizes[e.ID] = e.Size
+			live += e.Size
+			if live > maxLive {
+				maxLive = live
+			}
+		case trace.KindFree:
+			live -= sizes[e.ID]
+			if maxLive > 0 && live < minAfterPeak {
+				minAfterPeak = live
+			}
+		}
+	}
+	if maxLive < 4*minAfterPeak {
+		t.Fatalf("no page sawtooth: max live %d vs trough %d", maxLive, minAfterPeak)
+	}
+}
+
+func TestScannerNestedProcs(t *testing.T) {
+	toks, err := scan("{ 1 { 2 } 3 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].kind != tProc {
+		t.Fatalf("tokens: %+v", toks)
+	}
+	body := toks[0].proc
+	if len(body) != 3 || body[1].kind != tProc {
+		t.Fatalf("body: %+v", body)
+	}
+}
+
+func TestExecStackOverflowCaught(t *testing.T) {
+	h := mheap.New()
+	ip := New(h)
+	err := ip.Run("/f { f } def f")
+	if err == nil || !strings.Contains(err.Error(), "execstackoverflow") {
+		t.Fatalf("infinite recursion: %v", err)
+	}
+	ip.Close()
+}
+
+func BenchmarkInterpretPage(b *testing.B) {
+	doc := GenerateDocument(1, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := mheap.New()
+		ip := New(h)
+		if err := ip.Run(doc); err != nil {
+			b.Fatal(err)
+		}
+		ip.Close()
+	}
+}

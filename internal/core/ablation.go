@@ -1,0 +1,120 @@
+package core
+
+import "fmt"
+
+// This file holds ablation variants of the dynamic policies: the
+// design choices DESIGN.md §7 calls out, made swappable so the
+// benchmark harness can quantify them. The paper's own choices are
+// the zero values (LEstMidpoint, proportional widening).
+
+// LEstMode selects DTBMEM's estimate of the live volume L, which is
+// only known to lie in [Trace_{n-1}, S_{n-1}].
+type LEstMode int
+
+const (
+	// LEstMidpoint is the paper's estimator: (S + Trace) / 2.
+	LEstMidpoint LEstMode = iota
+	// LEstSurviving uses S_{n-1}: assumes no tenured garbage, so it
+	// overestimates L and collects more aggressively (memory-safe,
+	// CPU-heavy).
+	LEstSurviving
+	// LEstTraced uses Trace_{n-1}: assumes everything untraced is
+	// garbage, underestimating L (CPU-light, risks the budget).
+	LEstTraced
+)
+
+// String names the mode for benchmark output.
+func (m LEstMode) String() string {
+	switch m {
+	case LEstMidpoint:
+		return "midpoint"
+	case LEstSurviving:
+		return "surviving"
+	case LEstTraced:
+		return "traced"
+	default:
+		return fmt.Sprintf("LEstMode(%d)", int(m))
+	}
+}
+
+// DtbMemAblation is DTBMEM with a selectable live estimator.
+type DtbMemAblation struct {
+	MemMax uint64
+	Est    LEstMode
+}
+
+// Name implements Policy.
+func (p DtbMemAblation) Name() string { return "DtbMem[" + p.Est.String() + "]" }
+
+// Boundary implements Policy.
+func (p DtbMemAblation) Boundary(now Time, hist *History, heap Heap) Time {
+	last, ok := hist.Last()
+	if !ok {
+		return 0
+	}
+	mem := heap.BytesInUse()
+	if mem == 0 {
+		return hist.TimeOfPrevious(1)
+	}
+	var lEst float64
+	switch p.Est {
+	case LEstSurviving:
+		lEst = float64(last.Surviving)
+	case LEstTraced:
+		lEst = float64(last.Traced)
+	default:
+		lEst = (float64(last.Surviving) + float64(last.Traced)) / 2
+	}
+	slack := float64(p.MemMax) - lEst
+	if slack <= 0 {
+		return 0
+	}
+	tb := float64(now) * slack / float64(mem)
+	if prev := hist.TimeOfPrevious(1); tb > float64(prev) {
+		return prev
+	}
+	return Time(tb)
+}
+
+// DtbFMAblation is DTBFM with a selectable under-budget widening rule.
+type DtbFMAblation struct {
+	TraceMax uint64
+	// Additive widens the window by the unused byte budget
+	// (TraceMax − Trace_{n-1}) instead of scaling it by
+	// TraceMax/Trace_{n-1}. Additive widening converges more slowly
+	// when traces are tiny, leaving old garbage stranded for longer.
+	Additive bool
+}
+
+// Name implements Policy.
+func (p DtbFMAblation) Name() string {
+	if p.Additive {
+		return "DtbFM[additive]"
+	}
+	return "DtbFM[proportional]"
+}
+
+// Boundary implements Policy.
+func (p DtbFMAblation) Boundary(now Time, hist *History, heap Heap) Time {
+	if !p.Additive {
+		return DtbFM{TraceMax: p.TraceMax}.Boundary(now, hist, heap)
+	}
+	last, ok := hist.Last()
+	if !ok {
+		return 0
+	}
+	if last.Traced > p.TraceMax {
+		return feedMedAdvance(last.TB, p.TraceMax, hist, heap)
+	}
+	window := float64(last.T-last.TB) + float64(p.TraceMax-last.Traced)
+	tb := float64(now) - window
+	if tb < 0 {
+		return 0
+	}
+	if prev := hist.TimeOfPrevious(1); Time(tb) > prev {
+		return prev
+	}
+	return Time(tb)
+}
+
+var _ = []Policy{DtbMemAblation{}, DtbFMAblation{}}

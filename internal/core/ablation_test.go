@@ -1,0 +1,104 @@
+package core
+
+import "testing"
+
+func TestDtbMemAblationMidpointMatchesPaperPolicy(t *testing.T) {
+	h := histWith(Scavenge{T: 1000, TB: 0, Traced: 400, Surviving: 600})
+	heap := &fakeHeap{inUse: 1000}
+	for _, now := range []Time{1500, 2000, 5000} {
+		for _, max := range []uint64{300, 700, 1 << 30} {
+			want := (DtbMem{MemMax: max}).Boundary(now, h, heap)
+			got := (DtbMemAblation{MemMax: max, Est: LEstMidpoint}).Boundary(now, h, heap)
+			if got != want {
+				t.Fatalf("midpoint ablation diverged: %d vs %d (now=%d max=%d)", got, want, now, max)
+			}
+		}
+	}
+}
+
+func TestDtbMemAblationEstimatorOrdering(t *testing.T) {
+	// Larger L estimate => less slack => older boundary (more
+	// collection). Surviving >= midpoint >= traced, so the boundaries
+	// order the other way.
+	h := histWith(Scavenge{T: 1000, TB: 0, Traced: 400, Surviving: 800})
+	heap := &fakeHeap{inUse: 1200}
+	now := Time(2000)
+	max := uint64(1000)
+	surv := (DtbMemAblation{MemMax: max, Est: LEstSurviving}).Boundary(now, h, heap)
+	mid := (DtbMemAblation{MemMax: max, Est: LEstMidpoint}).Boundary(now, h, heap)
+	trac := (DtbMemAblation{MemMax: max, Est: LEstTraced}).Boundary(now, h, heap)
+	if !(surv <= mid && mid <= trac) {
+		t.Fatalf("estimator ordering violated: surviving=%d midpoint=%d traced=%d", surv, mid, trac)
+	}
+}
+
+func TestDtbFMAblationProportionalMatchesPaperPolicy(t *testing.T) {
+	h := histWith(Scavenge{T: 1000, TB: 600, Traced: 50})
+	heap := &fakeHeap{}
+	for _, now := range []Time{1200, 1500, 3000} {
+		want := (DtbFM{TraceMax: 100}).Boundary(now, h, heap)
+		got := (DtbFMAblation{TraceMax: 100}).Boundary(now, h, heap)
+		if got != want {
+			t.Fatalf("proportional ablation diverged: %d vs %d (now=%d)", got, want, now)
+		}
+	}
+}
+
+func TestDtbFMAblationAdditiveWidensLess(t *testing.T) {
+	// With a tiny previous trace the proportional rule multiplies the
+	// window hugely; the additive rule only adds the leftover budget.
+	h := histWith(Scavenge{T: 10000, TB: 9000, Traced: 10})
+	heap := &fakeHeap{}
+	now := Time(12000)
+	prop := (DtbFMAblation{TraceMax: 1000}).Boundary(now, h, heap)
+	add := (DtbFMAblation{TraceMax: 1000, Additive: true}).Boundary(now, h, heap)
+	if add <= prop {
+		t.Fatalf("additive boundary %d should be younger than proportional %d", add, prop)
+	}
+}
+
+func TestDtbFMAblationAdditiveOverBudgetMatchesFeedMed(t *testing.T) {
+	heap := &fakeHeap{objs: []fakeObj{{birth: 1500, size: 60, live: true}}}
+	h := histWith(
+		Scavenge{T: 1000, TB: 0, Traced: 500},
+		Scavenge{T: 2000, TB: 500, Traced: 2000},
+	)
+	want := (FeedMed{TraceMax: 100}).Boundary(3000, h, heap)
+	got := (DtbFMAblation{TraceMax: 100, Additive: true}).Boundary(3000, h, heap)
+	if got != want {
+		t.Fatalf("over-budget additive = %d, want FeedMed's %d", got, want)
+	}
+}
+
+func TestAblationFirstScavengeFull(t *testing.T) {
+	empty := &History{}
+	heap := &fakeHeap{inUse: 100}
+	for _, p := range []Policy{
+		DtbMemAblation{MemMax: 100},
+		DtbMemAblation{MemMax: 100, Est: LEstSurviving},
+		DtbFMAblation{TraceMax: 100},
+		DtbFMAblation{TraceMax: 100, Additive: true},
+	} {
+		if tb := p.Boundary(500, empty, heap); tb != 0 {
+			t.Errorf("%s first boundary = %d", p.Name(), tb)
+		}
+	}
+}
+
+func TestAblationNames(t *testing.T) {
+	cases := map[string]Policy{
+		"DtbMem[midpoint]":    DtbMemAblation{},
+		"DtbMem[surviving]":   DtbMemAblation{Est: LEstSurviving},
+		"DtbMem[traced]":      DtbMemAblation{Est: LEstTraced},
+		"DtbFM[proportional]": DtbFMAblation{},
+		"DtbFM[additive]":     DtbFMAblation{Additive: true},
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+	if LEstMode(99).String() == "" {
+		t.Error("unknown mode renders empty")
+	}
+}

@@ -1,0 +1,292 @@
+// Package core implements the paper's primary contribution: the
+// dynamic-threatening-boundary framework of Barrett & Zorn and the six
+// collector policies of its Table 1.
+//
+// Following Demers et al.'s formalization, memory is partitioned at
+// every scavenge into a threatened set (objects born after the
+// threatening boundary, which are traced and — if unreachable —
+// reclaimed) and an immune set (older objects, skipped). A classic
+// two-generation collector is the special case where the boundary is
+// pinned to the time of a previous scavenge; the dynamic collectors
+// DTBFM and DTBMEM instead recompute the boundary before each scavenge
+// from a single user constraint:
+//
+//   - DTBFM takes Trace_max, a bound on bytes traced per scavenge
+//     (equivalently, a pause-time bound: pause = traced / trace rate);
+//   - DTBMEM takes Mem_max, a bound on total memory in use.
+//
+// Time in this package is the allocation clock — cumulative bytes
+// allocated since program start — which is the natural measure of
+// "object age" for generational collection and the axis the paper's
+// policies are defined on.
+package core
+
+import "fmt"
+
+// Time is a point on the allocation clock: the number of bytes the
+// program had allocated when the event occurred. An object's birth
+// time orders it against any threatening boundary.
+type Time uint64
+
+// Scavenge records the observable outcome of one collection, the
+// history that boundary policies feed on. Field names follow the
+// paper's notation.
+type Scavenge struct {
+	N         int    // 1-based scavenge index
+	T         Time   // t_n: allocation-clock time of the scavenge
+	TB        Time   // TB_n: threatening boundary used
+	MemBefore uint64 // Mem_n: bytes in use just before the scavenge
+	Traced    uint64 // Trace_n: bytes traced (live threatened bytes)
+	Reclaimed uint64 // bytes reclaimed (dead threatened bytes)
+	Surviving uint64 // S_n: bytes in use just after the scavenge
+}
+
+// TenuredGarbage returns the dead bytes left behind by this scavenge:
+// storage that was unreachable but immune (born before TB_n). It is
+// S_n minus the live bytes, which the collector itself can only bound,
+// so this helper is primarily for oracle-equipped simulations that
+// fill in Surviving and know true liveness; it returns Surviving -
+// live when the caller knows live.
+func (s Scavenge) TenuredGarbage(liveBytes uint64) uint64 {
+	if s.Surviving < liveBytes {
+		return 0
+	}
+	return s.Surviving - liveBytes
+}
+
+// History is the ordered record of completed scavenges.
+type History struct {
+	Scavenges []Scavenge
+}
+
+// Len returns the number of completed scavenges.
+func (h *History) Len() int { return len(h.Scavenges) }
+
+// Last returns the most recent scavenge and true, or a zero record and
+// false if none has happened yet.
+func (h *History) Last() (Scavenge, bool) {
+	if len(h.Scavenges) == 0 {
+		return Scavenge{}, false
+	}
+	return h.Scavenges[len(h.Scavenges)-1], true
+}
+
+// TimeOfPrevious returns t_{n-k} for the upcoming scavenge n: the time
+// of the k-th previous scavenge, or 0 when fewer than k scavenges have
+// completed (the paper's t_j for j <= 0, i.e. program start).
+func (h *History) TimeOfPrevious(k int) Time {
+	if k <= 0 {
+		panic("core: TimeOfPrevious requires k >= 1")
+	}
+	i := len(h.Scavenges) - k
+	if i < 0 {
+		return 0
+	}
+	return h.Scavenges[i].T
+}
+
+// Record appends a completed scavenge, assigning its index.
+func (h *History) Record(s Scavenge) {
+	s.N = len(h.Scavenges) + 1
+	h.Scavenges = append(h.Scavenges, s)
+}
+
+// Heap is the view of the heap a boundary policy may consult. Both the
+// trace-driven simulator (internal/sim, with its free-event liveness
+// oracle) and the reachability collector (internal/gc) implement it.
+type Heap interface {
+	// BytesInUse returns the bytes currently occupied, including any
+	// tenured garbage (the paper's Mem_n when sampled just before a
+	// scavenge).
+	BytesInUse() uint64
+	// LiveBytesBornAfter returns the bytes of currently-live objects
+	// born strictly after t — the storage a scavenge with boundary t
+	// would trace.
+	LiveBytesBornAfter(t Time) uint64
+}
+
+// Policy computes the threatening boundary for the next scavenge.
+// Implementations must be deterministic functions of their arguments.
+type Policy interface {
+	// Name returns the collector's identifier (e.g. "DtbFM").
+	Name() string
+	// Boundary returns TB_n for the scavenge about to run at time now,
+	// given the history of scavenges 1..n-1. The result is clamped by
+	// the caller to [0, now]; policies should already respect the
+	// paper's invariant TB_n <= t_{n-1} where their derivation
+	// requires it.
+	Boundary(now Time, hist *History, heap Heap) Time
+}
+
+// Full is the non-generational policy: TB_n = 0, trace everything,
+// reclaim all garbage. Lowest memory use, highest CPU overhead.
+type Full struct{}
+
+// Name implements Policy.
+func (Full) Name() string { return "Full" }
+
+// Boundary implements Policy.
+func (Full) Boundary(Time, *History, Heap) Time { return 0 }
+
+// Fixed is the classic generational policy: TB_n = t_{n-K}, i.e.
+// objects are tenured after surviving K scavenges. Fixed{K: 1} and
+// Fixed{K: 4} are the paper's FIXED1 and FIXED4.
+type Fixed struct {
+	K int // number of scavenges an object must survive to be tenured
+}
+
+// Name implements Policy.
+func (f Fixed) Name() string { return fmt.Sprintf("Fixed%d", f.K) }
+
+// Boundary implements Policy.
+func (f Fixed) Boundary(_ Time, hist *History, _ Heap) Time {
+	if f.K < 1 {
+		panic("core: Fixed policy requires K >= 1")
+	}
+	return hist.TimeOfPrevious(f.K)
+}
+
+// FeedMed is Ungar & Jackson's Feedback Mediation policy: a reactive
+// pause-time limiter. When the previous scavenge traced more than
+// TraceMax bytes, the boundary advances (toward the present) to the
+// oldest prior scavenge time t_k >= TB_{n-1} whose threatened set fits
+// the budget; otherwise the boundary stays put. Because it never moves
+// the boundary back in time, storage tenured under pressure is never
+// reclaimed — the tenured-garbage weakness DTBFM fixes.
+type FeedMed struct {
+	TraceMax uint64 // maximum bytes to trace per scavenge
+}
+
+// Name implements Policy.
+func (FeedMed) Name() string { return "FeedMed" }
+
+// Boundary implements Policy.
+func (p FeedMed) Boundary(now Time, hist *History, heap Heap) Time {
+	last, ok := hist.Last()
+	if !ok {
+		return 0 // first scavenge is full
+	}
+	if last.Traced <= p.TraceMax {
+		return last.TB
+	}
+	return feedMedAdvance(last.TB, p.TraceMax, hist, heap)
+}
+
+// feedMedAdvance implements the FEEDMED table entry: the least t_k
+// (k in [0, n)) with t_k >= TB_{n-1} whose live-born-after storage is
+// within budget. If even the youngest candidate t_{n-1} is over
+// budget, t_{n-1} is returned — the cheapest boundary that still
+// traces every object at least once.
+func feedMedAdvance(prevTB Time, traceMax uint64, hist *History, heap Heap) Time {
+	// Scavenge times are increasing, and LiveBytesBornAfter is
+	// non-increasing in t, so scan from oldest to newest and take the
+	// first candidate under budget.
+	for _, s := range hist.Scavenges {
+		if s.T < prevTB {
+			continue
+		}
+		if heap.LiveBytesBornAfter(s.T) <= traceMax {
+			return s.T
+		}
+	}
+	return hist.TimeOfPrevious(1)
+}
+
+// DtbFM is the paper's pause-time-constrained dynamic-threatening-
+// boundary collector. Over budget it reacts exactly like FeedMed;
+// under budget it exploits the headroom by widening the threatened
+// window in proportion to the unused budget:
+//
+//	TB_n = t_n − (t_{n−1} − TB_{n−1}) · TraceMax / Trace_{n−1}
+//
+// so the median traced volume converges on TraceMax while old garbage
+// (including storage FeedMed would have tenured forever) is
+// periodically reclaimed.
+type DtbFM struct {
+	TraceMax uint64 // maximum bytes to trace per scavenge
+}
+
+// Name implements Policy.
+func (DtbFM) Name() string { return "DtbFM" }
+
+// Boundary implements Policy.
+func (p DtbFM) Boundary(now Time, hist *History, heap Heap) Time {
+	last, ok := hist.Last()
+	if !ok {
+		return 0 // first scavenge is full
+	}
+	if last.Traced > p.TraceMax {
+		return feedMedAdvance(last.TB, p.TraceMax, hist, heap)
+	}
+	if last.Traced == 0 {
+		// No information to scale by; the window widens without
+		// bound, which the clamp below turns into a full collection.
+		return 0
+	}
+	window := float64(last.T-last.TB) * float64(p.TraceMax) / float64(last.Traced)
+	tb := float64(now) - window
+	if tb < 0 {
+		return 0
+	}
+	// Never place the boundary later than the previous scavenge: every
+	// object must be traced at least once (paper §4.1).
+	if prev := hist.TimeOfPrevious(1); Time(tb) > prev {
+		return prev
+	}
+	return Time(tb)
+}
+
+// DtbMem is the paper's memory-constrained dynamic-threatening-
+// boundary collector. It aims the amount of tenured garbage left
+// behind at MemMax − L, estimating the unknowable live volume L as the
+// midpoint of its bounds: Trace_{n−1} ≤ L ≤ S_{n−1}. Assuming
+// conservatively that garbage shrinks linearly as the boundary moves
+// back (slope Mem_n / t_n),
+//
+//	TB_n = min(t_n · (MemMax − L_est) / Mem_n, t_{n−1}),  L_est = (S_{n−1}+Trace_{n−1})/2
+//
+// When MemMax is generous the boundary stays at t_{n−1} and the
+// collector behaves (and costs) like FIXED1; when MemMax is tight or
+// infeasible the boundary is driven to 0 and it degrades gracefully
+// into FULL.
+type DtbMem struct {
+	MemMax uint64 // maximum bytes of memory to use
+}
+
+// Name implements Policy.
+func (DtbMem) Name() string { return "DtbMem" }
+
+// Boundary implements Policy.
+func (p DtbMem) Boundary(now Time, hist *History, heap Heap) Time {
+	last, ok := hist.Last()
+	if !ok {
+		return 0 // first scavenge is full
+	}
+	mem := heap.BytesInUse()
+	if mem == 0 {
+		return hist.TimeOfPrevious(1)
+	}
+	lEst := (float64(last.Surviving) + float64(last.Traced)) / 2
+	slack := float64(p.MemMax) - lEst
+	if slack <= 0 {
+		return 0 // over-constrained: collect everything
+	}
+	tb := float64(now) * slack / float64(mem)
+	if prev := hist.TimeOfPrevious(1); tb > float64(prev) {
+		return prev
+	}
+	return Time(tb)
+}
+
+// ClampBoundary enforces the universal invariants on a policy result:
+// the boundary cannot be in the future, and a negative boundary is
+// program start. Simulators call it on every policy output so a buggy
+// or experimental policy cannot corrupt a run.
+func ClampBoundary(tb, now Time) Time {
+	if tb > now {
+		return now
+	}
+	return tb
+}
+
+var _ = []Policy{Full{}, Fixed{K: 1}, FeedMed{}, DtbFM{}, DtbMem{}}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeHeap implements Heap from a set of (birth, size, live) triples.
+type fakeHeap struct {
+	inUse uint64
+	objs  []fakeObj
+}
+
+type fakeObj struct {
+	birth Time
+	size  uint64
+	live  bool
+}
+
+func (h *fakeHeap) BytesInUse() uint64 { return h.inUse }
+
+func (h *fakeHeap) LiveBytesBornAfter(t Time) uint64 {
+	var sum uint64
+	for _, o := range h.objs {
+		if o.live && o.birth > t {
+			sum += o.size
+		}
+	}
+	return sum
+}
+
+func histWith(scavs ...Scavenge) *History {
+	h := &History{}
+	for _, s := range scavs {
+		h.Record(s)
+	}
+	return h
+}
+
+func TestHistoryRecordAssignsIndices(t *testing.T) {
+	h := histWith(Scavenge{T: 10}, Scavenge{T: 20})
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if h.Scavenges[0].N != 1 || h.Scavenges[1].N != 2 {
+		t.Fatalf("indices not assigned: %+v", h.Scavenges)
+	}
+	last, ok := h.Last()
+	if !ok || last.T != 20 {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+}
+
+func TestHistoryEmptyLast(t *testing.T) {
+	h := &History{}
+	if _, ok := h.Last(); ok {
+		t.Fatal("empty history reported a last scavenge")
+	}
+}
+
+func TestTimeOfPrevious(t *testing.T) {
+	h := histWith(Scavenge{T: 10}, Scavenge{T: 20}, Scavenge{T: 30})
+	cases := []struct {
+		k    int
+		want Time
+	}{{1, 30}, {2, 20}, {3, 10}, {4, 0}, {100, 0}}
+	for _, c := range cases {
+		if got := h.TimeOfPrevious(c.k); got != c.want {
+			t.Errorf("TimeOfPrevious(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestTimeOfPreviousPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TimeOfPrevious(0) did not panic")
+		}
+	}()
+	(&History{}).TimeOfPrevious(0)
+}
+
+func TestTenuredGarbage(t *testing.T) {
+	s := Scavenge{Surviving: 100}
+	if g := s.TenuredGarbage(60); g != 40 {
+		t.Errorf("TenuredGarbage = %d, want 40", g)
+	}
+	if g := s.TenuredGarbage(200); g != 0 {
+		t.Errorf("TenuredGarbage with live > surviving = %d, want 0", g)
+	}
+}
+
+func TestFullAlwaysZero(t *testing.T) {
+	p := Full{}
+	if p.Name() != "Full" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	h := histWith(Scavenge{T: 100, TB: 50})
+	if tb := p.Boundary(200, h, &fakeHeap{}); tb != 0 {
+		t.Errorf("Full boundary = %d, want 0", tb)
+	}
+}
+
+func TestFixedPolicies(t *testing.T) {
+	h := histWith(Scavenge{T: 10}, Scavenge{T: 20}, Scavenge{T: 30}, Scavenge{T: 40})
+	if tb := (Fixed{K: 1}).Boundary(50, h, nil); tb != 40 {
+		t.Errorf("Fixed1 = %d, want 40", tb)
+	}
+	if tb := (Fixed{K: 4}).Boundary(50, h, nil); tb != 10 {
+		t.Errorf("Fixed4 = %d, want 10", tb)
+	}
+	// Before enough scavenges have happened, FixedK collects fully.
+	h2 := histWith(Scavenge{T: 10})
+	if tb := (Fixed{K: 4}).Boundary(20, h2, nil); tb != 0 {
+		t.Errorf("Fixed4 early = %d, want 0", tb)
+	}
+	if (Fixed{K: 1}).Name() != "Fixed1" || (Fixed{K: 4}).Name() != "Fixed4" {
+		t.Error("Fixed names wrong")
+	}
+}
+
+func TestFixedPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fixed{K:0} did not panic")
+		}
+	}()
+	(Fixed{K: 0}).Boundary(10, &History{}, nil)
+}
+
+func TestFirstScavengeIsFullForAllPolicies(t *testing.T) {
+	// Paper: "Both collectors do a full collection on the first
+	// scavenging by setting the initial threatening boundary to 0."
+	heap := &fakeHeap{inUse: 500}
+	empty := &History{}
+	policies := []Policy{Full{}, Fixed{K: 1}, Fixed{K: 4}, FeedMed{TraceMax: 100}, DtbFM{TraceMax: 100}, DtbMem{MemMax: 1000}}
+	for _, p := range policies {
+		if tb := p.Boundary(1000, empty, heap); tb != 0 {
+			t.Errorf("%s first boundary = %d, want 0", p.Name(), tb)
+		}
+	}
+}
+
+func TestFeedMedUnderBudgetKeepsBoundary(t *testing.T) {
+	p := FeedMed{TraceMax: 100}
+	h := histWith(Scavenge{T: 1000, TB: 400, Traced: 80})
+	if tb := p.Boundary(2000, h, &fakeHeap{}); tb != 400 {
+		t.Errorf("under-budget FeedMed moved boundary to %d, want 400", tb)
+	}
+}
+
+func TestFeedMedOverBudgetAdvances(t *testing.T) {
+	p := FeedMed{TraceMax: 100}
+	// Scavenges at t=1000, 2000, 3000. Previous TB was 1000 and traced
+	// 150 (> 100). Live bytes born after 1000: 150; after 2000: 90.
+	// FEEDMED should pick the least t_k under budget => 2000.
+	heap := &fakeHeap{objs: []fakeObj{
+		{birth: 1500, size: 60, live: true},
+		{birth: 2500, size: 90, live: true},
+		{birth: 500, size: 999, live: true}, // immune either way
+	}}
+	h := histWith(
+		Scavenge{T: 1000, TB: 0, Traced: 500},
+		Scavenge{T: 2000, TB: 500, Traced: 120},
+		Scavenge{T: 3000, TB: 1000, Traced: 150},
+	)
+	if tb := p.Boundary(4000, h, heap); tb != 2000 {
+		t.Errorf("FeedMed advanced to %d, want 2000", tb)
+	}
+}
+
+func TestFeedMedNeverRetreatsBeforePrevTB(t *testing.T) {
+	p := FeedMed{TraceMax: 1000000}
+	// Hugely over budget previously, but all candidates fit now; the
+	// boundary must still be >= TB_{n-1}, never younger history.
+	heap := &fakeHeap{}
+	h := histWith(
+		Scavenge{T: 100, TB: 0, Traced: 10},
+		Scavenge{T: 200, TB: 150, Traced: 2000000},
+	)
+	tb := p.Boundary(300, h, heap)
+	if tb < 150 {
+		t.Errorf("FeedMed retreated to %d, before previous TB 150", tb)
+	}
+}
+
+func TestFeedMedAllCandidatesOverBudget(t *testing.T) {
+	p := FeedMed{TraceMax: 10}
+	heap := &fakeHeap{objs: []fakeObj{{birth: 2900, size: 500, live: true}}}
+	h := histWith(
+		Scavenge{T: 1000, TB: 0, Traced: 50},
+		Scavenge{T: 2000, TB: 1000, Traced: 60},
+		Scavenge{T: 3000, TB: 2000, Traced: 70},
+	)
+	// Even t_{n-1}=3000's young set is over budget... actually the
+	// object born at 2900 is before 3000, so born-after-3000 is 0 <= 10
+	// and 3000 qualifies.
+	if tb := p.Boundary(4000, h, heap); tb != 3000 {
+		t.Errorf("FeedMed = %d, want 3000 (cheapest boundary)", tb)
+	}
+}
+
+func TestDtbFMWidensWindowProportionally(t *testing.T) {
+	p := DtbFM{TraceMax: 100}
+	// Previous window (t_{n-1} - TB_{n-1}) = 1000-600 = 400, traced 50,
+	// budget 100 => new window 800 back from now=2000 => TB 1200, but
+	// clamped to t_{n-1} = 1000.
+	h := histWith(Scavenge{T: 1000, TB: 600, Traced: 50})
+	if tb := p.Boundary(2000, h, &fakeHeap{}); tb != 1000 {
+		t.Errorf("DtbFM = %d, want clamp at 1000", tb)
+	}
+	// With now = 1500 the unclamped value 1500-800 = 700 applies.
+	if tb := p.Boundary(1500, h, &fakeHeap{}); tb != 700 {
+		t.Errorf("DtbFM = %d, want 700", tb)
+	}
+}
+
+func TestDtbFMOverBudgetUsesFeedMed(t *testing.T) {
+	fm := FeedMed{TraceMax: 100}
+	dtb := DtbFM{TraceMax: 100}
+	heap := &fakeHeap{objs: []fakeObj{
+		{birth: 1500, size: 60, live: true},
+		{birth: 2500, size: 90, live: true},
+	}}
+	h := histWith(
+		Scavenge{T: 1000, TB: 0, Traced: 500},
+		Scavenge{T: 2000, TB: 500, Traced: 120},
+		Scavenge{T: 3000, TB: 1000, Traced: 150},
+	)
+	if got, want := dtb.Boundary(4000, h, heap), fm.Boundary(4000, h, heap); got != want {
+		t.Errorf("over-budget DtbFM = %d, want FeedMed's %d", got, want)
+	}
+}
+
+func TestDtbFMZeroTraceGoesFull(t *testing.T) {
+	p := DtbFM{TraceMax: 100}
+	h := histWith(Scavenge{T: 1000, TB: 900, Traced: 0})
+	if tb := p.Boundary(2000, h, &fakeHeap{}); tb != 0 {
+		t.Errorf("DtbFM with zero previous trace = %d, want 0", tb)
+	}
+}
+
+func TestDtbFMWindowCannotUnderflow(t *testing.T) {
+	p := DtbFM{TraceMax: 1 << 40} // enormous budget
+	h := histWith(Scavenge{T: 1000, TB: 0, Traced: 1})
+	if tb := p.Boundary(2000, h, &fakeHeap{}); tb != 0 {
+		t.Errorf("DtbFM huge budget = %d, want 0 (full)", tb)
+	}
+}
+
+func TestDtbMemGenerousBudgetActsLikeFixed1(t *testing.T) {
+	p := DtbMem{MemMax: 1 << 40}
+	h := histWith(Scavenge{T: 1000, TB: 0, Traced: 400, Surviving: 600})
+	heap := &fakeHeap{inUse: 900}
+	if tb := p.Boundary(2000, h, heap); tb != 1000 {
+		t.Errorf("generous DtbMem = %d, want t_{n-1} = 1000", tb)
+	}
+}
+
+func TestDtbMemOverConstrainedGoesFull(t *testing.T) {
+	// L_est = (600+400)/2 = 500 >= MemMax = 300: collect everything.
+	p := DtbMem{MemMax: 300}
+	h := histWith(Scavenge{T: 1000, TB: 0, Traced: 400, Surviving: 600})
+	heap := &fakeHeap{inUse: 900}
+	if tb := p.Boundary(2000, h, heap); tb != 0 {
+		t.Errorf("over-constrained DtbMem = %d, want 0", tb)
+	}
+}
+
+func TestDtbMemProportionalMiddleGround(t *testing.T) {
+	// L_est = 500, slack = 700-500 = 200, mem = 1000, now = 2000:
+	// tb = 2000 * 200/1000 = 400 (< t_{n-1}=1000, no clamp).
+	p := DtbMem{MemMax: 700}
+	h := histWith(Scavenge{T: 1000, TB: 0, Traced: 400, Surviving: 600})
+	heap := &fakeHeap{inUse: 1000}
+	if tb := p.Boundary(2000, h, heap); tb != 400 {
+		t.Errorf("DtbMem = %d, want 400", tb)
+	}
+}
+
+func TestDtbMemZeroMemInUse(t *testing.T) {
+	p := DtbMem{MemMax: 700}
+	h := histWith(Scavenge{T: 1000, TB: 0, Traced: 0, Surviving: 0})
+	if tb := p.Boundary(2000, h, &fakeHeap{inUse: 0}); tb != 1000 {
+		t.Errorf("DtbMem on empty heap = %d, want t_{n-1}", tb)
+	}
+}
+
+func TestDtbMemTighterBudgetOlderBoundary(t *testing.T) {
+	// Monotonicity: a smaller MemMax must never give a younger
+	// boundary (more budget => less collection pressure).
+	h := histWith(Scavenge{T: 5000, TB: 1000, Traced: 800, Surviving: 1200})
+	heap := &fakeHeap{inUse: 2500}
+	check := func(a, b uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tbLo := (DtbMem{MemMax: lo}).Boundary(6000, h, heap)
+		tbHi := (DtbMem{MemMax: hi}).Boundary(6000, h, heap)
+		return tbLo <= tbHi
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDtbFMLargerBudgetOlderBoundary(t *testing.T) {
+	// Monotonicity: under budget, a larger TraceMax widens the window
+	// (older TB) until the clamps engage.
+	h := histWith(Scavenge{T: 1000, TB: 800, Traced: 100})
+	heap := &fakeHeap{}
+	check := func(a, b uint16) bool {
+		lo, hi := uint64(a)+101, uint64(b)+101 // stay in the under-budget branch
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tbLo := (DtbFM{TraceMax: lo}).Boundary(1200, h, heap)
+		tbHi := (DtbFM{TraceMax: hi}).Boundary(1200, h, heap)
+		return tbHi <= tbLo
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundariesNeverInFuture(t *testing.T) {
+	// Property: for arbitrary (sane) histories, every policy's clamped
+	// boundary is within [0, now] and respects TB <= t_{n-1} for the
+	// policies that promise it.
+	check := func(t1raw, tracedRaw, survRaw, memRaw uint16) bool {
+		t1 := Time(t1raw) + 1
+		now := t1 * 2
+		hist := histWith(Scavenge{
+			T: t1, TB: 0,
+			Traced:    uint64(tracedRaw),
+			Surviving: uint64(survRaw),
+			MemBefore: uint64(memRaw),
+		})
+		heap := &fakeHeap{inUse: uint64(memRaw)}
+		for _, p := range []Policy{Full{}, Fixed{K: 1}, Fixed{K: 4}, FeedMed{TraceMax: 500}, DtbFM{TraceMax: 500}, DtbMem{MemMax: 800}} {
+			tb := ClampBoundary(p.Boundary(now, hist, heap), now)
+			if tb > now {
+				return false
+			}
+			switch p.(type) {
+			case DtbFM, DtbMem, Fixed:
+				if tb > t1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampBoundary(t *testing.T) {
+	if ClampBoundary(500, 100) != 100 {
+		t.Error("future boundary not clamped to now")
+	}
+	if ClampBoundary(50, 100) != 50 {
+		t.Error("valid boundary altered")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[Policy]string{
+		Full{}:               "Full",
+		Fixed{K: 1}:          "Fixed1",
+		FeedMed{TraceMax: 1}: "FeedMed",
+		DtbFM{TraceMax: 1}:   "DtbFM",
+		DtbMem{MemMax: 1}:    "DtbMem",
+	}
+	for p, want := range names {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}

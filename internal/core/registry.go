@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsePolicy builds a Policy from a command-line specification.
+// Accepted forms (case-insensitive):
+//
+//	full
+//	fixed1, fixed4, fixedK (any K >= 1)
+//	feedmed:<traceMaxBytes>
+//	dtbfm:<traceMaxBytes>
+//	dtbmem:<memMaxBytes>
+//
+// The byte arguments accept an optional k/m suffix (binary units), so
+// "dtbfm:50k" is the paper's 50-kilobyte trace budget.
+func ParsePolicy(spec string) (Policy, error) {
+	name, arg, hasArg := strings.Cut(strings.ToLower(strings.TrimSpace(spec)), ":")
+	switch {
+	case name == "full":
+		if hasArg {
+			return nil, fmt.Errorf("core: policy %q takes no argument", name)
+		}
+		return Full{}, nil
+	case strings.HasPrefix(name, "fixed"):
+		if hasArg {
+			return nil, fmt.Errorf("core: policy %q takes no argument", name)
+		}
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "fixed"))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("core: bad fixed policy %q: want fixedK with K >= 1", spec)
+		}
+		return Fixed{K: k}, nil
+	case name == "feedmed", name == "dtbfm", name == "dtbmem":
+		if !hasArg {
+			return nil, fmt.Errorf("core: policy %q requires an argument, e.g. %q", name, name+":50k")
+		}
+		n, err := parseBytes(arg)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy %q: %v", spec, err)
+		}
+		switch name {
+		case "feedmed":
+			return FeedMed{TraceMax: n}, nil
+		case "dtbfm":
+			return DtbFM{TraceMax: n}, nil
+		default:
+			return DtbMem{MemMax: n}, nil
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q (known: %s)", spec, strings.Join(KnownPolicies(), ", "))
+	}
+}
+
+// KnownPolicies lists the accepted ParsePolicy spellings for help text.
+func KnownPolicies() []string {
+	names := []string{"full", "fixed1", "fixed4", "feedmed:<bytes>", "dtbfm:<bytes>", "dtbmem:<bytes>"}
+	sort.Strings(names)
+	return names
+}
+
+func parseBytes(s string) (uint64, error) {
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult, s = 1024, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"), strings.HasSuffix(s, "M"):
+		mult, s = 1024*1024, s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	return n * mult, nil
+}

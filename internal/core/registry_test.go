@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicyValid(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Policy
+	}{
+		{"full", Full{}},
+		{"FULL", Full{}},
+		{" full ", Full{}},
+		{"fixed1", Fixed{K: 1}},
+		{"fixed4", Fixed{K: 4}},
+		{"fixed12", Fixed{K: 12}},
+		{"feedmed:50k", FeedMed{TraceMax: 50 * 1024}},
+		{"dtbfm:50k", DtbFM{TraceMax: 50 * 1024}},
+		{"dtbmem:3000k", DtbMem{MemMax: 3000 * 1024}},
+		{"dtbmem:2m", DtbMem{MemMax: 2 * 1024 * 1024}},
+		{"dtbfm:12345", DtbFM{TraceMax: 12345}},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.spec)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q) error: %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePolicy(%q) = %#v, want %#v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParsePolicyInvalid(t *testing.T) {
+	cases := []string{
+		"", "bogus", "fixed", "fixed0", "fixedx", "fixed1:5",
+		"full:1", "feedmed", "dtbfm", "dtbmem", "dtbfm:abc",
+		"dtbmem:-5", "feedmed:1.5k",
+	}
+	for _, spec := range cases {
+		if _, err := ParsePolicy(spec); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted invalid spec", spec)
+		}
+	}
+}
+
+func TestParsePolicyErrorMentionsKnown(t *testing.T) {
+	_, err := ParsePolicy("nosuch")
+	if err == nil || !strings.Contains(err.Error(), "full") {
+		t.Fatalf("error should list known policies, got %v", err)
+	}
+}
+
+func TestKnownPoliciesSorted(t *testing.T) {
+	names := KnownPolicies()
+	if len(names) < 5 {
+		t.Fatalf("too few known policies: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("KnownPolicies not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package gc
+
+// Differential validation of the two engines: for a workload without
+// inter-object pointers, liveness-by-reachability (this package)
+// coincides with the free-event oracle (internal/sim), so running the
+// same schedule through both with the same policy and trigger must
+// produce the same scavenge history, byte for byte.
+//
+// Policies that consult LiveBytesBornAfter are excluded: the real
+// collector cannot see that an unreachable-but-uncollected object is
+// dead, while the oracle can, so FEEDMED-family boundaries legitimately
+// differ between the engines.
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// schedule is one allocation plan: sizes in allocation order, and for
+// each object the index of the allocation after which it dies (-1 =
+// never).
+type schedule struct {
+	dataBytes []int
+	deathAt   []int
+}
+
+func randomSchedule(r *xrand.Rand, n int) schedule {
+	s := schedule{dataBytes: make([]int, n), deathAt: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s.dataBytes[i] = r.Range(8, 512)
+		if r.Bool(0.15) {
+			s.deathAt[i] = -1 // permanent
+		} else {
+			s.deathAt[i] = i + 1 + r.Intn(n/4+1)
+		}
+	}
+	return s
+}
+
+// runGC executes the schedule on the reachability collector with
+// manual triggering matching the simulator's (scavenge after the
+// allocation that crosses the trigger).
+func runGC(s schedule, policy core.Policy, trigger uint64) ([]core.Scavenge, error) {
+	h := mheap.New()
+	c, err := New(h, Options{Policy: policy})
+	if err != nil {
+		return nil, err
+	}
+	var since uint64
+	for i, data := range s.dataBytes {
+		ref := c.Alloc(0, data)
+		c.SetGlobal(fmt.Sprintf("o%d", i), ref)
+		since += uint64(h.TotalSize(ref))
+		// Trigger check first: the simulator scavenges while
+		// processing the allocation event, before this step's frees.
+		if since >= trigger {
+			since = 0
+			c.Collect()
+		}
+		// Deaths scheduled at this index: drop the roots.
+		for j := 0; j <= i; j++ {
+			if s.deathAt[j] == i {
+				c.SetGlobal(fmt.Sprintf("o%d", j), mheap.Nil)
+			}
+		}
+	}
+	return c.History().Scavenges, nil
+}
+
+// runSim executes the same schedule through the oracle simulator.
+// Event sizes use the heap's total object size (header included) so
+// both engines see identical byte streams.
+func runSim(s schedule, policy core.Policy, trigger uint64) ([]core.Scavenge, error) {
+	// Determine each object's total size the same way mheap does:
+	// header (16) + payload, rounded to the allocation class. The
+	// birth clock in mheap advances by header+payload (unrounded), so
+	// use that for event sizes.
+	b := trace.NewBuilder()
+	ids := make([]trace.ObjectID, len(s.dataBytes))
+	for i, data := range s.dataBytes {
+		b.Advance(10)
+		ids[i] = b.Alloc(uint64(16 + data))
+		for j := 0; j <= i; j++ {
+			if s.deathAt[j] == i {
+				b.Free(ids[j])
+			}
+		}
+	}
+	res, err := sim.Run(b.Events(), sim.Config{Policy: policy, TriggerBytes: trigger})
+	if err != nil {
+		return nil, err
+	}
+	return res.History.Scavenges, nil
+}
+
+func policiesUnderTest() []core.Policy {
+	return []core.Policy{
+		core.Full{},
+		core.Fixed{K: 1},
+		core.Fixed{K: 3},
+		core.DtbMem{MemMax: 24 * 1024},
+		core.DtbMem{MemMax: 1 << 30},
+	}
+}
+
+func TestEnginesAgreeScripted(t *testing.T) {
+	r := xrand.New(2718)
+	s := randomSchedule(r, 400)
+	for _, p := range policiesUnderTest() {
+		gcHist, err := runGC(s, p, 8*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simHist, err := runSim(s, p, 8*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gcHist) != len(simHist) {
+			t.Fatalf("%s: %d gc scavenges vs %d sim scavenges", p.Name(), len(gcHist), len(simHist))
+		}
+		for i := range gcHist {
+			g, m := gcHist[i], simHist[i]
+			if g.T != m.T || g.TB != m.TB || g.Traced != m.Traced ||
+				g.Reclaimed != m.Reclaimed || g.Surviving != m.Surviving {
+				t.Fatalf("%s scavenge %d:\n gc  %+v\n sim %+v", p.Name(), i+1, g, m)
+			}
+		}
+	}
+}
+
+func TestEnginesAgreeProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := randomSchedule(r, 150+r.Intn(150))
+		for _, p := range policiesUnderTest() {
+			gcHist, err := runGC(s, p, 4*1024)
+			if err != nil {
+				return false
+			}
+			simHist, err := runSim(s, p, 4*1024)
+			if err != nil {
+				return false
+			}
+			if len(gcHist) != len(simHist) {
+				return false
+			}
+			for i := range gcHist {
+				if gcHist[i] != simHist[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

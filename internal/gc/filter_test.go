@@ -1,0 +1,220 @@
+package gc
+
+// Differential tests for the FilterRecent remembered-set optimization:
+// the filtered collector must reclaim exactly what the eager one does
+// on any mutation/scavenge schedule, while recording fewer barrier
+// entries.
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// twin drives one scripted mutator against eager and filtered
+// collectors in lockstep.
+type twin struct {
+	hE, hF *mheap.Heap
+	cE, cF *Collector
+	// Parallel object handles: refs[i] on each heap.
+	refsE, refsF []mheap.Ref
+}
+
+func newTwin() *twin {
+	tw := &twin{hE: mheap.New(), hF: mheap.New()}
+	var err error
+	tw.cE, err = New(tw.hE, Options{Policy: core.Full{}})
+	if err != nil {
+		panic(err)
+	}
+	tw.cF, err = New(tw.hF, Options{Policy: core.Full{}, FilterRecent: true})
+	if err != nil {
+		panic(err)
+	}
+	return tw
+}
+
+func (tw *twin) alloc(nptrs, data int) int {
+	tw.refsE = append(tw.refsE, tw.cE.Alloc(nptrs, data))
+	tw.refsF = append(tw.refsF, tw.cF.Alloc(nptrs, data))
+	return len(tw.refsE) - 1
+}
+
+func (tw *twin) setPtr(src, field, dst int) {
+	var dE, dF mheap.Ref
+	if dst >= 0 {
+		dE, dF = tw.refsE[dst], tw.refsF[dst]
+	}
+	tw.hE.SetPtr(tw.refsE[src], field, dE)
+	tw.hF.SetPtr(tw.refsF[src], field, dF)
+}
+
+func (tw *twin) root(i int, name string) {
+	tw.cE.SetGlobal(name, tw.refsE[i])
+	tw.cF.SetGlobal(name, tw.refsF[i])
+}
+
+func (tw *twin) collectAt(tbE, tbF core.Time) (core.Scavenge, core.Scavenge) {
+	return tw.cE.CollectAt(tbE), tw.cF.CollectAt(tbF)
+}
+
+// agree verifies both heaps contain exactly the same object indices.
+func (tw *twin) agree(t *testing.T) {
+	t.Helper()
+	for i := range tw.refsE {
+		e := tw.hE.Contains(tw.refsE[i])
+		f := tw.hF.Contains(tw.refsF[i])
+		if e != f {
+			t.Fatalf("object %d: eager alive=%v filtered alive=%v", i, e, f)
+		}
+	}
+}
+
+func TestFilterRecentSameOutcomesScripted(t *testing.T) {
+	tw := newTwin()
+	// Old live root, old garbage chain, remembered-pointer target.
+	g := tw.alloc(1, 16)
+	tw.root(g, "G")
+	i1 := tw.alloc(1, 16)
+	j := tw.alloc(1, 16)
+	tw.setPtr(i1, 0, j)
+	k := tw.alloc(0, 16)
+	tw.setPtr(g, 0, k)
+	cutE, cutF := tw.hE.Clock(), tw.hF.Clock()
+	f := tw.alloc(0, 16)
+	tw.setPtr(j, 0, f)
+	tw.alloc(0, 16) // young garbage
+	a := tw.alloc(1, 16)
+	tw.root(a, "A")
+
+	s1e, s1f := tw.collectAt(core.Time(cutE), core.Time(cutF))
+	if s1e.Reclaimed != s1f.Reclaimed || s1e.Traced != s1f.Traced {
+		t.Fatalf("scavenge 1 differs: eager %+v filtered %+v", s1e, s1f)
+	}
+	tw.agree(t)
+
+	s2e, s2f := tw.collectAt(0, 0)
+	if s2e.Reclaimed != s2f.Reclaimed {
+		t.Fatalf("scavenge 2 differs: %d vs %d", s2e.Reclaimed, s2f.Reclaimed)
+	}
+	tw.agree(t)
+}
+
+func TestFilterRecentSameOutcomesRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		tw := newTwin()
+		var rooted []int
+		for step := 0; step < 250; step++ {
+			switch {
+			case len(rooted) > 1 && r.Bool(0.35):
+				src := rooted[r.Intn(len(rooted))]
+				if n := tw.hE.NumPtrs(tw.refsE[src]); n > 0 {
+					tw.setPtr(src, r.Intn(n), rooted[r.Intn(len(rooted))])
+				}
+			case r.Bool(0.12):
+				// Scavenge both at the same boundary fraction of
+				// their (identical) clocks.
+				now := tw.hE.Clock()
+				if tw.hF.Clock() != now {
+					return false // clocks must stay in lockstep
+				}
+				tb := core.Time(r.Int63n(int64(now) + 1))
+				se, sf := tw.collectAt(tb, tb)
+				if se.Traced != sf.Traced || se.Reclaimed != sf.Reclaimed {
+					return false
+				}
+				if tw.cE.CheckRememberedInvariant() != nil || tw.cF.CheckRememberedInvariant() != nil {
+					return false
+				}
+			default:
+				i := tw.alloc(r.Intn(3), r.Intn(96))
+				if r.Bool(0.4) {
+					// Unique root names: an overwritten global would
+					// silently unroot an earlier object the script
+					// still mutates.
+					tw.root(i, fmt.Sprintf("g%d", i))
+					rooted = append(rooted, i)
+				}
+			}
+		}
+		se, sf := tw.collectAt(0, 0)
+		if se.Reclaimed != sf.Reclaimed {
+			return false
+		}
+		for i := range tw.refsE {
+			if tw.hE.Contains(tw.refsE[i]) != tw.hF.Contains(tw.refsF[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterRecentShrinksRememberedSet(t *testing.T) {
+	build := func(filter bool) *Collector {
+		h := mheap.New()
+		c, err := New(h, Options{Policy: core.Fixed{K: 1}, FilterRecent: filter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allocation-heavy mutator: lots of young-to-younger stores
+		// that die before any scavenge.
+		prev := c.Alloc(1, 16)
+		c.PushRoot(prev)
+		for i := 0; i < 500; i++ {
+			next := c.Alloc(1, 16)
+			h.SetPtr(prev, 0, next) // forward pointer, young source
+			prev = next
+		}
+		return c
+	}
+	eager := build(false)
+	filtered := build(true)
+	if filtered.RememberedSize() >= eager.RememberedSize() {
+		t.Fatalf("filter did not shrink set: %d vs %d", filtered.RememberedSize(), eager.RememberedSize())
+	}
+	if filtered.BarrierSkips() == 0 {
+		t.Fatal("no barrier skips counted")
+	}
+	if eager.BarrierSkips() != 0 {
+		t.Fatal("eager collector reported skips")
+	}
+}
+
+func TestFilterRecentRebuildsEntriesForSurvivors(t *testing.T) {
+	h := mheap.New()
+	c, err := New(h, Options{Policy: core.Full{}, FilterRecent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Young chain root -> a -> b created entirely after "last
+	// scavenge" (time 0): the a->b store is skipped by the barrier.
+	a := c.Alloc(1, 16)
+	c.SetGlobal("a", a)
+	b := c.Alloc(0, 16)
+	h.SetPtr(a, 0, b)
+	if c.RememberedSize() != 0 {
+		t.Fatalf("young store recorded eagerly: %d entries", c.RememberedSize())
+	}
+	// Scavenge 1 (full): both survive; the a->b forward pointer must
+	// now be re-recorded, because at scavenge 2 a may be immune.
+	c.CollectAt(0)
+	if c.RememberedSize() != 1 {
+		t.Fatalf("trace-time re-record missing: %d entries", c.RememberedSize())
+	}
+	// Scavenge 2 with a immune, b threatened: only the remembered
+	// entry keeps b alive.
+	cut := h.Birth(a)
+	c.CollectAt(cut)
+	if !h.Contains(b) {
+		t.Fatal("filtered remembered set lost a live object")
+	}
+}

@@ -1,0 +1,399 @@
+// Package gc implements the dynamic-threatening-boundary collector as
+// a real reachability-based collector over the byte-array heap of
+// internal/mheap — the mechanism the paper's §4.2 describes, as
+// opposed to the oracle-driven simulation in internal/sim.
+//
+// The collector keeps:
+//
+//   - a root set (program globals and a root stack standing in for
+//     machine registers and the call stack);
+//   - a single remembered set holding the locations of ALL
+//     forward-in-time pointers (stores where the source object is
+//     older than the referent), maintained by the heap's write
+//     barrier. A classic generational collector records only stores
+//     that cross generation boundaries; because our boundary moves,
+//     every old-to-young edge may cross some future boundary and must
+//     be remembered (paper §4.2).
+//
+// A scavenge at boundary TB threatens every object born after TB. Its
+// roots are the program roots that are threatened plus the remembered
+// locations whose source is immune and whose current referent is
+// threatened. Tracing proceeds only through threatened objects;
+// everything threatened and unreached is reclaimed in bulk.
+//
+// This faithfully reproduces the paper's Figure 1 semantics, including
+// nepotism (a dead immune object whose remembered pointer keeps a dead
+// threatened object alive) and untenuring (moving the boundary back on
+// a later scavenge reclaims previously immune garbage).
+package gc
+
+import (
+	"fmt"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+// ptrLoc names one pointer slot in the heap.
+type ptrLoc struct {
+	src   mheap.Ref
+	field int
+}
+
+// Collector drives threatening-boundary collection over a heap.
+type Collector struct {
+	heap   *mheap.Heap
+	policy core.Policy
+
+	globals    map[string]mheap.Ref
+	rootStack  []mheap.Ref
+	remembered map[ptrLoc]struct{}
+
+	hist         core.History
+	triggerBytes uint64
+	sinceTrigger uint64
+	autoCollect  bool
+
+	// Remembered-set filtering (Options.FilterRecent): stores whose
+	// source was born after the last scavenge are not recorded at
+	// store time — the source is guaranteed to be threatened at the
+	// next scavenge (every policy keeps TB <= t_{n-1}), and tracing
+	// re-records its surviving forward pointers then.
+	filterRecent bool
+	lastScavenge core.Time
+	barrierSkips uint64
+
+	// Accumulated metrics.
+	tracedTotal    uint64
+	reclaimedTotal uint64
+	collections    int
+}
+
+// Options configures a Collector.
+type Options struct {
+	// Policy selects the threatening boundary (required).
+	Policy core.Policy
+	// TriggerBytes scavenges after this much allocation when
+	// AutoCollect is set; defaults to 1 MB.
+	TriggerBytes uint64
+	// AutoCollect runs scavenges automatically from Alloc. When false
+	// the program calls Collect explicitly.
+	AutoCollect bool
+	// FilterRecent enables the TB_min write-barrier optimization of
+	// §4 ("pointer a need never be recorded"): stores from objects
+	// born after the last scavenge are not remembered eagerly; the
+	// next scavenge re-records the survivors' forward pointers while
+	// tracing them. Shrinks the remembered set on allocation-heavy
+	// mutators at no soundness cost (see the differential tests).
+	FilterRecent bool
+}
+
+// New creates a collector managing the given heap. It installs the
+// heap's write barrier; the heap must not have another barrier user.
+func New(h *mheap.Heap, opts Options) (*Collector, error) {
+	if opts.Policy == nil {
+		return nil, fmt.Errorf("gc: Options.Policy is required")
+	}
+	if opts.TriggerBytes == 0 {
+		opts.TriggerBytes = 1 << 20
+	}
+	c := &Collector{
+		heap:         h,
+		policy:       opts.Policy,
+		globals:      make(map[string]mheap.Ref),
+		remembered:   make(map[ptrLoc]struct{}),
+		triggerBytes: opts.TriggerBytes,
+		autoCollect:  opts.AutoCollect,
+		filterRecent: opts.FilterRecent,
+	}
+	h.SetWriteBarrier(c.writeBarrier)
+	return c, nil
+}
+
+// writeBarrier records forward-in-time pointer stores: the remembered
+// set must contain every location where an older object points at a
+// younger one.
+func (c *Collector) writeBarrier(src mheap.Ref, field int, _, target mheap.Ref) {
+	loc := ptrLoc{src, field}
+	if target == mheap.Nil {
+		// Overwriting with nil retires the location lazily; it is
+		// pruned at the next scavenge. Deleting here is also correct
+		// and keeps the set tight.
+		delete(c.remembered, loc)
+		return
+	}
+	if c.heap.Birth(src) < c.heap.Birth(target) {
+		if c.filterRecent && c.heap.Birth(src) > c.lastScavenge {
+			// The source is younger than the last scavenge: it will
+			// be threatened (and traced or reclaimed) next time, so
+			// the entry can be deferred to the trace-time re-record.
+			c.barrierSkips++
+			delete(c.remembered, loc)
+			return
+		}
+		c.remembered[loc] = struct{}{}
+	} else {
+		// The location now holds a backward-in-time pointer; any
+		// earlier forward entry for it is stale.
+		delete(c.remembered, loc)
+	}
+}
+
+// Heap returns the managed heap.
+func (c *Collector) Heap() *mheap.Heap { return c.heap }
+
+// History returns the record of completed scavenges.
+func (c *Collector) History() *core.History { return &c.hist }
+
+// Collections returns the number of scavenges run.
+func (c *Collector) Collections() int { return c.collections }
+
+// TracedBytes returns the cumulative bytes traced.
+func (c *Collector) TracedBytes() uint64 { return c.tracedTotal }
+
+// ReclaimedBytes returns the cumulative bytes reclaimed.
+func (c *Collector) ReclaimedBytes() uint64 { return c.reclaimedTotal }
+
+// RememberedSize returns the current remembered-set cardinality
+// (locations, not bytes) — the §4.2 space-cost observable.
+func (c *Collector) RememberedSize() int { return len(c.remembered) }
+
+// Pauses converts the scavenge history into pause times (seconds)
+// under a machine model tracing the given bytes per second, the same
+// proportionality the simulator uses (paper: 500 KB/s).
+func (c *Collector) Pauses(traceBytesPerSecond float64) []float64 {
+	if traceBytesPerSecond <= 0 {
+		panic("gc: Pauses requires a positive trace rate")
+	}
+	out := make([]float64, 0, c.hist.Len())
+	for _, s := range c.hist.Scavenges {
+		out = append(out, float64(s.Traced)/traceBytesPerSecond)
+	}
+	return out
+}
+
+// SetGlobal binds a named program global to an object (or Nil to
+// clear). Globals are part of the root set.
+func (c *Collector) SetGlobal(name string, r mheap.Ref) {
+	if r == mheap.Nil {
+		delete(c.globals, name)
+		return
+	}
+	c.globals[name] = r
+}
+
+// Global returns the named global, or Nil.
+func (c *Collector) Global(name string) mheap.Ref { return c.globals[name] }
+
+// PushRoot registers a temporary root (a stack slot or register).
+func (c *Collector) PushRoot(r mheap.Ref) { c.rootStack = append(c.rootStack, r) }
+
+// PopRoot unregisters the most recent temporary root and returns it.
+func (c *Collector) PopRoot() mheap.Ref {
+	if len(c.rootStack) == 0 {
+		panic("gc: PopRoot on empty root stack")
+	}
+	r := c.rootStack[len(c.rootStack)-1]
+	c.rootStack = c.rootStack[:len(c.rootStack)-1]
+	return r
+}
+
+// RootCount returns the current number of registered roots.
+func (c *Collector) RootCount() int { return len(c.globals) + len(c.rootStack) }
+
+// Alloc allocates through the collector, possibly running a scavenge
+// first (AutoCollect). All live temporaries must be rooted across any
+// Alloc call, exactly like a real GC'd runtime.
+func (c *Collector) Alloc(nptrs, dataBytes int) mheap.Ref {
+	if c.autoCollect {
+		sz := uint64(16 + nptrs*8 + dataBytes)
+		c.sinceTrigger += sz
+		if c.sinceTrigger >= c.triggerBytes {
+			c.sinceTrigger = 0
+			c.Collect()
+		}
+	}
+	return c.heap.Alloc(nptrs, dataBytes)
+}
+
+// Collect runs one scavenge: the policy picks the boundary from the
+// history and the heap's current state. It returns the completed
+// scavenge record.
+func (c *Collector) Collect() core.Scavenge {
+	now := c.heap.Clock()
+	tb := core.ClampBoundary(c.policy.Boundary(now, &c.hist, c.heap), now)
+	return c.CollectAt(tb)
+}
+
+// CollectAt runs one scavenge with an explicit threatening boundary,
+// bypassing the policy (used by tests and the Figure 1 example).
+func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
+	now := c.heap.Clock()
+	memBefore := c.heap.BytesInUse()
+
+	// The FilterRecent barrier only skips stores whose source will be
+	// threatened at the next scavenge, which holds when TB stays at or
+	// before the previous scavenge time — true for every Table 1
+	// policy. An explicit boundary beyond that (tests, experiments)
+	// needs the skipped entries rebuilt first: scan the objects born
+	// in (lastScavenge, tb] — about to become immune — and record
+	// their forward pointers.
+	if c.filterRecent && tb > c.lastScavenge {
+		for _, r := range c.heap.Refs() { // birth-ordered
+			b := c.heap.Birth(r)
+			if b <= c.lastScavenge {
+				continue
+			}
+			if b > tb {
+				break // younger objects stay threatened
+			}
+			for i, n := 0, c.heap.NumPtrs(r); i < n; i++ {
+				target := c.heap.Ptr(r, i)
+				if target != mheap.Nil && c.heap.Contains(target) && b < c.heap.Birth(target) {
+					c.remembered[ptrLoc{r, i}] = struct{}{}
+				}
+			}
+		}
+	}
+
+	threatened := func(r mheap.Ref) bool { return c.heap.Birth(r) > tb }
+
+	// Gray set: threatened program roots...
+	var gray []mheap.Ref
+	visited := make(map[mheap.Ref]bool)
+	addGray := func(r mheap.Ref) {
+		if r != mheap.Nil && !visited[r] && c.heap.Contains(r) && threatened(r) {
+			visited[r] = true
+			gray = append(gray, r)
+		}
+	}
+	for _, r := range c.globals {
+		addGray(r)
+	}
+	for _, r := range c.rootStack {
+		addGray(r)
+	}
+	// ...plus remembered locations crossing the boundary. Entries
+	// whose source has been reclaimed, or which no longer hold a
+	// forward-in-time pointer, are pruned as we go.
+	for loc := range c.remembered {
+		if !c.heap.Contains(loc.src) {
+			delete(c.remembered, loc)
+			continue
+		}
+		target := c.heap.Ptr(loc.src, loc.field)
+		if target == mheap.Nil || c.heap.Birth(loc.src) >= c.heap.Birth(target) {
+			delete(c.remembered, loc)
+			continue
+		}
+		// The source may itself be garbage — if it is immune we must
+		// still honour the pointer (nepotism); if it is threatened,
+		// tracing decides its fate and this entry contributes nothing.
+		if !threatened(loc.src) {
+			addGray(target)
+		}
+	}
+
+	// Trace through threatened objects only. Under FilterRecent,
+	// tracing doubles as the deferred remembered-set rebuild: each
+	// survivor's forward-in-time pointers are (re-)recorded here.
+	var traced uint64
+	for len(gray) > 0 {
+		r := gray[len(gray)-1]
+		gray = gray[:len(gray)-1]
+		traced += uint64(c.heap.TotalSize(r))
+		for i, n := 0, c.heap.NumPtrs(r); i < n; i++ {
+			target := c.heap.Ptr(r, i)
+			addGray(target)
+			if c.filterRecent && target != mheap.Nil && c.heap.Contains(target) &&
+				c.heap.Birth(r) < c.heap.Birth(target) {
+				c.remembered[ptrLoc{r, i}] = struct{}{}
+			}
+		}
+	}
+
+	// Reclaim the unreached threatened objects.
+	var dead []mheap.Ref
+	for _, r := range c.heap.Refs() {
+		if threatened(r) && !visited[r] {
+			dead = append(dead, r)
+		}
+	}
+	reclaimed := c.heap.Reclaim(dead)
+
+	c.lastScavenge = now
+	s := core.Scavenge{
+		T:         now,
+		TB:        tb,
+		MemBefore: memBefore,
+		Traced:    traced,
+		Reclaimed: reclaimed,
+		Surviving: c.heap.BytesInUse(),
+	}
+	c.hist.Record(s)
+	s.N = c.hist.Len()
+	c.collections++
+	c.tracedTotal += traced
+	c.reclaimedTotal += reclaimed
+	return s
+}
+
+// BarrierSkips returns how many barrier hits the FilterRecent
+// optimization elided (0 when the filter is off).
+func (c *Collector) BarrierSkips() uint64 { return c.barrierSkips }
+
+// CheckRememberedInvariant verifies remembered-set soundness: every
+// forward-in-time pointer currently stored in the heap is covered by a
+// remembered entry — except, under FilterRecent, pointers whose source
+// was born after the last scavenge, which are covered by the
+// trace-time re-record instead. Tests call it after mutation
+// sequences; a miss here is the kind of bug that silently frees live
+// objects.
+func (c *Collector) CheckRememberedInvariant() error {
+	for _, src := range c.heap.Refs() {
+		if c.filterRecent && c.heap.Birth(src) > c.lastScavenge {
+			continue
+		}
+		for i, n := 0, c.heap.NumPtrs(src); i < n; i++ {
+			target := c.heap.Ptr(src, i)
+			if target == mheap.Nil || !c.heap.Contains(target) {
+				continue
+			}
+			if c.heap.Birth(src) < c.heap.Birth(target) {
+				if _, ok := c.remembered[ptrLoc{src, i}]; !ok {
+					return fmt.Errorf("gc: forward pointer %d.%d -> %d missing from remembered set", src, i, target)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReachableBytes computes the bytes reachable from the full root set
+// ignoring the boundary (a whole-heap oracle for tests).
+func (c *Collector) ReachableBytes() uint64 {
+	visited := make(map[mheap.Ref]bool)
+	var stack []mheap.Ref
+	add := func(r mheap.Ref) {
+		if r != mheap.Nil && !visited[r] && c.heap.Contains(r) {
+			visited[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for _, r := range c.globals {
+		add(r)
+	}
+	for _, r := range c.rootStack {
+		add(r)
+	}
+	var sum uint64
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sum += uint64(c.heap.TotalSize(r))
+		for i, n := 0, c.heap.NumPtrs(r); i < n; i++ {
+			add(c.heap.Ptr(r, i))
+		}
+	}
+	return sum
+}

@@ -1,0 +1,441 @@
+package gc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+func newFull(t *testing.T) (*Collector, *mheap.Heap) {
+	t.Helper()
+	h := mheap.New()
+	c, err := New(h, Options{Policy: core.Full{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, h
+}
+
+func TestNewRequiresPolicy(t *testing.T) {
+	if _, err := New(mheap.New(), Options{}); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+func TestCollectReclaimsUnreachable(t *testing.T) {
+	c, h := newFull(t)
+	kept := c.Alloc(0, 100)
+	c.SetGlobal("kept", kept)
+	doomed := c.Alloc(0, 100)
+	_ = doomed
+	s := c.Collect()
+	if !h.Contains(kept) {
+		t.Fatal("rooted object reclaimed")
+	}
+	if h.Contains(doomed) {
+		t.Fatal("garbage survived a full collection")
+	}
+	if s.Reclaimed != uint64(116) {
+		t.Errorf("reclaimed %d bytes", s.Reclaimed)
+	}
+	if s.Traced != uint64(116) {
+		t.Errorf("traced %d bytes", s.Traced)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectFollowsPointerChains(t *testing.T) {
+	c, h := newFull(t)
+	// root -> a -> b -> c, plus unreachable d.
+	a := c.Alloc(1, 0)
+	c.SetGlobal("a", a)
+	b := c.Alloc(1, 0)
+	h.SetPtr(a, 0, b)
+	cc := c.Alloc(0, 8)
+	h.SetPtr(b, 0, cc)
+	d := c.Alloc(0, 8)
+	_ = d
+	c.Collect()
+	for _, r := range []mheap.Ref{a, b, cc} {
+		if !h.Contains(r) {
+			t.Fatalf("reachable object %d reclaimed", r)
+		}
+	}
+	if h.Contains(d) {
+		t.Fatal("unreachable object survived")
+	}
+}
+
+func TestRootStackProtectsTemporaries(t *testing.T) {
+	c, h := newFull(t)
+	tmp := c.Alloc(0, 8)
+	c.PushRoot(tmp)
+	c.Collect()
+	if !h.Contains(tmp) {
+		t.Fatal("stack-rooted temporary reclaimed")
+	}
+	if got := c.PopRoot(); got != tmp {
+		t.Fatalf("PopRoot = %d", got)
+	}
+	c.Collect()
+	if h.Contains(tmp) {
+		t.Fatal("unrooted temporary survived full collection")
+	}
+}
+
+func TestPopRootEmptyPanics(t *testing.T) {
+	c, _ := newFull(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopRoot on empty stack did not panic")
+		}
+	}()
+	c.PopRoot()
+}
+
+func TestSetGlobalClear(t *testing.T) {
+	c, h := newFull(t)
+	a := c.Alloc(0, 8)
+	c.SetGlobal("x", a)
+	if c.Global("x") != a || c.RootCount() != 1 {
+		t.Fatal("global not registered")
+	}
+	c.SetGlobal("x", mheap.Nil)
+	if c.Global("x") != mheap.Nil || c.RootCount() != 0 {
+		t.Fatal("global not cleared")
+	}
+	c.Collect()
+	if h.Contains(a) {
+		t.Fatal("object survived after its only root was cleared")
+	}
+}
+
+func TestBoundaryProtectsImmuneGarbage(t *testing.T) {
+	// Objects born before the boundary are immune even when
+	// unreachable — that is the whole point of partial collection.
+	c, h := newFull(t)
+	oldGarbage := c.Alloc(0, 64)
+	cut := h.Clock()
+	youngGarbage := c.Alloc(0, 64)
+	s := c.CollectAt(cut)
+	if !h.Contains(oldGarbage) {
+		t.Fatal("immune garbage reclaimed")
+	}
+	if h.Contains(youngGarbage) {
+		t.Fatal("threatened garbage survived")
+	}
+	if s.TB != cut {
+		t.Fatalf("recorded TB %d", s.TB)
+	}
+}
+
+func TestRememberedSetKeepsCrossBoundaryTarget(t *testing.T) {
+	// An old object points forward at a young one; with no other
+	// reference, only the remembered set keeps the young one alive.
+	c, h := newFull(t)
+	old := c.Alloc(1, 0)
+	c.SetGlobal("old", old)
+	cut := h.Clock()
+	young := c.Alloc(0, 8)
+	h.SetPtr(old, 0, young)
+	c.CollectAt(cut)
+	if !h.Contains(young) {
+		t.Fatal("remembered-set-referenced object reclaimed")
+	}
+}
+
+func TestWriteBarrierOnlyRecordsForwardPointers(t *testing.T) {
+	c, h := newFull(t)
+	old := c.Alloc(1, 0)
+	young := c.Alloc(1, 0)
+	// young -> old is backward in time: not remembered.
+	h.SetPtr(young, 0, old)
+	if c.RememberedSize() != 0 {
+		t.Fatalf("backward pointer remembered (%d entries)", c.RememberedSize())
+	}
+	// old -> young is forward: remembered.
+	h.SetPtr(old, 0, young)
+	if c.RememberedSize() != 1 {
+		t.Fatalf("forward pointer not remembered (%d entries)", c.RememberedSize())
+	}
+}
+
+func TestWriteBarrierRetiresOverwrittenEntries(t *testing.T) {
+	c, h := newFull(t)
+	old := c.Alloc(1, 0)
+	young := c.Alloc(0, 0)
+	h.SetPtr(old, 0, young)
+	if c.RememberedSize() != 1 {
+		t.Fatal("entry missing")
+	}
+	h.SetPtr(old, 0, mheap.Nil)
+	if c.RememberedSize() != 0 {
+		t.Fatal("nil overwrite did not retire entry")
+	}
+}
+
+func TestNepotism(t *testing.T) {
+	// A dead immune object's remembered pointer keeps a dead
+	// threatened object alive (Figure 1's object F).
+	c, h := newFull(t)
+	deadOld := c.Alloc(1, 0) // never rooted: immune garbage
+	cut := h.Clock()
+	victim := c.Alloc(0, 8)
+	h.SetPtr(deadOld, 0, victim)
+	c.CollectAt(cut)
+	if !h.Contains(victim) {
+		t.Fatal("nepotism victim reclaimed despite remembered pointer from immune garbage")
+	}
+	// A full collection reclaims both.
+	c.CollectAt(0)
+	if h.Contains(deadOld) || h.Contains(victim) {
+		t.Fatal("full collection left nepotism pair alive")
+	}
+}
+
+func TestUntenuring(t *testing.T) {
+	// Garbage tenured by an early young-only scavenge is reclaimed
+	// when a later scavenge moves the boundary back — the capability
+	// fixed generations lack.
+	c, h := newFull(t)
+	g1 := c.Alloc(0, 128)
+	g2 := c.Alloc(0, 128)
+	cut := h.Clock()
+	c.Alloc(0, 8) // young survivor fodder
+	c.CollectAt(cut)
+	if !h.Contains(g1) || !h.Contains(g2) {
+		t.Fatal("immune garbage should survive the young scavenge")
+	}
+	s := c.CollectAt(0)
+	if h.Contains(g1) || h.Contains(g2) {
+		t.Fatal("boundary moved back but tenured garbage survived")
+	}
+	if s.Reclaimed < 256 {
+		t.Fatalf("reclaimed only %d bytes", s.Reclaimed)
+	}
+}
+
+func TestTracedCountsOnlyThreatened(t *testing.T) {
+	c, h := newFull(t)
+	old := c.Alloc(0, 1000)
+	c.SetGlobal("old", old)
+	cut := h.Clock()
+	young := c.Alloc(0, 100)
+	c.SetGlobal("young", young)
+	s := c.CollectAt(cut)
+	if s.Traced != uint64(h.TotalSize(young)) {
+		t.Fatalf("traced %d, want only the young object (%d)", s.Traced, h.TotalSize(young))
+	}
+}
+
+func TestPointersIntoImmuneAreNotTraced(t *testing.T) {
+	// Tracing must stop at the boundary: a threatened object pointing
+	// at an immune one does not add the immune one's bytes.
+	c, h := newFull(t)
+	old := c.Alloc(0, 500)
+	cut := h.Clock()
+	young := c.Alloc(1, 0)
+	c.SetGlobal("young", young)
+	h.SetPtr(young, 0, old)
+	s := c.CollectAt(cut)
+	if s.Traced != uint64(h.TotalSize(young)) {
+		t.Fatalf("traced %d bytes; immune referent must not be traced", s.Traced)
+	}
+	if !h.Contains(old) {
+		t.Fatal("immune object vanished")
+	}
+}
+
+func TestAutoCollectTriggers(t *testing.T) {
+	h := mheap.New()
+	c, err := New(h, Options{Policy: core.Full{}, TriggerBytes: 4096, AutoCollect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Alloc(0, 100) // unrooted garbage
+	}
+	if c.Collections() == 0 {
+		t.Fatal("auto-collect never triggered")
+	}
+	if h.BytesInUse() > 8192 {
+		t.Fatalf("garbage accumulated to %d bytes despite auto-collect", h.BytesInUse())
+	}
+}
+
+func TestHistoryRecorded(t *testing.T) {
+	c, _ := newFull(t)
+	c.Alloc(0, 100)
+	c.Collect()
+	c.Alloc(0, 100)
+	c.Collect()
+	if c.History().Len() != 2 || c.Collections() != 2 {
+		t.Fatalf("history %d, collections %d", c.History().Len(), c.Collections())
+	}
+	if c.History().Scavenges[0].N != 1 || c.History().Scavenges[1].N != 2 {
+		t.Fatal("scavenge indices wrong")
+	}
+}
+
+func TestPolicyDrivenCollect(t *testing.T) {
+	// With Fixed{K:1} the second collection threatens only objects
+	// born after the first collection.
+	h := mheap.New()
+	c, err := New(h, Options{Policy: core.Fixed{K: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldGarbage := c.Alloc(0, 64)
+	c.Collect() // full (first), reclaims oldGarbage
+	if h.Contains(oldGarbage) {
+		t.Fatal("first collection should be full")
+	}
+	tenured := c.Alloc(0, 64)
+	c.Collect() // TB = t_1 < birth(tenured): still threatened, reclaimed
+	if h.Contains(tenured) {
+		t.Fatal("object born after t_1 was immune under Fixed1")
+	}
+	survivor := c.Alloc(0, 64)
+	c.PushRoot(survivor)
+	c.Collect()
+	c.PopRoot()
+	garbage := survivor // drop the root: now garbage, but born before t_3
+	c.Collect()         // TB = t_3 > birth(garbage): immune, tenured garbage
+	if !h.Contains(garbage) {
+		t.Fatal("Fixed1 reclaimed a tenured object")
+	}
+}
+
+func TestRememberedInvariantAfterRandomMutation(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		h := mheap.New()
+		c, err := New(h, Options{Policy: core.Full{}})
+		if err != nil {
+			return false
+		}
+		var live []mheap.Ref
+		for i := 0; i < 400; i++ {
+			switch {
+			case len(live) > 1 && r.Bool(0.5):
+				src := live[r.Intn(len(live))]
+				if n := h.NumPtrs(src); n > 0 {
+					h.SetPtr(src, r.Intn(n), live[r.Intn(len(live))])
+				}
+			default:
+				ref := c.Alloc(1+r.Intn(3), r.Intn(64))
+				live = append(live, ref)
+				if r.Bool(0.3) {
+					c.PushRoot(ref)
+				}
+			}
+		}
+		return c.CheckRememberedInvariant() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoLiveObjectEverReclaimed(t *testing.T) {
+	// Property: after any sequence of mutations and scavenges at
+	// random boundaries, every object reachable from the roots is
+	// still in the heap, and the heap passes its integrity check
+	// (no dangling pointers created by reclamation).
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		h := mheap.New()
+		c, err := New(h, Options{Policy: core.Full{}})
+		if err != nil {
+			return false
+		}
+		var rooted []mheap.Ref
+		for i := 0; i < 300; i++ {
+			switch {
+			case len(rooted) > 1 && r.Bool(0.35):
+				src := rooted[r.Intn(len(rooted))]
+				if n := h.NumPtrs(src); n > 0 {
+					h.SetPtr(src, r.Intn(n), rooted[r.Intn(len(rooted))])
+				}
+			case r.Bool(0.1):
+				// Scavenge at a random boundary.
+				now := h.Clock()
+				tb := core.Time(r.Int63n(int64(now) + 1))
+				before := c.ReachableBytes()
+				c.CollectAt(tb)
+				if c.ReachableBytes() != before {
+					return false
+				}
+				if h.CheckIntegrity() != nil {
+					return false
+				}
+			default:
+				ref := c.Alloc(r.Intn(3), r.Intn(128))
+				if r.Bool(0.5) {
+					c.SetGlobal(string(rune('a'+r.Intn(20))), ref)
+				}
+				if r.Bool(0.3) {
+					rooted = append(rooted, ref)
+					c.PushRoot(ref)
+				}
+			}
+		}
+		c.CollectAt(0)
+		return c.ReachableBytes() == h.BytesInUse() && h.CheckIntegrity() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullCollectionLeavesOnlyReachable(t *testing.T) {
+	c, h := newFull(t)
+	r := xrand.New(99)
+	var keep []mheap.Ref
+	for i := 0; i < 200; i++ {
+		ref := c.Alloc(r.Intn(2), r.Intn(64))
+		if r.Bool(0.25) {
+			keep = append(keep, ref)
+			c.PushRoot(ref)
+		}
+	}
+	c.Collect()
+	if h.BytesInUse() != c.ReachableBytes() {
+		t.Fatalf("after full collection in-use %d != reachable %d", h.BytesInUse(), c.ReachableBytes())
+	}
+	for _, ref := range keep {
+		if !h.Contains(ref) {
+			t.Fatal("rooted object lost")
+		}
+	}
+}
+
+func TestPausesFromHistory(t *testing.T) {
+	c, _ := newFull(t)
+	c.Alloc(0, 100*1024)
+	c.Collect() // everything garbage: traced 0
+	keep := c.Alloc(0, 512000)
+	c.PushRoot(keep)
+	c.Collect() // traces 512016 bytes
+	pauses := c.Pauses(512000)
+	if len(pauses) != 2 {
+		t.Fatalf("%d pauses", len(pauses))
+	}
+	if pauses[0] != 0 {
+		t.Fatalf("first pause %v, want 0", pauses[0])
+	}
+	if pauses[1] < 1.0 || pauses[1] > 1.01 {
+		t.Fatalf("second pause %v, want ~1s", pauses[1])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive rate did not panic")
+		}
+	}()
+	c.Pauses(0)
+}

@@ -1,0 +1,145 @@
+package mheap
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+func TestCompactPreservesContents(t *testing.T) {
+	h := New()
+	a := h.Alloc(1, 16)
+	copy(h.Data(a), "hello compaction")
+	b := h.Alloc(0, 8)
+	copy(h.Data(b), "worldly!")
+	c := h.Alloc(2, 0)
+	h.SetPtr(a, 0, b)
+	h.SetPtr(c, 0, a)
+	h.SetPtr(c, 1, b)
+	// Punch holes.
+	for i := 0; i < 20; i++ {
+		h.Free(h.Alloc(0, 100))
+	}
+	before := h.BytesInUse()
+	h.Compact()
+	if h.BytesInUse() != before {
+		t.Fatalf("compaction changed accounting: %d -> %d", before, h.BytesInUse())
+	}
+	if string(h.Data(a)) != "hello compaction" || string(h.Data(b)) != "worldly!" {
+		t.Fatal("compaction corrupted data")
+	}
+	if h.Ptr(a, 0) != b || h.Ptr(c, 0) != a || h.Ptr(c, 1) != b {
+		t.Fatal("compaction broke references")
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactEliminatesFragmentation(t *testing.T) {
+	h := New()
+	var keep []Ref
+	for i := 0; i < 200; i++ {
+		r := h.Alloc(0, 64)
+		if i%2 == 0 {
+			keep = append(keep, r)
+		}
+	}
+	for i := 1; i < 200; i += 2 {
+		// Free the odd-indexed objects (the second allocation of each
+		// pair): ids are 1-based and sequential.
+		h.Free(Ref(i + 1))
+	}
+	if h.Fragmentation() < 0.3 {
+		t.Fatalf("expected heavy fragmentation, got %.2f", h.Fragmentation())
+	}
+	spaceBefore := h.SpaceBytes()
+	h.Compact()
+	if h.Fragmentation() != 0 {
+		t.Fatalf("fragmentation after compact = %.3f", h.Fragmentation())
+	}
+	if h.SpaceBytes() >= spaceBefore {
+		t.Fatalf("space did not shrink: %d -> %d", spaceBefore, h.SpaceBytes())
+	}
+	for _, r := range keep {
+		if !h.Contains(r) {
+			t.Fatal("live object lost in compaction")
+		}
+	}
+}
+
+func TestCompactEmptyHeap(t *testing.T) {
+	h := New()
+	h.Compact()
+	if h.SpaceBytes() != 0 || h.Fragmentation() != 0 {
+		t.Fatal("empty compaction misbehaved")
+	}
+	// Heap remains usable.
+	r := h.Alloc(1, 32)
+	if !h.Contains(r) {
+		t.Fatal("allocation after empty compact failed")
+	}
+}
+
+func TestCompactKeepsBirthOrder(t *testing.T) {
+	h := New()
+	var refs []Ref
+	for i := 0; i < 50; i++ {
+		refs = append(refs, h.Alloc(0, 32))
+	}
+	for i := 0; i < 50; i += 3 {
+		h.Free(refs[i])
+	}
+	births := map[Ref]uint64{}
+	for _, r := range h.Refs() {
+		births[r] = uint64(h.Birth(r))
+	}
+	h.Compact()
+	for _, r := range h.Refs() {
+		if uint64(h.Birth(r)) != births[r] {
+			t.Fatal("compaction changed a birth time")
+		}
+	}
+}
+
+func TestCompactUnderRandomWorkloadProperty(t *testing.T) {
+	r := xrand.New(404)
+	for trial := 0; trial < 20; trial++ {
+		h := New()
+		type obj struct {
+			ref  Ref
+			data byte
+		}
+		var live []obj
+		for i := 0; i < 300; i++ {
+			switch {
+			case len(live) > 0 && r.Bool(0.4):
+				k := r.Intn(len(live))
+				h.Free(live[k].ref)
+				live = append(live[:k], live[k+1:]...)
+			default:
+				ref := h.Alloc(0, r.Range(1, 200))
+				fill := byte(r.Intn(256))
+				d := h.Data(ref)
+				for j := range d {
+					d[j] = fill
+				}
+				live = append(live, obj{ref, fill})
+			}
+			if r.Bool(0.05) {
+				h.Compact()
+			}
+		}
+		h.Compact()
+		for _, o := range live {
+			for _, v := range h.Data(o.ref) {
+				if v != o.data {
+					t.Fatalf("trial %d: payload corrupted", trial)
+				}
+			}
+		}
+		if err := h.CheckIntegrity(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package mheap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+func TestAllocBasics(t *testing.T) {
+	h := New()
+	r := h.Alloc(2, 24)
+	if r == Nil {
+		t.Fatal("Alloc returned Nil")
+	}
+	if h.Size(r) != 2*8+24 {
+		t.Errorf("Size = %d, want 40", h.Size(r))
+	}
+	if h.NumPtrs(r) != 2 {
+		t.Errorf("NumPtrs = %d", h.NumPtrs(r))
+	}
+	if h.TotalSize(r) != 40+16 {
+		t.Errorf("TotalSize = %d", h.TotalSize(r))
+	}
+	if !h.Contains(r) {
+		t.Error("Contains false for live object")
+	}
+	if h.NumObjects() != 1 {
+		t.Errorf("NumObjects = %d", h.NumObjects())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocZeroSized(t *testing.T) {
+	h := New()
+	r := h.Alloc(0, 0)
+	if h.Size(r) != 0 || h.NumPtrs(r) != 0 {
+		t.Fatal("zero-payload object misreported")
+	}
+	if len(h.Data(r)) != 0 {
+		t.Fatal("zero-payload object has data")
+	}
+}
+
+func TestAllocPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative alloc did not panic")
+		}
+	}()
+	New().Alloc(-1, 0)
+}
+
+func TestPointerSlotsInitializedNil(t *testing.T) {
+	h := New()
+	r := h.Alloc(4, 0)
+	for i := 0; i < 4; i++ {
+		if h.Ptr(r, i) != Nil {
+			t.Fatalf("slot %d not Nil", i)
+		}
+	}
+}
+
+func TestSetPtrAndPtr(t *testing.T) {
+	h := New()
+	a := h.Alloc(1, 0)
+	b := h.Alloc(0, 8)
+	h.SetPtr(a, 0, b)
+	if h.Ptr(a, 0) != b {
+		t.Fatalf("Ptr = %d, want %d", h.Ptr(a, 0), b)
+	}
+	h.SetPtr(a, 0, Nil)
+	if h.Ptr(a, 0) != Nil {
+		t.Fatal("null store not visible")
+	}
+}
+
+func TestSetPtrRejectsDangling(t *testing.T) {
+	h := New()
+	a := h.Alloc(1, 0)
+	b := h.Alloc(0, 0)
+	h.Free(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dangling store did not panic")
+		}
+	}()
+	h.SetPtr(a, 0, b)
+}
+
+func TestPtrSlotBounds(t *testing.T) {
+	h := New()
+	a := h.Alloc(1, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slot did not panic")
+		}
+	}()
+	h.Ptr(a, 1)
+}
+
+func TestDataReadWrite(t *testing.T) {
+	h := New()
+	r := h.Alloc(1, 10)
+	d := h.Data(r)
+	if len(d) != 10 {
+		t.Fatalf("data len %d", len(d))
+	}
+	copy(d, "helloworld")
+	if string(h.Data(r)) != "helloworld" {
+		t.Fatal("data write not visible")
+	}
+	// Data writes must not clobber the pointer slot.
+	if h.Ptr(r, 0) != Nil {
+		t.Fatal("data overlapped pointer slot")
+	}
+}
+
+func TestDataDoesNotOverlapBetweenObjects(t *testing.T) {
+	h := New()
+	a := h.Alloc(0, 16)
+	b := h.Alloc(0, 16)
+	for i := range h.Data(a) {
+		h.Data(a)[i] = 0xAA
+	}
+	for _, x := range h.Data(b) {
+		if x != 0 {
+			t.Fatal("neighbouring object corrupted")
+		}
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	h := New()
+	a := h.Alloc(0, 100)
+	before := h.BytesInUse()
+	h.Free(a)
+	if h.BytesInUse() != before-116 {
+		t.Errorf("BytesInUse after free = %d", h.BytesInUse())
+	}
+	if h.Contains(a) {
+		t.Error("freed object still contained")
+	}
+	space := h.SpaceBytes()
+	// Same-class allocation reuses the freed block: no growth.
+	b := h.Alloc(0, 100)
+	if h.SpaceBytes() != space {
+		t.Errorf("free block not reused: space grew %d -> %d", space, h.SpaceBytes())
+	}
+	// Reused block must be zeroed.
+	for _, x := range h.Data(b) {
+		if x != 0 {
+			t.Fatal("reused block not zeroed")
+		}
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeNilIsNoOp(t *testing.T) {
+	h := New()
+	h.Free(Nil) // must not panic
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	h := New()
+	a := h.Alloc(0, 8)
+	h.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	h.Free(a)
+}
+
+func TestBirthTimesMonotone(t *testing.T) {
+	h := New()
+	var last uint64
+	for i := 0; i < 100; i++ {
+		r := h.Alloc(0, 8)
+		b := uint64(h.Birth(r))
+		if b <= last {
+			t.Fatalf("birth %d not after %d", b, last)
+		}
+		last = b
+	}
+}
+
+func TestRefsSortedByBirth(t *testing.T) {
+	h := New()
+	for i := 0; i < 50; i++ {
+		r := h.Alloc(0, 8)
+		if i%3 == 0 {
+			h.Free(r)
+		}
+	}
+	refs := h.Refs()
+	for i := 1; i < len(refs); i++ {
+		if h.Birth(refs[i]) < h.Birth(refs[i-1]) {
+			t.Fatal("Refs not birth-ordered")
+		}
+	}
+}
+
+func TestLiveBytesBornAfter(t *testing.T) {
+	h := New()
+	a := h.Alloc(0, 16)
+	cut := h.Clock()
+	b := h.Alloc(0, 16)
+	c := h.Alloc(0, 16)
+	want := uint64(h.TotalSize(b) + h.TotalSize(c))
+	if got := h.LiveBytesBornAfter(cut); got != want {
+		t.Fatalf("LiveBytesBornAfter = %d, want %d", got, want)
+	}
+	if got := h.LiveBytesBornAfter(0); got != want+uint64(h.TotalSize(a)) {
+		t.Fatalf("LiveBytesBornAfter(0) = %d", got)
+	}
+	if got := h.LiveBytesBornAfter(h.Clock()); got != 0 {
+		t.Fatalf("LiveBytesBornAfter(now) = %d", got)
+	}
+}
+
+func TestReclaimBulk(t *testing.T) {
+	h := New()
+	var refs []Ref
+	for i := 0; i < 10; i++ {
+		refs = append(refs, h.Alloc(0, 48))
+	}
+	n := h.Reclaim(refs[2:5])
+	if n != 3*64 {
+		t.Fatalf("Reclaim returned %d bytes, want %d", n, 3*64)
+	}
+	if h.NumObjects() != 7 {
+		t.Fatalf("NumObjects = %d", h.NumObjects())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderEmitsValidTrace(t *testing.T) {
+	h := New()
+	var events []trace.Event
+	h.SetRecorder(func(e trace.Event) { events = append(events, e) })
+	a := h.Alloc(1, 8)
+	h.Tick(100)
+	b := h.Alloc(0, 8)
+	h.SetPtr(a, 0, b)
+	h.Tick(50)
+	h.Free(a)
+	if err := trace.Validate(events); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[1].Instr != 100 || events[3].Instr != 150 {
+		t.Fatalf("instruction stamps wrong: %v", events)
+	}
+	if events[2].Kind != trace.KindPtrWrite || events[2].Target != b {
+		t.Fatalf("ptr write event wrong: %v", events[2])
+	}
+}
+
+func TestWriteBarrierSeesOldAndNew(t *testing.T) {
+	h := New()
+	type store struct {
+		src      Ref
+		field    int
+		old, new Ref
+	}
+	var stores []store
+	h.SetWriteBarrier(func(src Ref, field int, old, new Ref) {
+		stores = append(stores, store{src, field, old, new})
+	})
+	a := h.Alloc(1, 0)
+	b := h.Alloc(0, 0)
+	c := h.Alloc(0, 0)
+	h.SetPtr(a, 0, b)
+	h.SetPtr(a, 0, c)
+	if len(stores) != 2 {
+		t.Fatalf("%d barrier hits", len(stores))
+	}
+	if stores[0] != (store{a, 0, Nil, b}) {
+		t.Fatalf("first store %+v", stores[0])
+	}
+	if stores[1] != (store{a, 0, b, c}) {
+		t.Fatalf("second store %+v", stores[1])
+	}
+}
+
+func TestAccessToFreedPanics(t *testing.T) {
+	h := New()
+	a := h.Alloc(0, 8)
+	h.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access to freed object did not panic")
+		}
+	}()
+	h.Size(a)
+}
+
+func TestSizeClassRounding(t *testing.T) {
+	cases := []struct{ in, want uint32 }{
+		{1, 16}, {16, 16}, {17, 32}, {255, 256}, {256, 256},
+		{257, 512}, {513, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := sizeClass(c.in); got != c.want {
+			t.Errorf("sizeClass(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIntegrityUnderRandomWorkload(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		h := New()
+		var live []Ref
+		for i := 0; i < 500; i++ {
+			switch {
+			case len(live) > 0 && r.Bool(0.3):
+				k := r.Intn(len(live))
+				victim := live[k]
+				// A correct program nils its references before
+				// freeing; otherwise the integrity checker would
+				// (rightly) report dangling pointers.
+				for _, src := range live {
+					for s := 0; s < h.NumPtrs(src); s++ {
+						if h.Ptr(src, s) == victim {
+							h.SetPtr(src, s, Nil)
+						}
+					}
+				}
+				h.Free(victim)
+				live = append(live[:k], live[k+1:]...)
+			case len(live) > 1 && r.Bool(0.3):
+				src := live[r.Intn(len(live))]
+				if n := h.NumPtrs(src); n > 0 {
+					h.SetPtr(src, r.Intn(n), live[r.Intn(len(live))])
+				}
+			default:
+				live = append(live, h.Alloc(r.Intn(4), r.Intn(300)))
+			}
+		}
+		// Clear any pointers into objects we are about to free, then
+		// verify full integrity.
+		return h.CheckIntegrity() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeClearsDanglingCheck(t *testing.T) {
+	// Freeing an object that is still referenced leaves a dangling ref
+	// that CheckIntegrity must detect (malloc/free programs can do
+	// this; the checker is how tests catch it).
+	h := New()
+	a := h.Alloc(1, 0)
+	b := h.Alloc(0, 0)
+	h.SetPtr(a, 0, b)
+	h.Free(b)
+	if err := h.CheckIntegrity(); err == nil {
+		t.Fatal("dangling reference not detected")
+	}
+}
+
+func TestSpaceGrowth(t *testing.T) {
+	h := New()
+	for i := 0; i < 1000; i++ {
+		h.Alloc(0, 1000)
+	}
+	if h.SpaceBytes() < 1000*1016 {
+		t.Fatalf("space %d too small for contents", h.SpaceBytes())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	h := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := h.Alloc(2, 32)
+		h.Free(r)
+	}
+}
+
+func BenchmarkSetPtr(b *testing.B) {
+	h := New()
+	a := h.Alloc(1, 0)
+	c := h.Alloc(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.SetPtr(a, 0, c)
+	}
+}

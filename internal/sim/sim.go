@@ -1,0 +1,477 @@
+// Package sim implements the paper's trace-driven garbage-collection
+// simulation (Barrett & Zorn §5): allocation and deallocation events
+// drive a model heap, scavenges are triggered at fixed allocation
+// intervals, a threatening-boundary policy from internal/core chooses
+// what to collect, and the free events serve as the liveness oracle.
+//
+// The machine model matches the paper's: a CPU executing a fixed
+// number of instructions per second and a collector tracing a fixed
+// number of bytes per second, so pause times are proportional to bytes
+// traced and CPU overhead is total trace time over program run time.
+//
+// Run simulates an in-memory trace; RunReader streams events from a
+// decoder so arbitrarily long traces simulate in constant memory; and
+// NewRunner exposes the incremental interface both are built on.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/stats"
+	"github.com/dtbgc/dtbgc/internal/trace"
+	"github.com/dtbgc/dtbgc/internal/vmem"
+)
+
+// Machine is the paper's simulated hardware: 10 MIPS, tracing
+// 500 kilobytes per second.
+type Machine struct {
+	MIPS          float64 // millions of instructions per second
+	TraceBytesPer float64 // bytes the collector traces per second
+}
+
+// PaperMachine returns the machine model used throughout the paper's
+// evaluation.
+func PaperMachine() Machine {
+	return Machine{MIPS: 10, TraceBytesPer: 500 * 1024}
+}
+
+// Seconds converts an instruction count to wall time on this machine.
+func (m Machine) Seconds(instrs uint64) float64 {
+	return float64(instrs) / (m.MIPS * 1e6)
+}
+
+// PauseSeconds converts traced bytes to a collection pause.
+func (m Machine) PauseSeconds(tracedBytes uint64) float64 {
+	return float64(tracedBytes) / m.TraceBytesPer
+}
+
+// Mode selects what the run measures.
+type Mode int
+
+const (
+	// ModePolicy runs a collector driven by Config.Policy.
+	ModePolicy Mode = iota
+	// ModeNoGC never collects: memory is cumulative allocation (the
+	// paper's "No GC" row).
+	ModeNoGC
+	// ModeLive reclaims at the moment of death: memory is the exact
+	// live-byte curve (the paper's "Live" row).
+	ModeLive
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Mode         Mode
+	Policy       core.Policy // required for ModePolicy
+	Machine      Machine     // zero value replaced by PaperMachine
+	TriggerBytes uint64      // scavenge interval; zero value = 1 MB
+	RecordCurve  bool        // retain the Figure-2 memory series
+	CurvePoints  int         // downsample limit for curves (0 = keep all)
+
+	// PageFrames, when non-zero, enables the virtual-memory model: an
+	// LRU resident set of that many PageBytes-sized frames is driven
+	// by mutator and collector touches, and the Result reports fault
+	// counts — the locality axis generational collection was built
+	// for. Objects are placed at bump addresses; scavenge survivors
+	// are rewritten to fresh addresses (copying semantics), which is
+	// what gives partial collection its locality advantage.
+	PageFrames int
+	// PageBytes defaults to 4096 when PageFrames is set.
+	PageBytes uint64
+
+	// Opportunistic enables Wilson & Moher-style scheduling on the
+	// "when to collect" axis the paper contrasts with its own "what
+	// to collect" contribution (§4): a Mark event in the trace — a
+	// program quiescent point such as the end of a compilation pass
+	// or a showpage — triggers a scavenge early, once at least half
+	// the byte trigger has accumulated. The byte trigger still fires
+	// as a backstop, so memory stays bounded on mark-free traces.
+	Opportunistic bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine == (Machine{}) {
+		c.Machine = PaperMachine()
+	}
+	if c.TriggerBytes == 0 {
+		c.TriggerBytes = 1 << 20
+	}
+	if c.PageFrames > 0 && c.PageBytes == 0 {
+		c.PageBytes = 4096
+	}
+	return c
+}
+
+// Result reports everything the paper's tables and figures need from
+// one run.
+type Result struct {
+	Collector string // policy name, "NoGC" or "Live"
+
+	// Table 2: memory (bytes; time-weighted mean over the run and max).
+	MemMeanBytes float64
+	MemMaxBytes  float64
+
+	// Oracle live-byte statistics for the same run (the "Live" row and
+	// tenured-garbage analysis).
+	LiveMeanBytes float64
+	LiveMaxBytes  float64
+
+	// Table 3: pause times, seconds, one per scavenge.
+	Pauses []float64
+
+	// Table 4: total bytes traced and estimated CPU overhead.
+	TracedTotalBytes uint64
+	OverheadPct      float64
+
+	Collections int
+	TotalAlloc  uint64  // total bytes allocated by the program
+	ExecSeconds float64 // program execution time on the machine model
+
+	// Figure 2: memory-in-use and live-bytes series over the
+	// allocation clock (nil unless Config.RecordCurve).
+	Curve     *stats.Series
+	LiveCurve *stats.Series
+
+	// Virtual-memory model results (zero unless Config.PageFrames).
+	PageFaults   uint64
+	PageAccesses uint64
+
+	// Full per-scavenge history (boundaries, traced, survivors).
+	History core.History
+}
+
+// MedianPauseSeconds returns the median pause, 0 if no collections ran.
+func (r *Result) MedianPauseSeconds() float64 { return stats.Percentile(r.Pauses, 50) }
+
+// P90PauseSeconds returns the 90th-percentile pause.
+func (r *Result) P90PauseSeconds() float64 { return stats.Percentile(r.Pauses, 90) }
+
+// TenuredGarbageMeanBytes is the time-weighted mean of dead storage
+// held in memory: what the collector's policy left unreclaimed above
+// the oracle live floor.
+func (r *Result) TenuredGarbageMeanBytes() float64 { return r.MemMeanBytes - r.LiveMeanBytes }
+
+// object is one heap cell in the model.
+type object struct {
+	id    trace.ObjectID
+	birth core.Time
+	size  uint64
+	addr  uint64 // placement for the virtual-memory model
+	dead  bool   // freed by the program but not yet reclaimed
+}
+
+// heapModel is the simulated heap: objects ordered by birth time, with
+// incremental byte accounting. It implements core.Heap for policies.
+type heapModel struct {
+	objs  []object // birth-ordered; reclaimed objects are removed
+	index map[trace.ObjectID]int
+	inUse uint64 // live + dead-but-unreclaimed bytes
+	live  uint64 // live bytes only (the oracle)
+}
+
+func newHeapModel() *heapModel {
+	return &heapModel{index: make(map[trace.ObjectID]int)}
+}
+
+// BytesInUse implements core.Heap.
+func (h *heapModel) BytesInUse() uint64 { return h.inUse }
+
+// LiveBytesBornAfter implements core.Heap.
+func (h *heapModel) LiveBytesBornAfter(t core.Time) uint64 {
+	i := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > t })
+	var sum uint64
+	for ; i < len(h.objs); i++ {
+		if !h.objs[i].dead {
+			sum += h.objs[i].size
+		}
+	}
+	return sum
+}
+
+func (h *heapModel) alloc(id trace.ObjectID, size uint64, birth core.Time, addr uint64) error {
+	if _, dup := h.index[id]; dup {
+		return fmt.Errorf("sim: duplicate allocation of object %d", id)
+	}
+	h.index[id] = len(h.objs)
+	h.objs = append(h.objs, object{id: id, birth: birth, size: size, addr: addr})
+	h.inUse += size
+	h.live += size
+	return nil
+}
+
+func (h *heapModel) free(id trace.ObjectID) error {
+	i, ok := h.index[id]
+	if !ok {
+		return fmt.Errorf("sim: free of unknown object %d", id)
+	}
+	if h.objs[i].dead {
+		return fmt.Errorf("sim: double free of object %d", id)
+	}
+	h.objs[i].dead = true
+	h.live -= h.objs[i].size
+	return nil
+}
+
+// scavenge collects with the given boundary: every dead object born
+// after tb is reclaimed, every live object born after tb is traced.
+// It returns the bytes traced and reclaimed.
+func (h *heapModel) scavenge(tb core.Time) (traced, reclaimed uint64) {
+	start := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > tb })
+	w := start
+	for r := start; r < len(h.objs); r++ {
+		o := h.objs[r]
+		if o.dead {
+			reclaimed += o.size
+			h.inUse -= o.size
+			delete(h.index, o.id)
+			continue
+		}
+		traced += o.size
+		h.objs[w] = o
+		h.index[o.id] = w
+		w++
+	}
+	h.objs = h.objs[:w]
+	return traced, reclaimed
+}
+
+// Runner is the incremental simulation interface: feed events in trace
+// order, then Finish. Run and RunReader are thin wrappers around it.
+type Runner struct {
+	cfg  Config
+	res  *Result
+	heap *heapModel
+
+	clock        core.Time
+	sinceTrigger uint64
+	memStat      stats.Weighted
+	liveStat     stats.Weighted
+	lastInstr    uint64
+	nEvents      int
+	curve        *stats.Series
+	liveCurve    *stats.Series
+	finished     bool
+
+	// Virtual-memory model (nil unless configured).
+	pages    *vmem.Model
+	nextAddr uint64
+}
+
+// NewRunner validates the configuration and returns a Runner ready for
+// events.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mode == ModePolicy && cfg.Policy == nil {
+		return nil, errors.New("sim: ModePolicy requires a Policy")
+	}
+	res := &Result{}
+	switch cfg.Mode {
+	case ModePolicy:
+		res.Collector = cfg.Policy.Name()
+	case ModeNoGC:
+		res.Collector = "NoGC"
+	case ModeLive:
+		res.Collector = "Live"
+	default:
+		return nil, fmt.Errorf("sim: unknown mode %d", cfg.Mode)
+	}
+	r := &Runner{cfg: cfg, res: res, heap: newHeapModel()}
+	if cfg.RecordCurve {
+		r.curve = &stats.Series{Name: res.Collector}
+		r.liveCurve = &stats.Series{Name: "Live"}
+	}
+	if cfg.PageFrames > 0 {
+		r.pages = vmem.New(cfg.PageBytes, cfg.PageFrames)
+	}
+	return r, nil
+}
+
+func (r *Runner) memInUse() uint64 {
+	switch r.cfg.Mode {
+	case ModeNoGC:
+		return uint64(r.clock) // cumulative allocation, frees ignored
+	case ModeLive:
+		return r.heap.live
+	default:
+		return r.heap.inUse
+	}
+}
+
+func (r *Runner) sample(instr uint64) {
+	m := r.memInUse()
+	r.memStat.Observe(float64(instr), float64(m))
+	r.liveStat.Observe(float64(instr), float64(r.heap.live))
+	if r.cfg.RecordCurve {
+		r.curve.Append(float64(r.clock), float64(m))
+		r.liveCurve.Append(float64(r.clock), float64(r.heap.live))
+	}
+}
+
+// Feed processes one event. Events must arrive in trace order.
+func (r *Runner) Feed(e trace.Event) error {
+	if r.finished {
+		return errors.New("sim: Feed after Finish")
+	}
+	i := r.nEvents
+	r.nEvents++
+	if e.Instr < r.lastInstr {
+		return fmt.Errorf("sim: event %d: clock regressed", i)
+	}
+	r.lastInstr = e.Instr
+	switch e.Kind {
+	case trace.KindAlloc:
+		r.clock += core.Time(e.Size)
+		addr := r.nextAddr
+		r.nextAddr += e.Size
+		if err := r.heap.alloc(e.ID, e.Size, r.clock, addr); err != nil {
+			return fmt.Errorf("sim: event %d: %w", i, err)
+		}
+		if r.pages != nil {
+			r.pages.Touch(addr, e.Size) // the mutator initializes it
+		}
+		r.sinceTrigger += e.Size
+		r.sample(e.Instr)
+		if r.cfg.Mode == ModePolicy && r.sinceTrigger >= r.cfg.TriggerBytes {
+			r.sinceTrigger = 0
+			r.scavenge()
+			r.sample(e.Instr)
+		}
+	case trace.KindFree:
+		if r.pages != nil {
+			if idx, ok := r.heap.index[e.ID]; ok {
+				o := r.heap.objs[idx]
+				r.pages.Touch(o.addr, o.size) // last mutator access
+			}
+		}
+		if err := r.heap.free(e.ID); err != nil {
+			return fmt.Errorf("sim: event %d: %w", i, err)
+		}
+		r.sample(e.Instr)
+	case trace.KindMark:
+		if r.cfg.Mode == ModePolicy && r.cfg.Opportunistic &&
+			r.sinceTrigger >= r.cfg.TriggerBytes/2 {
+			r.sinceTrigger = 0
+			r.scavenge()
+			r.sample(e.Instr)
+		}
+	case trace.KindPtrWrite:
+		// Pointer stores do not affect the oracle liveness, but they
+		// do touch memory for the virtual-memory model.
+		if r.pages != nil {
+			if idx, ok := r.heap.index[e.ID]; ok {
+				o := r.heap.objs[idx]
+				r.pages.Touch(o.addr, 8)
+			}
+		}
+	default:
+		return fmt.Errorf("sim: event %d: unknown kind %d", i, e.Kind)
+	}
+	return nil
+}
+
+func (r *Runner) scavenge() {
+	heap, cfg, res := r.heap, r.cfg, r.res
+	memBefore := heap.inUse
+	tb := core.ClampBoundary(cfg.Policy.Boundary(r.clock, &res.History, heap), r.clock)
+	traced, reclaimed := heap.scavenge(tb)
+	if r.pages != nil {
+		// Copying semantics: every survivor of the threatened region
+		// is read at its old address and written to a fresh one; the
+		// collector never touches garbage.
+		start := sort.Search(len(heap.objs), func(i int) bool { return heap.objs[i].birth > tb })
+		for j := start; j < len(heap.objs); j++ {
+			o := &heap.objs[j]
+			r.pages.Touch(o.addr, o.size)
+			o.addr = r.nextAddr
+			r.nextAddr += o.size
+			r.pages.Touch(o.addr, o.size)
+		}
+	}
+	res.History.Record(core.Scavenge{
+		T:         r.clock,
+		TB:        tb,
+		MemBefore: memBefore,
+		Traced:    traced,
+		Reclaimed: reclaimed,
+		Surviving: heap.inUse,
+	})
+	res.Collections++
+	res.TracedTotalBytes += traced
+	res.Pauses = append(res.Pauses, cfg.Machine.PauseSeconds(traced))
+}
+
+// Finish closes the run and returns the Result. It is idempotent.
+func (r *Runner) Finish() *Result {
+	if r.finished {
+		return r.res
+	}
+	r.finished = true
+	r.memStat.Finish(float64(r.lastInstr))
+	r.liveStat.Finish(float64(r.lastInstr))
+	res := r.res
+	res.MemMeanBytes = r.memStat.Mean()
+	res.MemMaxBytes = r.memStat.Max()
+	res.LiveMeanBytes = r.liveStat.Mean()
+	res.LiveMaxBytes = r.liveStat.Max()
+	res.TotalAlloc = uint64(r.clock)
+	res.ExecSeconds = r.cfg.Machine.Seconds(r.lastInstr)
+	if res.ExecSeconds > 0 {
+		res.OverheadPct = 100 * r.cfg.Machine.PauseSeconds(res.TracedTotalBytes) / res.ExecSeconds
+	}
+	if r.pages != nil {
+		res.PageFaults = r.pages.Faults()
+		res.PageAccesses = r.pages.Accesses()
+	}
+	if r.cfg.RecordCurve {
+		curve, liveCurve := r.curve, r.liveCurve
+		if r.cfg.CurvePoints > 0 {
+			curve = curve.Downsample(r.cfg.CurvePoints)
+			liveCurve = liveCurve.Downsample(r.cfg.CurvePoints)
+		}
+		res.Curve = curve
+		res.LiveCurve = liveCurve
+	}
+	return res
+}
+
+// Run simulates one collector over a complete in-memory trace. The
+// trace must be well-formed; Run reports the first inconsistency it
+// hits as an error.
+func Run(events []trace.Event, cfg Config) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range events {
+		if err := r.Feed(e); err != nil {
+			return nil, err
+		}
+	}
+	return r.Finish(), nil
+}
+
+// RunReader simulates a collector over a streamed trace, decoding
+// events one at a time: memory use is bounded by the heap model, not
+// the trace length.
+func RunReader(rd *trace.Reader, cfg Config) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		e, err := rd.Read()
+		if err == io.EOF {
+			return r.Finish(), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Feed(e); err != nil {
+			return nil, err
+		}
+	}
+}

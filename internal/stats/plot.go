@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders one or more step-function series as a text chart,
+// the terminal rendition of the paper's Figure 2. Each series is drawn
+// with its own glyph (assigned in order: '*', 'o', '.', '+', 'x'); the
+// Y axis is labelled in the series' value units divided by yDiv (pass
+// 1024 to label kilobytes).
+func AsciiPlot(series []*Series, width, height int, yDiv float64) string {
+	if width < 16 || height < 4 {
+		panic("stats: AsciiPlot needs width >= 16 and height >= 4")
+	}
+	if yDiv <= 0 {
+		yDiv = 1
+	}
+	glyphs := []byte{'*', 'o', '.', '+', 'x'}
+
+	// Bounds across all series.
+	var tMin, tMax, vMax float64
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points {
+			if first {
+				tMin, tMax = p.T, p.T
+				first = false
+			}
+			tMin = math.Min(tMin, p.T)
+			tMax = math.Max(tMax, p.T)
+			vMax = math.Max(vMax, p.V)
+		}
+	}
+	if first || tMax == tMin {
+		return "(no data)\n"
+	}
+	if vMax == 0 {
+		vMax = 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Sample each column from each series under step semantics.
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for col := 0; col < width; col++ {
+			t := tMin + (tMax-tMin)*float64(col)/float64(width-1)
+			v := s.At(t)
+			row := height - 1 - int(v/vMax*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	for i, line := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.0f", vMax/yDiv)
+		case height - 1:
+			label = fmt.Sprintf("%8.0f", 0.0)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	// Legend.
+	b.WriteString(strings.Repeat(" ", 10))
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", glyphs[si%len(glyphs)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotSeries() []*Series {
+	a := &Series{Name: "mem"}
+	b := &Series{Name: "live"}
+	for i := 0; i <= 100; i++ {
+		a.Append(float64(i), float64(50+i%20))
+		b.Append(float64(i), float64(20+i/10))
+	}
+	return []*Series{a, b}
+}
+
+func TestAsciiPlotBasics(t *testing.T) {
+	out := AsciiPlot(plotSeries(), 40, 10, 1)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// height rows + axis + legend.
+	if len(lines) != 12 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "* mem") || !strings.Contains(out, "o live") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "70") { // vMax = 69 -> labelled 69? rounded: 69
+		// Top label is the max value; accept any digits.
+		if !strings.ContainsAny(lines[0], "0123456789") {
+			t.Fatalf("no top axis label:\n%s", out)
+		}
+	}
+	if !strings.Contains(lines[9], "0") {
+		t.Fatalf("no zero label:\n%s", out)
+	}
+	// Both glyphs appear in the body.
+	body := strings.Join(lines[:10], "\n")
+	if !strings.Contains(body, "*") || !strings.Contains(body, "o") {
+		t.Fatalf("series glyphs missing:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	if out := AsciiPlot([]*Series{{Name: "x"}}, 40, 10, 1); out != "(no data)\n" {
+		t.Fatalf("empty plot = %q", out)
+	}
+}
+
+func TestAsciiPlotSinglePointSeries(t *testing.T) {
+	s := &Series{Name: "p"}
+	s.Append(5, 1)
+	if out := AsciiPlot([]*Series{s}, 40, 10, 1); out != "(no data)\n" {
+		t.Fatalf("degenerate time range should render no data, got %q", out)
+	}
+}
+
+func TestAsciiPlotPanicsOnTinyCanvas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny canvas accepted")
+		}
+	}()
+	AsciiPlot(plotSeries(), 4, 2, 1)
+}
+
+func TestAsciiPlotYDiv(t *testing.T) {
+	s := &Series{Name: "kb"}
+	s.Append(0, 0)
+	s.Append(10, 10240)
+	out := AsciiPlot([]*Series{s}, 20, 5, 1024)
+	if !strings.Contains(out, "10") {
+		t.Fatalf("kilobyte label missing:\n%s", out)
+	}
+}

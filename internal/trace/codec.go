@@ -1,0 +1,372 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary format
+//
+//	header:  magic "DTBT" + version byte 0x01
+//	event:   kind byte, then kind-specific uvarint fields:
+//	         alloc:    id, size, dInstr
+//	         free:     id, dInstr
+//	         ptrwrite: id, field, target, dInstr
+//	         mark:     len(label), label bytes, dInstr
+//
+// Instruction timestamps are delta-encoded (dInstr = instr - previous
+// instr), which keeps long traces compact since most deltas are tiny.
+
+var binaryMagic = []byte{'D', 'T', 'B', 'T', 0x01}
+
+// ErrBadMagic reports a stream that is not a binary DTB trace.
+var ErrBadMagic = errors.New("trace: bad magic, not a binary DTB trace")
+
+// Writer encodes events to the binary format.
+type Writer struct {
+	w         *bufio.Writer
+	buf       [binary.MaxVarintLen64]byte
+	lastInstr uint64
+	wroteHdr  bool
+	n         int
+}
+
+// NewWriter returns a Writer emitting to w. The header is written
+// lazily on the first event (or by Flush on an empty trace).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) header() error {
+	if w.wroteHdr {
+		return nil
+	}
+	w.wroteHdr = true
+	_, err := w.w.Write(binaryMagic)
+	return err
+}
+
+func (w *Writer) uvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// Write encodes one event.
+func (w *Writer) Write(e Event) error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	if e.Instr < w.lastInstr {
+		return fmt.Errorf("trace: Writer clock regressed %d -> %d", w.lastInstr, e.Instr)
+	}
+	d := e.Instr - w.lastInstr
+	w.lastInstr = e.Instr
+	if err := w.w.WriteByte(byte(e.Kind)); err != nil {
+		return err
+	}
+	switch e.Kind {
+	case KindAlloc:
+		if err := w.uvarint(uint64(e.ID)); err != nil {
+			return err
+		}
+		if err := w.uvarint(e.Size); err != nil {
+			return err
+		}
+	case KindFree:
+		if err := w.uvarint(uint64(e.ID)); err != nil {
+			return err
+		}
+	case KindPtrWrite:
+		if err := w.uvarint(uint64(e.ID)); err != nil {
+			return err
+		}
+		if err := w.uvarint(uint64(e.Field)); err != nil {
+			return err
+		}
+		if err := w.uvarint(uint64(e.Target)); err != nil {
+			return err
+		}
+	case KindMark:
+		if err := w.uvarint(uint64(len(e.Label))); err != nil {
+			return err
+		}
+		if _, err := w.w.WriteString(e.Label); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("trace: cannot encode unknown kind %d", e.Kind)
+	}
+	w.n++
+	return w.uvarint(d)
+}
+
+// Count returns the number of events written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush writes any buffered data (and the header, if no event was
+// ever written) to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes events from the binary format.
+type Reader struct {
+	r         *bufio.Reader
+	readHdr   bool
+	lastInstr uint64
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (r *Reader) checkHeader() error {
+	if r.readHdr {
+		return nil
+	}
+	r.readHdr = true
+	hdr := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: truncated header", ErrBadMagic)
+		}
+		return err
+	}
+	for i, b := range binaryMagic {
+		if hdr[i] != b {
+			return ErrBadMagic
+		}
+	}
+	return nil
+}
+
+// Read decodes the next event. It returns io.EOF at a clean end of
+// stream.
+func (r *Reader) Read() (Event, error) {
+	if err := r.checkHeader(); err != nil {
+		return Event{}, err
+	}
+	kb, err := r.r.ReadByte()
+	if err != nil {
+		return Event{}, err // io.EOF here is the clean end
+	}
+	e := Event{Kind: Kind(kb)}
+	switch e.Kind {
+	case KindAlloc:
+		id, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		size, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		e.ID, e.Size = ObjectID(id), size
+	case KindFree:
+		id, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		e.ID = ObjectID(id)
+	case KindPtrWrite:
+		id, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		field, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		target, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		e.ID, e.Field, e.Target = ObjectID(id), uint32(field), ObjectID(target)
+	case KindMark:
+		n, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		const maxLabel = 1 << 20
+		if n > maxLabel {
+			return Event{}, fmt.Errorf("trace: mark label length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		e.Label = string(buf)
+	default:
+		return Event{}, fmt.Errorf("trace: unknown event kind byte %d", kb)
+	}
+	d, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Event{}, unexpectedEOF(err)
+	}
+	r.lastInstr += d
+	e.Instr = r.lastInstr
+	return e, nil
+}
+
+// ReadAll decodes the remainder of the stream.
+func (r *Reader) ReadAll() ([]Event, error) {
+	var events []Event
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, err
+		}
+		events = append(events, e)
+	}
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// WriteAll encodes a whole trace to w in the binary format.
+func WriteAll(w io.Writer, events []Event) error {
+	tw := NewWriter(w)
+	for i, e := range events {
+		if err := tw.Write(e); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return tw.Flush()
+}
+
+// Text format: one event per line using Event.String mnemonics, with
+// '#' comments and blank lines ignored. Intended for hand-written test
+// fixtures and human inspection of small traces.
+
+// WriteText encodes a trace in the line-oriented text format.
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the line-oriented text format.
+func ReadText(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseTextLine(line)
+		if err != nil {
+			return events, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return events, err
+	}
+	return events, nil
+}
+
+func parseTextLine(line string) (Event, error) {
+	fields := strings.Fields(line)
+	u := func(i int) (uint64, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("missing field %d in %q", i, line)
+		}
+		return strconv.ParseUint(fields[i], 10, 64)
+	}
+	switch fields[0] {
+	case "a":
+		id, err := u(1)
+		if err != nil {
+			return Event{}, err
+		}
+		size, err := u(2)
+		if err != nil {
+			return Event{}, err
+		}
+		instr, err := u(3)
+		if err != nil {
+			return Event{}, err
+		}
+		return Alloc(ObjectID(id), size, instr), nil
+	case "f":
+		id, err := u(1)
+		if err != nil {
+			return Event{}, err
+		}
+		instr, err := u(2)
+		if err != nil {
+			return Event{}, err
+		}
+		return Free(ObjectID(id), instr), nil
+	case "p":
+		src, err := u(1)
+		if err != nil {
+			return Event{}, err
+		}
+		field, err := u(2)
+		if err != nil {
+			return Event{}, err
+		}
+		dst, err := u(3)
+		if err != nil {
+			return Event{}, err
+		}
+		instr, err := u(4)
+		if err != nil {
+			return Event{}, err
+		}
+		return PtrWrite(ObjectID(src), uint32(field), ObjectID(dst), instr), nil
+	case "m":
+		// m "label" instr — label is a Go-quoted string.
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "m"))
+		if !strings.HasPrefix(rest, `"`) {
+			return Event{}, fmt.Errorf("mark label must be quoted in %q", line)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '"' && rest[i-1] != '\\' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return Event{}, fmt.Errorf("unterminated mark label in %q", line)
+		}
+		label, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return Event{}, fmt.Errorf("bad mark label in %q: %v", line, err)
+		}
+		instr, err := strconv.ParseUint(strings.TrimSpace(rest[end+1:]), 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad mark timestamp in %q: %v", line, err)
+		}
+		return Mark(label, instr), nil
+	default:
+		return Event{}, fmt.Errorf("unknown event mnemonic %q", fields[0])
+	}
+}

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+func sampleTrace() []Event {
+	return []Event{
+		Alloc(1, 128, 0),
+		Alloc(2, 64, 15),
+		PtrWrite(1, 0, 2, 20),
+		Mark("phase one", 25),
+		Free(1, 40),
+		PtrWrite(2, 3, NilObject, 41),
+		Alloc(3, 1<<20, 1<<40),
+		Free(3, 1<<40+5),
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, events)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace decoded to %d events", len(got))
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	_, err := NewReader(strings.NewReader("not a trace at all")).ReadAll()
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("expected bad-magic error, got %v", err)
+	}
+}
+
+func TestBinaryTruncatedHeader(t *testing.T) {
+	_, err := NewReader(strings.NewReader("DT")).ReadAll()
+	if err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestBinaryTruncatedEvent(t *testing.T) {
+	events := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop a few bytes off the end: decoding must fail, not hang or
+	// silently succeed with a short read mid-event.
+	truncated := full[:len(full)-2]
+	_, err := NewReader(bytes.NewReader(truncated)).ReadAll()
+	if err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+	if err == io.EOF {
+		t.Fatal("truncation reported as clean EOF")
+	}
+}
+
+func TestBinaryWriterRejectsClockRegression(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Alloc(1, 8, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Alloc(2, 8, 50)); err == nil {
+		t.Fatal("writer accepted clock regression")
+	}
+}
+
+func TestBinaryWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i, e := range sampleTrace() {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+		if w.Count() != i+1 {
+			t.Fatalf("Count = %d after %d writes", w.Count(), i+1)
+		}
+	}
+}
+
+func TestBinaryRejectsUnknownKindOnWrite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(Event{Kind: Kind(200)}); err == nil {
+		t.Fatal("unknown kind encoded")
+	}
+}
+
+func TestBinaryRejectsUnknownKindOnRead(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic)
+	buf.WriteByte(200)
+	_, err := NewReader(&buf).ReadAll()
+	if err == nil {
+		t.Fatal("unknown kind byte decoded")
+	}
+}
+
+func TestBinaryMarkLabelLimit(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic)
+	buf.WriteByte(byte(KindMark))
+	// Claim a 1 GB label without providing it.
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x04})
+	_, err := NewReader(&buf).ReadAll()
+	if err == nil {
+		t.Fatal("absurd label length accepted")
+	}
+}
+
+func TestBinaryRoundTripRandomTraces(t *testing.T) {
+	// Property: encode→decode is the identity on any well-formed trace.
+	r := xrand.New(2024)
+	check := func(seed uint32) bool {
+		rr := xrand.New(uint64(seed) ^ r.Uint64())
+		b := NewBuilder()
+		var liveList []ObjectID
+		for i := 0; i < 200; i++ {
+			b.Advance(uint64(rr.Intn(1000)))
+			switch {
+			case len(liveList) > 0 && rr.Bool(0.3):
+				k := rr.Intn(len(liveList))
+				b.Free(liveList[k])
+				liveList = append(liveList[:k], liveList[k+1:]...)
+			case len(liveList) > 1 && rr.Bool(0.2):
+				b.PtrWrite(liveList[rr.Intn(len(liveList))], uint32(rr.Intn(8)), liveList[rr.Intn(len(liveList))])
+			case rr.Bool(0.05):
+				b.Mark("m")
+			default:
+				liveList = append(liveList, b.Alloc(uint64(rr.Range(1, 4096))))
+			}
+		}
+		events := b.Events()
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, events); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, events)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	events := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("text round trip mismatch:\n got %v\nwant %v", got, events)
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+a 1 100 0
+
+f 1 10
+`
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{Alloc(1, 100, 0), Free(1, 10)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTextMarkWithSpacesAndQuotes(t *testing.T) {
+	events := []Event{Mark(`hello "quoted" world`, 5)}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("got %v, want %v", got, events)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"z 1 2 3",       // unknown mnemonic
+		"a 1",           // missing fields
+		"a x 2 3",       // non-numeric
+		"p 1 2 3",       // ptr write missing instr
+		`m hello 5`,     // unquoted label
+		`m "unclosed`,   // unterminated label
+		`m "ok" notnum`, // bad timestamp
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadText(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestTextLineNumbersInErrors(t *testing.T) {
+	_, err := ReadText(strings.NewReader("a 1 8 0\nbogus line\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should cite line 2, got %v", err)
+	}
+}
+
+func BenchmarkBinaryEncode(b *testing.B) {
+	builder := NewBuilder()
+	for i := 0; i < 10000; i++ {
+		builder.Advance(50)
+		id := builder.Alloc(64)
+		if i%2 == 0 {
+			builder.Free(id)
+		}
+	}
+	events := builder.Events()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteAll(io.Discard, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryDecode(b *testing.B) {
+	builder := NewBuilder()
+	for i := 0; i < 10000; i++ {
+		builder.Advance(50)
+		id := builder.Alloc(64)
+		if i%2 == 0 {
+			builder.Free(id)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, builder.Events()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewReader(bytes.NewReader(data)).ReadAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import "testing"
+
+func TestMeasureForwardBasics(t *testing.T) {
+	events := []Event{
+		Alloc(1, 8, 0),
+		Alloc(2, 8, 1),
+		PtrWrite(1, 0, 2, 2),         // forward: 1 older than 2
+		PtrWrite(2, 0, 1, 3),         // backward
+		PtrWrite(1, 1, NilObject, 4), // nil
+		Alloc(3, 8, 5),
+		PtrWrite(1, 0, 3, 6), // forward
+	}
+	fs, err := MeasureForward(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stores != 4 || fs.NilStore != 1 || fs.Forward != 2 || fs.Backward != 1 {
+		t.Fatalf("stats %+v", fs)
+	}
+	if got := fs.ForwardFraction(); got != 2.0/3.0 {
+		t.Fatalf("fraction = %v", got)
+	}
+}
+
+func TestMeasureForwardEmptyAndNilOnly(t *testing.T) {
+	fs, err := MeasureForward([]Event{Alloc(1, 8, 0), PtrWrite(1, 0, NilObject, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.ForwardFraction() != 0 {
+		t.Fatalf("fraction = %v", fs.ForwardFraction())
+	}
+}
+
+func TestMeasureForwardDeadReference(t *testing.T) {
+	events := []Event{
+		Alloc(1, 8, 0),
+		Alloc(2, 8, 1),
+		Free(2, 2),
+		PtrWrite(1, 0, 2, 3),
+	}
+	if _, err := MeasureForward(events); err == nil {
+		t.Fatal("store to dead object accepted")
+	}
+}
+
+func TestMeasureForwardViaBuilder(t *testing.T) {
+	b := NewBuilder()
+	ids := make([]ObjectID, 10)
+	for i := range ids {
+		ids[i] = b.Alloc(16)
+	}
+	// Stores from each object to its predecessor: all backward.
+	for i := 1; i < len(ids); i++ {
+		b.PtrWrite(ids[i], 0, ids[i-1])
+	}
+	fs, err := MeasureForward(b.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Forward != 0 || fs.Backward != 9 {
+		t.Fatalf("stats %+v", fs)
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadText: the text parser must never panic and must only accept
+// lines it can re-serialize.
+func FuzzReadText(f *testing.F) {
+	f.Add("a 1 100 0\nf 1 10\n")
+	f.Add("p 1 0 2 5\nm \"label\" 6\n")
+	f.Add("# comment\n\n a 2 8 1")
+	f.Add(`m "esc\"aped" 9`)
+	f.Add("a 99999999999999999999 1 1") // overflow
+	f.Add("m \"unterminated")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadText(bytes.NewReader([]byte(input)))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip.
+		var buf bytes.Buffer
+		if err := WriteText(&buf, events); err != nil {
+			t.Fatalf("accepted events failed to serialize: %v", err)
+		}
+		again, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("serialized form failed to parse: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count %d -> %d", len(events), len(again))
+		}
+	})
+}
+
+// FuzzReader: the binary decoder must never panic or over-allocate on
+// corrupt streams.
+func FuzzReader(f *testing.F) {
+	good := func(events []Event) []byte {
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, events); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(good(nil))
+	f.Add(good([]Event{Alloc(1, 64, 0), Free(1, 5)}))
+	f.Add(good([]Event{Mark("m", 1), PtrWrite(1, 2, 3, 4)}))
+	f.Add([]byte("DTBT\x01\xff\xff\xff"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := NewReader(bytes.NewReader(data)).ReadAll()
+		if err != nil {
+			return
+		}
+		// A cleanly decoded stream re-encodes, provided its clock is
+		// monotone (the decoder guarantees that by construction).
+		if err := WriteAll(bytes.NewBuffer(nil), events); err != nil {
+			t.Fatalf("decoded events failed to re-encode: %v", err)
+		}
+	})
+}

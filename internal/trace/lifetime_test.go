@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func lifetimeFixture() []Event {
+	// Object 1: 100 bytes, lives 300 bytes of allocation.
+	// Object 2: 100 bytes, lives 200 bytes.
+	// Object 3: 100 bytes, permanent.
+	// Object 4: 100 bytes, dies immediately (lifetime 0).
+	return []Event{
+		Alloc(1, 100, 0), // clock 100
+		Alloc(2, 100, 1), // clock 200
+		Alloc(3, 100, 2), // clock 300
+		Alloc(4, 100, 3), // clock 400
+		Free(4, 4),       // life 0
+		Free(2, 5),       // life 200
+		Free(1, 6),       // life 300
+	}
+}
+
+func TestMeasureLifetimesBasics(t *testing.T) {
+	ls, err := MeasureLifetimes(lifetimeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.TotalObjects != 4 || ls.TotalBytes != 400 {
+		t.Fatalf("totals: %+v", ls)
+	}
+	if ls.FreedBytes != 300 || ls.PermanentBytes != 100 {
+		t.Fatalf("freed %d permanent %d", ls.FreedBytes, ls.PermanentBytes)
+	}
+	if ls.PermanentFraction() != 0.25 || ls.FreedFraction() != 0.75 {
+		t.Fatalf("fractions %v/%v", ls.PermanentFraction(), ls.FreedFraction())
+	}
+	if ls.MeanObjectBytes != 100 {
+		t.Fatalf("mean object %v", ls.MeanObjectBytes)
+	}
+}
+
+func TestSurvivalFunction(t *testing.T) {
+	ls, err := MeasureLifetimes(lifetimeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lifetimes (bytes): 0, 200, 300 — 100 bytes each.
+	cases := []struct {
+		age  uint64
+		want float64
+	}{
+		{0, 1},         // everything lives at least 0
+		{1, 2.0 / 3},   // the life-0 object is gone
+		{200, 2.0 / 3}, // >= 200 still includes both
+		{201, 1.0 / 3},
+		{300, 1.0 / 3},
+		{301, 0},
+	}
+	for _, c := range cases {
+		if got := ls.SurvivalAt(c.age); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("SurvivalAt(%d) = %v, want %v", c.age, got, c.want)
+		}
+	}
+}
+
+func TestLifetimeQuantiles(t *testing.T) {
+	ls, err := MeasureLifetimes(lifetimeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := ls.LifetimeQuantile(1.0); q != 300 {
+		t.Errorf("q1.0 = %d", q)
+	}
+	if q := ls.LifetimeQuantile(0.5); q != 200 {
+		t.Errorf("q0.5 = %d", q)
+	}
+	// Out-of-range quantiles clamp.
+	if ls.LifetimeQuantile(-1) != ls.LifetimeQuantile(0) {
+		t.Error("negative quantile not clamped")
+	}
+	if ls.LifetimeQuantile(2) != 300 {
+		t.Error("overflow quantile not clamped")
+	}
+}
+
+func TestMeanLifetimeOfRange(t *testing.T) {
+	ls, err := MeasureLifetimes(lifetimeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := ls.MeanLifetimeOfRange(0, 1)
+	if math.Abs(whole-500.0/3) > 1 {
+		t.Errorf("overall mean lifetime %v, want ~166.7", whole)
+	}
+	lower := ls.MeanLifetimeOfRange(0, 0.5)
+	upper := ls.MeanLifetimeOfRange(0.5, 1)
+	if lower >= upper {
+		t.Errorf("lower-half mean %v not below upper-half %v", lower, upper)
+	}
+}
+
+func TestMeasureLifetimesErrors(t *testing.T) {
+	if _, err := MeasureLifetimes([]Event{Free(1, 0)}); err == nil {
+		t.Fatal("free of unknown accepted")
+	}
+	if _, err := MeasureLifetimes([]Event{Alloc(1, 8, 0), Alloc(1, 8, 1)}); err == nil {
+		t.Fatal("duplicate alloc accepted")
+	}
+}
+
+func TestMeasureLifetimesEmpty(t *testing.T) {
+	ls, err := MeasureLifetimes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.SurvivalAt(0) != 0 || ls.LifetimeQuantile(0.5) != 0 || ls.PermanentFraction() != 0 {
+		t.Fatal("empty stats should be zeros")
+	}
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+func TestWindowFullRangeIsIdentityPlusNothing(t *testing.T) {
+	events := []Event{
+		Alloc(1, 10, 0), Alloc(2, 20, 5), Free(1, 9), Alloc(3, 30, 12),
+	}
+	got, err := Window(events, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("full window has %d events, want %d", len(got), len(events))
+	}
+	if err := Validate(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowSynthesizesSurvivors(t *testing.T) {
+	events := []Event{
+		Alloc(1, 10, 0), // dies before window
+		Alloc(2, 20, 1), // survives into window
+		Alloc(3, 30, 2), // survives into window
+		Free(1, 3),
+		Alloc(4, 40, 50), // inside window
+		Free(2, 60),      // inside window
+	}
+	got, err := Window(events, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(got); err != nil {
+		t.Fatalf("windowed trace invalid: %v\n%v", err, got)
+	}
+	// Survivors 2 and 3 synthesized at instant 10, in original order.
+	if got[0] != Alloc(2, 20, 10) || got[1] != Alloc(3, 30, 10) {
+		t.Fatalf("preamble wrong: %v", got[:2])
+	}
+	// Object 1's free must be gone; object 4 and free(2) kept.
+	for _, e := range got {
+		if e.ID == 1 {
+			t.Fatalf("dead-before-window object leaked: %v", e)
+		}
+	}
+	if got[len(got)-1] != Free(2, 60) {
+		t.Fatalf("tail wrong: %v", got[len(got)-1])
+	}
+}
+
+func TestWindowDropsCrossBoundaryPtrWrites(t *testing.T) {
+	events := []Event{
+		Alloc(1, 10, 0),
+		Free(1, 2), // 1 is gone before the window
+		Alloc(2, 10, 20),
+		PtrWrite(2, 0, 2, 25),
+		PtrWrite(2, 1, NilObject, 26),
+	}
+	got, err := Window(events, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(got); err != nil {
+		t.Fatal(err)
+	}
+	ptrs := 0
+	for _, e := range got {
+		if e.Kind == KindPtrWrite {
+			ptrs++
+		}
+	}
+	if ptrs != 2 {
+		t.Fatalf("%d pointer stores kept, want 2", ptrs)
+	}
+}
+
+func TestWindowRejectsBadRange(t *testing.T) {
+	if _, err := Window(nil, 10, 5); err == nil {
+		t.Fatal("to < from accepted")
+	}
+}
+
+func TestWindowEmptyMiddle(t *testing.T) {
+	events := []Event{Alloc(1, 10, 0), Free(1, 5)}
+	got, err := Window(events, 50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("window over dead air has %d events", len(got))
+	}
+}
+
+func TestWindowPreservesRelativeAges(t *testing.T) {
+	// Survivor allocation order must match original order even when
+	// map iteration would scramble it.
+	b := NewBuilder()
+	var ids []ObjectID
+	for i := 0; i < 50; i++ {
+		b.Advance(1)
+		ids = append(ids, b.Alloc(uint64(10+i)))
+	}
+	b.Advance(100)
+	b.Alloc(5) // in-window event
+	got, err := Window(b.Events(), 60, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got[i].ID != ids[i] {
+			t.Fatalf("preamble order broken at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestWindowOnRandomTracesStaysValid(t *testing.T) {
+	r := xrand.New(77)
+	for trial := 0; trial < 25; trial++ {
+		b := NewBuilder()
+		var live []ObjectID
+		for i := 0; i < 300; i++ {
+			b.Advance(uint64(r.Range(1, 50)))
+			switch {
+			case len(live) > 0 && r.Bool(0.4):
+				k := r.Intn(len(live))
+				b.Free(live[k])
+				live = append(live[:k], live[k+1:]...)
+			case len(live) > 1 && r.Bool(0.2):
+				b.PtrWrite(live[r.Intn(len(live))], 0, live[r.Intn(len(live))])
+			default:
+				live = append(live, b.Alloc(uint64(r.Range(8, 256))))
+			}
+		}
+		events := b.Events()
+		end := events[len(events)-1].Instr
+		from := r.Uint64() % (end + 1)
+		to := from + r.Uint64()%(end-from+1)
+		got, err := Window(events, from, to)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Validate(got); err != nil {
+			t.Fatalf("trial %d: windowed trace invalid: %v", trial, err)
+		}
+	}
+}

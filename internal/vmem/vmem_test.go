@@ -1,0 +1,112 @@
+package vmem
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+func TestColdFaults(t *testing.T) {
+	m := New(4096, 8)
+	m.Touch(0, 4096)
+	if m.Faults() != 1 || m.Accesses() != 1 {
+		t.Fatalf("faults=%d accesses=%d", m.Faults(), m.Accesses())
+	}
+	// Re-touch: hit, no new fault.
+	m.Touch(100, 8)
+	if m.Faults() != 1 || m.Accesses() != 2 {
+		t.Fatalf("re-touch faulted: %d", m.Faults())
+	}
+}
+
+func TestRangeSpansPages(t *testing.T) {
+	m := New(4096, 8)
+	m.Touch(4090, 10) // crosses a page boundary
+	if m.Faults() != 2 {
+		t.Fatalf("boundary-crossing touch faulted %d pages, want 2", m.Faults())
+	}
+	m.Touch(0, 3*4096) // pages 0,1,2; 0 and 1 already resident
+	if m.Faults() != 3 {
+		t.Fatalf("faults=%d, want 3", m.Faults())
+	}
+}
+
+func TestZeroSizeTouch(t *testing.T) {
+	m := New(4096, 4)
+	m.Touch(12345, 0)
+	if m.Accesses() != 0 {
+		t.Fatal("zero-size touch accessed pages")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := New(100, 2)
+	m.Touch(0, 1)   // page 0
+	m.Touch(100, 1) // page 1
+	m.Touch(0, 1)   // hit page 0, now MRU
+	m.Touch(200, 1) // page 2 evicts page 1 (LRU)
+	if m.Faults() != 3 {
+		t.Fatalf("faults=%d", m.Faults())
+	}
+	m.Touch(0, 1) // page 0 still resident
+	if m.Faults() != 3 {
+		t.Fatal("page 0 was wrongly evicted")
+	}
+	m.Touch(100, 1) // page 1 was evicted: fault
+	if m.Faults() != 4 {
+		t.Fatal("page 1 should have been evicted")
+	}
+	if m.Resident() != 2 {
+		t.Fatalf("resident=%d", m.Resident())
+	}
+}
+
+func TestSequentialScanOverCapacityAlwaysFaults(t *testing.T) {
+	m := New(4096, 4)
+	for pass := 0; pass < 3; pass++ {
+		for p := uint64(0); p < 8; p++ {
+			m.Touch(p*4096, 1)
+		}
+	}
+	// Classic LRU worst case: every access of a cyclic over-capacity
+	// scan misses.
+	if m.Faults() != m.Accesses() {
+		t.Fatalf("faults=%d accesses=%d; cyclic scan should always miss", m.Faults(), m.Accesses())
+	}
+}
+
+func TestWorkingSetWithinCapacityStopsFaulting(t *testing.T) {
+	m := New(4096, 16)
+	r := xrand.New(3)
+	for i := 0; i < 1000; i++ {
+		m.Touch(uint64(r.Intn(8))*4096, 1)
+	}
+	if m.Faults() != 8 {
+		t.Fatalf("faults=%d, want 8 cold faults only", m.Faults())
+	}
+	if m.FaultRate() >= 0.01 {
+		t.Fatalf("fault rate %v too high", m.FaultRate())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 4) },
+		func() { New(4096, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad New accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFaultRateEmpty(t *testing.T) {
+	if New(4096, 4).FaultRate() != 0 {
+		t.Fatal("empty model fault rate nonzero")
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+// Fit derives a Profile from a recorded trace — the inverse of
+// Generate, and the path a downstream user takes to model their own
+// program: capture a malloc/free trace (e.g. with mheap's recorder),
+// Fit it, and study collector behaviour on scaled or perturbed
+// variants of the fitted profile.
+//
+// The fit is a three-class mixture, matching how the built-in paper
+// profiles are expressed: the unfree'd byte fraction becomes a
+// permanent ramp, and the observed deaths split at their byte-weighted
+// median lifetime into a short-lived and a long-lived exponential
+// class whose means are the respective halves' means. Coarse by
+// design — it reproduces the live-curve scale and the tenuring-relevant
+// lifetime masses, not fine temporal structure (no phases).
+func Fit(events []trace.Event, name string) (Profile, error) {
+	ls, err := trace.MeasureLifetimes(events)
+	if err != nil {
+		return Profile{}, err
+	}
+	if ls.TotalBytes == 0 {
+		return Profile{}, fmt.Errorf("workload: cannot fit an empty trace")
+	}
+	var lastInstr uint64
+	for _, e := range events {
+		lastInstr = e.Instr
+	}
+	execSeconds := float64(lastInstr) / 10e6 // the 10 MIPS model clock
+	if execSeconds <= 0 {
+		execSeconds = 1
+	}
+
+	permFrac := ls.PermanentFraction()
+	freedFrac := 1 - permFrac
+
+	shortMean := ls.MeanLifetimeOfRange(0, 0.5)
+	longMean := ls.MeanLifetimeOfRange(0.5, 1)
+	if shortMean < 1 {
+		shortMean = 1
+	}
+	if longMean < shortMean {
+		longMean = shortMean
+	}
+
+	meanObj := math.Max(16, ls.MeanObjectBytes)
+	p := Profile{
+		Name:        name,
+		Description: "fitted from a recorded trace",
+		ExecSeconds: execSeconds,
+		TotalBytes:  ls.TotalBytes,
+		MeanObject:  meanObj,
+		Seed:        1,
+	}
+	switch {
+	case freedFrac <= 0:
+		p.Classes = []Class{{Fraction: 1, Permanent: true}}
+	case permFrac < 1e-6:
+		p.Classes = []Class{
+			{Fraction: 0.5, MeanLife: shortMean},
+			{Fraction: 0.5, MeanLife: longMean},
+		}
+	default:
+		p.Classes = []Class{
+			{Fraction: permFrac, Permanent: true},
+			{Fraction: freedFrac / 2, MeanLife: shortMean},
+			{Fraction: freedFrac / 2, MeanLife: longMean},
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("workload: fit produced an invalid profile: %w", err)
+	}
+	return p, nil
+}

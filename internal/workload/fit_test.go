@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/sim"
+)
+
+func TestFitRecoversScale(t *testing.T) {
+	// Fit(Generate(p)) must reproduce p's headline statistics: total
+	// volume exactly, live mean/max within a factor, permanent
+	// fraction approximately.
+	src := Ghost1().Scale(0.1)
+	events := src.MustGenerate()
+	fitted, err := Fit(events, "refit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.TotalBytes < src.TotalBytes || fitted.TotalBytes > src.TotalBytes+8192 {
+		t.Fatalf("fitted total %d, source %d", fitted.TotalBytes, src.TotalBytes)
+	}
+	srcLive, err := sim.Run(events, sim.Config{Mode: sim.ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitLive, err := sim.Run(fitted.MustGenerate(), sim.Config{Mode: sim.ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := fitLive.MemMeanBytes / srcLive.MemMeanBytes
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("fitted live mean off by %vx (src %.0f, fit %.0f)",
+			ratio, srcLive.MemMeanBytes, fitLive.MemMeanBytes)
+	}
+}
+
+func TestFitPermanentOnly(t *testing.T) {
+	p := Profile{
+		Name: "perm", ExecSeconds: 1, TotalBytes: 100 * kb, MeanObject: 64, Seed: 1,
+		Classes: []Class{{Fraction: 1, Permanent: true}},
+	}
+	fitted, err := Fit(p.MustGenerate(), "refit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fitted.Classes) != 1 || !fitted.Classes[0].Permanent {
+		t.Fatalf("fitted classes: %+v", fitted.Classes)
+	}
+}
+
+func TestFitChurnOnly(t *testing.T) {
+	p := Profile{
+		Name: "churn", ExecSeconds: 1, TotalBytes: 500 * kb, MeanObject: 64, Seed: 2,
+		Classes: []Class{{Fraction: 1, MeanLife: 2 * kb}},
+	}
+	fitted, err := Fit(p.MustGenerate(), "refit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Permanent fraction should be tiny (only end-of-run survivors).
+	for _, c := range fitted.Classes {
+		if c.Permanent && c.Fraction > 0.05 {
+			t.Fatalf("churn trace fitted %.3f permanent", c.Fraction)
+		}
+	}
+	// Short class mean within an order of magnitude of the truth.
+	short := fitted.Classes[len(fitted.Classes)-2].MeanLife
+	if short > 20*kb {
+		t.Fatalf("short-class mean %v far from 2 KB", short)
+	}
+}
+
+func TestFitEmptyTrace(t *testing.T) {
+	if _, err := Fit(nil, "x"); err == nil {
+		t.Fatal("empty trace fitted")
+	}
+}
+
+func TestFittedProfileIsUsable(t *testing.T) {
+	// End to end: fit a profile from CFRAC-like churn and run the
+	// whole collector set over the regenerated trace.
+	src := Cfrac().Scale(0.2)
+	fitted, err := Fit(src.MustGenerate(), "cfrac-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := fitted.MustGenerate()
+	res, err := sim.Run(events, sim.Config{Mode: sim.ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAlloc == 0 {
+		t.Fatal("fitted profile generated nothing")
+	}
+}

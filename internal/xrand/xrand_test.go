@@ -1,0 +1,288 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	var zeros int
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 generator produced %d zeros in 100 draws", zeros)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt63nBounds(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(1 << 40)
+		if v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(40)
+	}
+	mean := sum / n
+	if math.Abs(mean-40) > 1 {
+		t.Fatalf("Exp(40) mean = %v, want ~40", mean)
+	}
+}
+
+func TestExpNonNegative(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		if v := r.ExpFloat64(); v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("ExpFloat64 invalid value %v", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(3, 1); v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %v", v)
+		}
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(16, 1.5); v < 16 {
+			t.Fatalf("Pareto(16, 1.5) below xm: %v", v)
+		}
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pareto(0, 1) did not panic")
+		}
+	}()
+	New(1).Pareto(0, 1)
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := New(31)
+	sawLo, sawHi := false, false
+	for i := 0; i < 5000; i++ {
+		v := r.Range(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("Range(5,9) out of bounds: %d", v)
+		}
+		sawLo = sawLo || v == 5
+		sawHi = sawHi || v == 9
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("Range(5,9) never produced an endpoint in 5000 draws")
+	}
+}
+
+func TestRangeSingleton(t *testing.T) {
+	r := New(37)
+	for i := 0; i < 10; i++ {
+		if v := r.Range(4, 4); v != 4 {
+			t.Fatalf("Range(4,4) = %d", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(41)
+	check := func(n uint8) bool {
+		p := r.Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(43)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(99)
+	child := a.Split()
+	// The child's stream should not be a prefix/copy of the parent's.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream mirrors parent: %d/100 equal", same)
+	}
+}
+
+func TestUint64Uniformity(t *testing.T) {
+	// Chi-squared over the top 4 bits; loose bound, catches gross bias.
+	r := New(47)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Uint64()>>60]++
+	}
+	expected := float64(n) / 16
+	chi2 := 0.0
+	for _, c := range buckets {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 dof; 99.9th percentile ~ 37.7.
+	if chi2 > 40 {
+		t.Fatalf("chi-squared = %v, suggests biased generator", chi2)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(32)
+	}
+}

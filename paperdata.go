@@ -1,0 +1,46 @@
+package dtbgc
+
+// The published numbers of Barrett & Zorn's Tables 2-4, kept as data
+// so comparison output and automated shape checks can reference them.
+// Units: Table 2 kilobytes, Table 3 milliseconds, Table 4 kilobytes
+// and percent.
+
+// PaperCell is one collector×workload entry of a published table.
+type PaperCell struct {
+	A, B float64 // mean/max, p50/p90, or traced/overhead
+}
+
+// paperWorkloads is the column order of the published tables.
+var paperWorkloads = []string{"GHOST(1)", "GHOST(2)", "ESPRESSO(1)", "ESPRESSO(2)", "SIS", "CFRAC"}
+
+// PaperTable2 is "Mean and Maximum Memory Allocated (Kilobytes)".
+var PaperTable2 = map[string]map[string]PaperCell{
+	"Full":    {"GHOST(1)": {1262, 2065}, "GHOST(2)": {1807, 3033}, "ESPRESSO(1)": {564, 1076}, "ESPRESSO(2)": {640, 1188}, "SIS": {4524, 6980}, "CFRAC": {497, 992}},
+	"Fixed1":  {"GHOST(1)": {1465, 2453}, "GHOST(2)": {2130, 3632}, "ESPRESSO(1)": {667, 1226}, "ESPRESSO(2)": {1577, 2837}, "SIS": {4691, 7166}, "CFRAC": {498, 993}},
+	"Fixed4":  {"GHOST(1)": {1262, 2065}, "GHOST(2)": {1807, 3033}, "ESPRESSO(1)": {567, 1088}, "ESPRESSO(2)": {760, 1372}, "SIS": {4524, 6980}, "CFRAC": {497, 992}},
+	"DtbMem":  {"GHOST(1)": {1460, 2393}, "GHOST(2)": {1984, 3242}, "ESPRESSO(1)": {667, 1226}, "ESPRESSO(2)": {1481, 2365}, "SIS": {4552, 6980}, "CFRAC": {498, 993}},
+	"FeedMed": {"GHOST(1)": {1316, 2125}, "GHOST(2)": {1891, 3168}, "ESPRESSO(1)": {620, 1137}, "ESPRESSO(2)": {1095, 1748}, "SIS": {4691, 7166}, "CFRAC": {497, 992}},
+	"DtbFM":   {"GHOST(1)": {1265, 2066}, "GHOST(2)": {1839, 3078}, "ESPRESSO(1)": {569, 1111}, "ESPRESSO(2)": {695, 1612}, "SIS": {4691, 7166}, "CFRAC": {497, 992}},
+	"NoGC":    {"GHOST(1)": {24601, 49004}, "GHOST(2)": {44243, 87681}, "ESPRESSO(1)": {7874, 14852}, "ESPRESSO(2)": {45428, 104338}, "SIS": {8346, 14542}, "CFRAC": {3853, 7813}},
+	"Live":    {"GHOST(1)": {777, 1118}, "GHOST(2)": {1323, 2080}, "ESPRESSO(1)": {89, 173}, "ESPRESSO(2)": {160, 269}, "SIS": {4197, 6423}, "CFRAC": {10, 21}},
+}
+
+// PaperTable3 is "Median and 90th Percentile Pause Times (ms)".
+var PaperTable3 = map[string]map[string]PaperCell{
+	"Full":    {"GHOST(1)": {1743, 2130}, "GHOST(2)": {2720, 4108}, "ESPRESSO(1)": {164, 197}, "ESPRESSO(2)": {333, 387}, "SIS": {8165, 11787}, "CFRAC": {15, 37}},
+	"Fixed1":  {"GHOST(1)": {31, 102}, "GHOST(2)": {27, 139}, "ESPRESSO(1)": {12, 111}, "ESPRESSO(2)": {18, 68}, "SIS": {726, 1609}, "CFRAC": {5, 7}},
+	"Fixed4":  {"GHOST(1)": {120, 334}, "GHOST(2)": {150, 409}, "ESPRESSO(1)": {20, 192}, "ESPRESSO(2)": {28, 137}, "SIS": {2901, 4545}, "CFRAC": {15, 22}},
+	"DtbMem":  {"GHOST(1)": {34, 112}, "GHOST(2)": {200, 1345}, "ESPRESSO(1)": {12, 111}, "ESPRESSO(2)": {19, 68}, "SIS": {8165, 11787}, "CFRAC": {5, 7}},
+	"FeedMed": {"GHOST(1)": {104, 143}, "GHOST(2)": {90, 188}, "ESPRESSO(1)": {16, 111}, "ESPRESSO(2)": {40, 93}, "SIS": {726, 1609}, "CFRAC": {15, 37}},
+	"DtbFM":   {"GHOST(1)": {106, 168}, "GHOST(2)": {97, 234}, "ESPRESSO(1)": {53, 178}, "ESPRESSO(2)": {93, 364}, "SIS": {726, 1609}, "CFRAC": {15, 37}},
+}
+
+// PaperTable4 is "Total Bytes Traced (KB) and Estimated CPU Overhead (%)".
+var PaperTable4 = map[string]map[string]PaperCell{
+	"Full":    {"GHOST(1)": {40153, 179.2}, "GHOST(2)": {119011, 203.7}, "ESPRESSO(1)": {1236, 4.1}, "ESPRESSO(2)": {16389, 14.0}, "SIS": {57015, 385.5}, "CFRAC": {73, 0.7}},
+	"Fixed1":  {"GHOST(1)": {1373, 6.1}, "GHOST(2)": {2456, 4.2}, "ESPRESSO(1)": {209, 0.7}, "ESPRESSO(2)": {1615, 1.4}, "SIS": {6610, 44.7}, "CFRAC": {19, 0.2}},
+	"Fixed4":  {"GHOST(1)": {4610, 20.5}, "GHOST(2)": {8590, 14.7}, "ESPRESSO(1)": {487, 1.6}, "ESPRESSO(2)": {2878, 2.5}, "SIS": {24001, 162.3}, "CFRAC": {57, 0.6}},
+	"DtbMem":  {"GHOST(1)": {1489, 6.6}, "GHOST(2)": {23689, 40.5}, "ESPRESSO(1)": {209, 0.7}, "ESPRESSO(2)": {1662, 1.4}, "SIS": {50776, 343.3}, "CFRAC": {19, 0.2}},
+	"FeedMed": {"GHOST(1)": {2641, 11.8}, "GHOST(2)": {4377, 7.5}, "ESPRESSO(1)": {231, 0.8}, "ESPRESSO(2)": {2642, 2.3}, "SIS": {6610, 44.7}, "CFRAC": {73, 0.7}},
+	"DtbFM":   {"GHOST(1)": {3026, 13.5}, "GHOST(2)": {5585, 9.6}, "ESPRESSO(1)": {684, 2.3}, "ESPRESSO(2)": {8201, 7.0}, "SIS": {6610, 44.7}, "CFRAC": {73, 0.7}},
+}

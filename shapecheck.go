@@ -1,0 +1,124 @@
+package dtbgc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompareTable renders a measured table side by side with the paper's
+// published values: each cell reads "measured (paper)". which selects
+// the table: 2, 3 or 4.
+func (ev *Evaluation) CompareTable(which int) (*Table, error) {
+	var (
+		measured *Table
+		paper    map[string]map[string]PaperCell
+		title    string
+	)
+	switch which {
+	case 2:
+		measured, paper = ev.Table2(), PaperTable2
+		title = "Table 2 comparison: memory KB, measured (paper), mean/max"
+	case 3:
+		measured, paper = ev.Table3(), PaperTable3
+		title = "Table 3 comparison: pauses ms, measured (paper), p50/p90"
+	case 4:
+		measured, paper = ev.Table4(), PaperTable4
+		title = "Table 4 comparison: traced KB & overhead %, measured (paper)"
+	default:
+		return nil, fmt.Errorf("dtbgc: no comparison for table %d", which)
+	}
+	out := &Table{Title: title, Header: measured.Header}
+	for _, row := range measured.Rows {
+		collector := row[0]
+		pubRow, ok := paper[collector]
+		newRow := []string{collector}
+		for i, cell := range row[1:] {
+			name := measured.Header[i+1]
+			if !ok {
+				newRow = append(newRow, cell)
+				continue
+			}
+			pub := pubRow[name]
+			newRow = append(newRow, fmt.Sprintf("%s (%.0f/%.0f)", cell, pub.A, pub.B))
+		}
+		out.Rows = append(out.Rows, newRow)
+	}
+	return out, nil
+}
+
+// ShapeCheck verifies the reproduction claims of DESIGN.md §6 on an
+// evaluation run with the paper's parameters: the qualitative results
+// that must hold even though absolute values come from synthetic
+// traces. It returns one error per violated claim (empty = all hold).
+func (ev *Evaluation) ShapeCheck() []error {
+	var errs []error
+	fail := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	budget := float64(ev.Options.MemMaxBytes)
+	trigger := float64(ev.Options.TriggerBytes)
+
+	for _, rs := range ev.Runs {
+		name := rs.Workload.Name
+		r := func(c string) *Result { return rs.Results[c] }
+
+		// 1. Memory ordering.
+		if !(r("Live").MemMeanBytes <= r("Full").MemMeanBytes+1 &&
+			r("Full").MemMeanBytes <= r("NoGC").MemMeanBytes+1) {
+			fail("%s: Live <= Full <= NoGC memory ordering violated", name)
+		}
+		if r("Fixed4").MemMeanBytes > r("Fixed1").MemMeanBytes*1.05 {
+			fail("%s: Fixed4 memory above Fixed1", name)
+		}
+		// 5. Full extremes.
+		for _, c := range CollectorOrder[1:] {
+			if r(c).MemMaxBytes < r("Full").MemMaxBytes-1e-9 {
+				fail("%s: %s max memory below Full's", name, c)
+			}
+			if r(c).TracedTotalBytes > r("Full").TracedTotalBytes {
+				fail("%s: %s traced more than Full", name, c)
+			}
+		}
+		if r("Fixed1").TracedTotalBytes > r("Fixed4").TracedTotalBytes {
+			fail("%s: Fixed1 overhead above Fixed4", name)
+		}
+
+		// 2. DTBMEM constraint adherence / graceful degradation.
+		feasible := r("Full").MemMaxBytes <= budget
+		switch {
+		case feasible && r("DtbMem").MemMaxBytes > budget+trigger:
+			fail("%s: DtbMem blew a feasible budget (max %.0f KB vs %.0f KB + trigger)",
+				name, r("DtbMem").MemMaxBytes/1024, budget/1024)
+		case !feasible && r("DtbMem").MemMaxBytes > r("Full").MemMaxBytes*1.25:
+			fail("%s: over-constrained DtbMem max %.0f KB not within 25%% of Full's %.0f KB",
+				name, r("DtbMem").MemMaxBytes/1024, r("Full").MemMaxBytes/1024)
+		}
+
+		// 3-4. Pause-constrained collectors: DtbFM uses no more memory
+		// than FeedMed because it reclaims what FeedMed strands. The
+		// paper shows the effect decisively on the pass-structured
+		// ESPRESSO runs; elsewhere the two may tie, so allow slack.
+		slack := 1.10
+		if strings.HasPrefix(name, "ESPRESSO") {
+			slack = 1.02
+		}
+		if r("DtbFM").MemMeanBytes > r("FeedMed").MemMeanBytes*slack {
+			fail("%s: DtbFM mean memory above FeedMed's", name)
+		}
+	}
+
+	// 4. Median pause near the target where attainable (everything but
+	// SIS at the paper's parameters).
+	target := PaperMachine().PauseSeconds(ev.Options.TraceMaxBytes)
+	for _, rs := range ev.Runs {
+		if strings.HasPrefix(rs.Workload.Name, "SIS") {
+			continue
+		}
+		med := rs.Results["DtbFM"].MedianPauseSeconds()
+		if med > 2*target {
+			fail("%s: DtbFM median pause %.0f ms far above the %.0f ms target",
+				rs.Workload.Name, med*1000, target*1000)
+		}
+	}
+	return errs
+}

@@ -1,0 +1,87 @@
+package dtbgc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapeCheckPassesOnScaledEvaluation(t *testing.T) {
+	ev := testEval(t)
+	if errs := ev.ShapeCheck(); len(errs) != 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+	}
+}
+
+func TestShapeCheckDetectsViolations(t *testing.T) {
+	ev := testEval(t)
+	// Sabotage a copy of one run: make Full look worse than Fixed1.
+	sab := &Evaluation{Options: ev.Options}
+	for _, rs := range ev.Runs {
+		cp := RunSet{Workload: rs.Workload, Results: map[string]*Result{}}
+		for k, v := range rs.Results {
+			vc := *v
+			cp.Results[k] = &vc
+		}
+		sab.Runs = append(sab.Runs, cp)
+	}
+	sab.Runs[0].Results["Full"].MemMaxBytes = 1e12
+	sab.Runs[0].Results["Live"].MemMeanBytes = 1e12
+	errs := sab.ShapeCheck()
+	if len(errs) == 0 {
+		t.Fatal("sabotaged evaluation passed the shape check")
+	}
+}
+
+func TestCompareTables(t *testing.T) {
+	ev := testEval(t)
+	for _, n := range []int{2, 3, 4} {
+		tab, err := ev.CompareTable(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tab.String()
+		if !strings.Contains(s, "(") {
+			t.Fatalf("comparison table %d lacks paper values:\n%s", n, s)
+		}
+		// Spot-check one published number appears: Full GHOST(1).
+		switch n {
+		case 2:
+			if !strings.Contains(s, "(1262/2065)") {
+				t.Errorf("table 2 missing the paper's Full GHOST(1) cell:\n%s", s)
+			}
+		case 3:
+			if !strings.Contains(s, "(1743/2130)") {
+				t.Errorf("table 3 missing the paper's Full GHOST(1) cell")
+			}
+		case 4:
+			if !strings.Contains(s, "(40153/179)") {
+				t.Errorf("table 4 missing the paper's Full GHOST(1) cell")
+			}
+		}
+	}
+	if _, err := ev.CompareTable(9); err == nil {
+		t.Fatal("CompareTable(9) accepted")
+	}
+}
+
+func TestPaperDataComplete(t *testing.T) {
+	for _, tab := range []map[string]map[string]PaperCell{PaperTable2, PaperTable3, PaperTable4} {
+		for collector, row := range tab {
+			for _, w := range paperWorkloads {
+				cell, ok := row[w]
+				if !ok {
+					t.Errorf("%s missing workload %s", collector, w)
+					continue
+				}
+				if cell.A <= 0 || cell.B <= 0 {
+					t.Errorf("%s/%s has non-positive values", collector, w)
+				}
+			}
+		}
+	}
+	if len(PaperTable2) != 8 || len(PaperTable3) != 6 || len(PaperTable4) != 6 {
+		t.Fatal("paper tables have wrong row counts")
+	}
+}
