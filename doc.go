@@ -13,7 +13,11 @@
 //   - a malloc/free/pointer-store trace substrate with binary and text
 //     codecs (ReadTrace/WriteTrace);
 //   - calibrated synthetic workloads reproducing the paper's six
-//     evaluation runs (Workloads, WorkloadByName);
+//     evaluation runs (Workloads, WorkloadByName). WorkloadByName
+//     panics on unknown names and is meant for compile-time constants;
+//     code resolving dynamic input — CLI flags, config files — should
+//     use LookupWorkload, which returns an error listing the valid
+//     names instead;
 //   - the full evaluation harness (RunPaperEvaluation) regenerating
 //     Tables 2, 3, 4 and 6 and the Figure 2 memory curves.
 //

@@ -68,6 +68,43 @@ func TestWorkloadsFacade(t *testing.T) {
 	WorkloadByName("nope")
 }
 
+// TestWorkloadByNameTotal: WorkloadByName is total over the published
+// catalogue — every name Workloads() lists must resolve through both
+// entry points without panicking. WorkloadByName is for compile-time
+// constants; LookupWorkload is the entry point for dynamic input.
+func TestWorkloadByNameTotal(t *testing.T) {
+	for _, w := range Workloads() {
+		name := w.Name
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("WorkloadByName(%q) panicked: %v", name, r)
+				}
+			}()
+			if got := WorkloadByName(name); got.Name != name {
+				t.Errorf("WorkloadByName(%q).Name = %q", name, got.Name)
+			}
+		}()
+		got, err := LookupWorkload(name)
+		if err != nil || got.Name != name {
+			t.Errorf("LookupWorkload(%q) = %q, %v", name, got.Name, err)
+		}
+	}
+}
+
+// TestLookupWorkloadErrorListsNames: a mistyped dynamic name must be
+// self-diagnosing, not a panic — that is why CLI code goes through
+// LookupWorkload rather than WorkloadByName.
+func TestLookupWorkloadErrorListsNames(t *testing.T) {
+	_, err := LookupWorkload("nope")
+	if err == nil {
+		t.Fatal("LookupWorkload accepted unknown name")
+	}
+	if !strings.Contains(err.Error(), "CFRAC") {
+		t.Fatalf("error should list valid names, got: %v", err)
+	}
+}
+
 func TestSimulateEndToEnd(t *testing.T) {
 	events := WorkloadByName("CFRAC").Scale(0.2).MustGenerate()
 	res, err := Simulate(events, SimOptions{Policy: FullPolicy(), TriggerBytes: 128 * 1024})

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocClock guards the allocation-clock unit discipline (paper §2:
+// time is cumulative bytes allocated). Two checks:
+//
+//  1. Raw integer conversions between core.Time and plain integer
+//     types outside internal/core erase the clock/bytes distinction;
+//     callers must go through the named helpers (core.TimeAt,
+//     Time.Bytes, Time.Add, Time.Sub) whose names carry the unit.
+//     Conversions to/from float64 for rendering and statistics are
+//     allowed: floating math is where unit-checked arithmetic ends
+//     anyway.
+//  2. A fmt verb whose trailing format text labels the value KB or MB
+//     must be fed an operand that is visibly scaled (a /1024-style
+//     division, a *KB*-named identifier, or a helper call); printing
+//     raw bytes under a KB label is the classic table-rendering
+//     mix-up.
+var AllocClock = &Analyzer{
+	Name: "allocclock",
+	Doc:  "core.Time readings must not silently mix with plain byte counts, and KB/MB format verbs need scaled operands",
+	Run:  runAllocClock,
+}
+
+func runAllocClock(pass *Pass) {
+	info := pass.TypesInfo()
+	inCore := hasPathSuffix(pass.Pkg.PkgPath, corePkgSuffix)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !inCore {
+				checkClockConversion(pass, info, call)
+			}
+			checkUnitVerbs(pass, info, call)
+			return true
+		})
+	}
+}
+
+// checkClockConversion flags core.Time <-> integer conversions outside
+// the clock's defining package.
+func checkClockConversion(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := tv.Type
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	switch {
+	case isCoreTime(dst) && isPlainInteger(src):
+		pass.Reportf(call.Pos(),
+			"raw conversion of %s to the allocation clock: use core.TimeAt (or Time.Add for a delta) so the unit is explicit", src)
+	case isCoreTime(src) && isPlainInteger(dst):
+		pass.Reportf(call.Pos(),
+			"raw conversion of core.Time to %s: use Time.Bytes (or Time.Sub for a window) so the unit is explicit", dst)
+	}
+}
+
+// isPlainInteger reports a non-Time integer type (defined or not).
+// Untyped constants are excluded: `Time(1<<20)` names its unit at the
+// conversion itself.
+func isPlainInteger(t types.Type) bool {
+	if isCoreTime(t) {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0 && b.Info()&types.IsUntyped == 0
+}
+
+// printfFuncs maps fmt formatting functions to the index of their
+// format-string argument.
+var printfFuncs = map[string]int{
+	"Printf":  0,
+	"Sprintf": 0,
+	"Errorf":  0,
+	"Fprintf": 1,
+	"Appendf": 1,
+}
+
+func checkUnitVerbs(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	fmtIdx, ok := printfFuncs[obj.Name()]
+	if !ok || len(call.Args) <= fmtIdx {
+		return
+	}
+	format, ok := stringLiteral(info, call.Args[fmtIdx])
+	if !ok {
+		return
+	}
+	operands := call.Args[fmtIdx+1:]
+	for _, v := range parseVerbs(format) {
+		if v.argIndex >= len(operands) {
+			continue // vet's job, not ours
+		}
+		if !labelledKBMB(v.trailing) {
+			continue
+		}
+		arg := operands[v.argIndex]
+		if !looksScaled(arg) {
+			pass.Reportf(arg.Pos(),
+				"operand printed under a %q label is not visibly scaled (no /1024-style division or *KB*-named value): raw bytes under a KB/MB label is a unit mix-up", strings.Fields(v.trailing)[0])
+		}
+	}
+}
+
+func stringLiteral(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verb is one %-directive of a format string: which operand it
+// consumes and the literal text following it up to the next directive.
+type verb struct {
+	argIndex int
+	trailing string
+}
+
+// parseVerbs extracts the operand-consuming verbs of a printf format
+// string, accounting for %% and *-widths.
+func parseVerbs(format string) []verb {
+	var verbs []verb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Skip flags, widths and precisions; '*' consumes an operand.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				arg++
+			}
+			if strings.ContainsRune("+-# 0123456789.*", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		end := strings.IndexByte(format[i+1:], '%')
+		trailing := format[i+1:]
+		if end >= 0 {
+			trailing = format[i+1 : i+1+end]
+		}
+		verbs = append(verbs, verb{argIndex: arg, trailing: trailing})
+		arg++
+	}
+	return verbs
+}
+
+// labelledKBMB reports whether the text directly after a verb labels
+// it in kilo/megabytes ("%d KB", "%.0fMB", "%d KB/s").
+func labelledKBMB(trailing string) bool {
+	t := strings.TrimLeft(trailing, " \t")
+	for _, unit := range []string{"KB", "MB"} {
+		rest, ok := strings.CutPrefix(t, unit)
+		if !ok {
+			continue
+		}
+		// Reject a longer word ("KByteshire"); allow punctuation,
+		// space, end, or a rate suffix.
+		if rest == "" || !isWordByte(rest[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+// looksScaled reports whether the operand expression visibly accounts
+// for the 1024 scaling: a division by a power-of-1024 constant
+// anywhere in its subtree, a KB/MB-named identifier or selector, or a
+// function call (a named helper is trusted to do its own scaling).
+func looksScaled(e ast.Expr) bool {
+	scaled := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if scaled {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if v.Op == token.QUO && isScaleConst(v.Y) {
+				scaled = true
+				return false
+			}
+			if v.Op == token.SHR { // x >> 10, x >> 20
+				scaled = true
+				return false
+			}
+		case *ast.CallExpr:
+			if _, isConv := v.Fun.(*ast.Ident); !isConv || len(v.Args) != 1 {
+				scaled = true // helper call; conversions like float64(x) keep scanning
+				return false
+			}
+		case *ast.Ident:
+			if kbNamed(v.Name) {
+				scaled = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if kbNamed(v.Sel.Name) {
+				scaled = true
+				return false
+			}
+		case *ast.BasicLit:
+			scaled = true // a literal is whatever the author says it is
+			return false
+		}
+		return true
+	})
+	return scaled
+}
+
+// kbNamed reports whether a camelCase or snake_case name carries a
+// KB/MB unit token ("budgetKB", "mbFree", "kb_per_op", "Kilobytes").
+// The token must sit on a word boundary: "numBytes" and "climb"
+// contain the letters "mb" but name no unit.
+func kbNamed(name string) bool {
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "kilo") || strings.Contains(lower, "mega") {
+		return true
+	}
+	for i := 0; i+2 <= len(name); i++ {
+		if lower[i] != 'k' && lower[i] != 'm' {
+			continue
+		}
+		if lower[i+1] != 'b' {
+			continue
+		}
+		startOK := i == 0 || name[i-1] == '_' || isUpperByte(name[i])
+		j := i + 2
+		endOK := j == len(name) || name[j] == '_' || isUpperByte(name[j]) || isDigitByte(name[j])
+		if startOK && endOK {
+			return true
+		}
+	}
+	return false
+}
+
+func isUpperByte(b byte) bool { return 'A' <= b && b <= 'Z' }
+func isDigitByte(b byte) bool { return '0' <= b && b <= '9' }
+
+func isScaleConst(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Value == "1024" || v.Value == "1048576"
+	case *ast.ParenExpr:
+		return isScaleConst(v.X)
+	case *ast.BinaryExpr:
+		// 1024*1024, 1<<10, 1<<20
+		if v.Op == token.MUL || v.Op == token.SHL {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+// Package analysis is the project's static-analysis suite: a small,
+// stdlib-only framework (go/ast + go/types; no external modules) and
+// four project-specific analyzers enforcing invariants the Go type
+// system cannot express but the reproduction depends on:
+//
+//   - allocclock: core.Time is an allocation-clock reading, not a byte
+//     count; raw integer conversions between the two outside
+//     internal/core lose the unit, and KB/MB format verbs must be fed
+//     scaled operands.
+//   - policypurity: boundary policies must be pure functions of the
+//     scavenge history; a policy that mutates or retains the history
+//     breaks the FULL/FIXED/FEEDMED/DTBFM/DTBMEM comparability the
+//     paper's tables rest on.
+//   - determinism: simulations must be bit-for-bit repeatable, so
+//     time.Now, math/rand and map-iteration order are banned from
+//     simulation and rendering code paths.
+//   - eventswitch: every switch over trace.Kind must be exhaustive or
+//     carry a default, so a new event kind cannot be silently dropped
+//     by a codec, simulator or analysis.
+//
+// Intentional exceptions are annotated in the source with
+//
+//	//dtbvet:ignore <reason>
+//
+// on, or on the line above, the reported line. The reason is
+// mandatory; a bare directive is itself reported. cmd/dtbvet is the
+// command-line driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "allocclock"
+	Doc  string // one-line description of the invariant it guards
+	Run  func(*Pass)
+}
+
+// All returns the full suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{AllocClock, PolicyPurity, Determinism, EventSwitch}
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags   *[]Diagnostic
+	ignores map[string]map[int]*ignoreDirective
+}
+
+// Fset returns the position set shared by every package of the load.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// TypesInfo returns the package's type-checker results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Reportf records a diagnostic at pos unless an ignore directive
+// covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if d := p.ignoreFor(position); d != nil {
+		d.used = true
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) ignoreFor(pos token.Position) *ignoreDirective {
+	lines := p.ignores[pos.Filename]
+	if d := lines[pos.Line]; d != nil {
+		return d
+	}
+	return lines[pos.Line-1]
+}
+
+// ignoreDirective is one //dtbvet:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	reason string
+	used   bool
+}
+
+const ignorePrefix = "dtbvet:ignore"
+
+// collectIgnores indexes every //dtbvet:ignore directive by file and
+// line so Reportf can consult them in O(1).
+func collectIgnores(pkg *Package) map[string]map[int]*ignoreDirective {
+	out := make(map[string]map[int]*ignoreDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]*ignoreDirective)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = &ignoreDirective{
+					pos:    pos,
+					reason: strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix)),
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies each analyzer to each package and returns every
+// diagnostic, sorted by position. Directives without a reason are
+// reported too: an exception nobody can explain is not an exception.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags, ignores: ignores})
+		}
+		for _, byLine := range ignores { //dtbvet:ignore diagnostics are sorted below before emission
+			for _, d := range byLine { //dtbvet:ignore diagnostics are sorted below before emission
+				if d.reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "dtbvet",
+						Message:  "//dtbvet:ignore directive needs a reason",
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// --- shared type-matching helpers ---
+
+// corePkgSuffix identifies the package defining the allocation clock
+// and the policy framework, wherever the module root happens to live.
+const corePkgSuffix = "internal/core"
+
+// tracePkgSuffix identifies the package defining the event model.
+const tracePkgSuffix = "internal/trace"
+
+// namedFrom reports whether t is the named type pkgSuffix.name
+// (following aliases but not the underlying type).
+func namedFrom(t types.Type, pkgSuffix, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == name && hasPathSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// hasPathSuffix matches whole path segments, so "internal/core" does
+// not match "internal/encore".
+func hasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func isCoreTime(t types.Type) bool { return t != nil && namedFrom(t, corePkgSuffix, "Time") }
+
+func isCoreHistoryPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && namedFrom(ptr.Elem(), corePkgSuffix, "History")
+}
+
+func isTraceKind(t types.Type) bool { return t != nil && namedFrom(t, tracePkgSuffix, "Kind") }
+
+// rootIdent walks selector/index/star/paren chains to the identifier
+// the expression is rooted at ("x" in x.f[i].g), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader is shared across tests so the standard library and the
+// module's internal packages type-check once.
+var (
+	loaderOnce sync.Once
+	sharedLdr  *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		sharedLdr, loaderErr = NewLoader(filepath.Join("..", ".."))
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedLdr
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := fixtureLoader(t).LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// lineKey addresses one source line of a fixture.
+type lineKey struct {
+	file string
+	line int
+}
+
+// wantMarkers extracts the "// want: <substring>" expectations from
+// every Go file in dir, keyed by file and line.
+func wantMarkers(t *testing.T, dir string) map[lineKey]string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	wants := make(map[lineKey]string)
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if _, after, ok := strings.Cut(line, "// want: "); ok {
+				wants[lineKey{path, i + 1}] = strings.TrimSpace(after)
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over one fixture package and compares
+// the diagnostics against the fixture's want markers: every marked
+// line must produce a matching diagnostic, and no diagnostic may land
+// on an unmarked line. It returns the diagnostics for extra checks.
+func checkFixture(t *testing.T, name string, a *Analyzer) []Diagnostic {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	wants := wantMarkers(t, filepath.Join("testdata", "src", name))
+	for _, d := range diags {
+		if _, ok := wants[lineKey{d.Pos.Filename, d.Pos.Line}]; !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, substr := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Pos.Filename == k.file && d.Pos.Line == k.line && strings.Contains(d.Message, substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic containing %q; got %v", k.file, k.line, substr, diags)
+		}
+	}
+	return diags
+}
+
+func TestAllocClockPositive(t *testing.T) {
+	if diags := checkFixture(t, "allocclockbad", AllocClock); len(diags) == 0 {
+		t.Fatal("allocclock reported nothing on the bad fixture")
+	}
+}
+
+func TestAllocClockNegative(t *testing.T) {
+	if diags := checkFixture(t, "allocclockgood", AllocClock); len(diags) != 0 {
+		t.Fatalf("allocclock flagged the clean fixture: %v", diags)
+	}
+}
+
+func TestPolicyPurityPositive(t *testing.T) {
+	if diags := checkFixture(t, "puritybad", PolicyPurity); len(diags) == 0 {
+		t.Fatal("policypurity reported nothing on the bad fixture")
+	}
+}
+
+func TestPolicyPurityNegative(t *testing.T) {
+	if diags := checkFixture(t, "puritygood", PolicyPurity); len(diags) != 0 {
+		t.Fatalf("policypurity flagged the clean fixture: %v", diags)
+	}
+}
+
+func TestDeterminismPositive(t *testing.T) {
+	if diags := checkFixture(t, "determinismbad", Determinism); len(diags) == 0 {
+		t.Fatal("determinism reported nothing on the bad fixture")
+	}
+}
+
+// TestDeterminismNegative also exercises the ignore directive: the
+// fixture's map range is suppressed by a reasoned //dtbvet:ignore.
+func TestDeterminismNegative(t *testing.T) {
+	if diags := checkFixture(t, "determinismgood", Determinism); len(diags) != 0 {
+		t.Fatalf("determinism flagged the clean fixture: %v", diags)
+	}
+}
+
+func TestEventSwitchPositive(t *testing.T) {
+	if diags := checkFixture(t, "eventswitchbad", EventSwitch); len(diags) == 0 {
+		t.Fatal("eventswitch reported nothing on the bad fixture")
+	}
+}
+
+func TestEventSwitchNegative(t *testing.T) {
+	if diags := checkFixture(t, "eventswitchgood", EventSwitch); len(diags) != 0 {
+		t.Fatalf("eventswitch flagged the clean fixture: %v", diags)
+	}
+}
+
+// TestBareDirectiveReported: an ignore directive without a reason
+// suppresses the underlying diagnostic but is itself reported.
+func TestBareDirectiveReported(t *testing.T) {
+	pkg := loadFixture(t, "baredirective")
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the directive diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "dtbvet" || !strings.Contains(d.Message, "needs a reason") {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestModuleClean is the self-test dtbvet runs in CI: the repository
+// itself must be clean under the full suite.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := fixtureLoader(t).LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("LoadModule found only %d packages; the walk is broken", len(pkgs))
+	}
+	if diags := RunAnalyzers(pkgs, All()); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+func TestKBNamed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want bool
+	}{
+		{"budgetKB", true},
+		{"mbFree", true},
+		{"kb_per_op", true},
+		{"heapMB2", true},
+		{"Kilobytes", true},
+		{"megabytes", true},
+		{"memBytes", false}, // "mb" inside a word names no unit
+		{"numBytes", false},
+		{"climb", false},
+		{"rawBytes", false},
+	} {
+		if got := kbNamed(tc.name); got != tc.want {
+			t.Errorf("kbNamed(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParseVerbs(t *testing.T) {
+	verbs := parseVerbs("at %d: %6.2f KB (%s)")
+	if len(verbs) != 3 {
+		t.Fatalf("want 3 verbs, got %+v", verbs)
+	}
+	if verbs[0].argIndex != 0 || verbs[1].argIndex != 1 || verbs[2].argIndex != 2 {
+		t.Fatalf("bad operand indexes: %+v", verbs)
+	}
+	if !labelledKBMB(verbs[1].trailing) {
+		t.Errorf("verb %+v should read as KB-labelled", verbs[1])
+	}
+	if labelledKBMB(verbs[0].trailing) || labelledKBMB(verbs[2].trailing) {
+		t.Errorf("unlabelled verbs misread: %+v", verbs)
+	}
+
+	// %% does not consume an operand; * consumes one.
+	verbs = parseVerbs("100%% done, %*d MB")
+	if len(verbs) != 1 || verbs[0].argIndex != 1 {
+		t.Fatalf("star-width handling broken: %+v", verbs)
+	}
+	if !labelledKBMB(verbs[0].trailing) {
+		t.Errorf("MB label missed in %+v", verbs[0])
+	}
+}
+
+func TestLabelledKBMB(t *testing.T) {
+	for _, tc := range []struct {
+		trailing string
+		want     bool
+	}{
+		{" KB", true},
+		{"MB", true},
+		{" KB/s", true},
+		{" KB remaining", true},
+		{" KByteshire", false}, // longer word, not a unit
+		{" bytes", false},
+		{"", false},
+	} {
+		if got := labelledKBMB(tc.trailing); got != tc.want {
+			t.Errorf("labelledKBMB(%q) = %v, want %v", tc.trailing, got, tc.want)
+		}
+	}
+}

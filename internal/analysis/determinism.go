@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Determinism guards bit-for-bit repeatability: paper-shape checks
+// (ShapeCheck), benchmark trajectories and any future learned-policy
+// training data are only trustworthy if a run is a pure function of
+// its inputs. It flags, anywhere in simulation or rendering code:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until): simulated
+//     time comes from the trace's instruction clock, never the host;
+//   - importing math/rand or math/rand/v2: randomness must come from
+//     internal/xrand with an explicit seed so runs replay;
+//   - range over a map: iteration order varies run to run, and a map
+//     range feeding output or collection order is the classic silent
+//     nondeterminism bug. Order-insensitive folds (pure sums) earn an
+//     explicit //dtbvet:ignore with the reason stated.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "simulation and rendering code must be bit-for-bit deterministic",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the time-package functions that read the host
+// clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: use internal/xrand with an explicit seed so runs are replayable", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, v); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
+					pass.Reportf(v.Pos(), "time.%s reads the wall clock: simulated time comes from the trace's instruction clock", fn.Name())
+				}
+			case *ast.RangeStmt:
+				t := info.TypeOf(v.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(v.Pos(), "range over map %s iterates in nondeterministic order: sort the keys, or annotate an order-insensitive fold with //dtbvet:ignore", typeLabel(t))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func typeLabel(t types.Type) string {
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// calleeFunc resolves the called function or method, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

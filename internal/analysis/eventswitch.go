@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EventSwitch guards the trace event model's extension point: every
+// switch over trace.Kind must either enumerate all declared kinds or
+// carry a default clause. Without this, adding a fifth event kind
+// silently falls through the codec, the simulator's Feed loop, or the
+// lifetime/forward analyses, producing traces that decode as truncated
+// or simulations that drop events — no compile error, no test failure.
+var EventSwitch = &Analyzer{
+	Name: "eventswitch",
+	Doc:  "switches over trace.Kind must be exhaustive or have a default clause",
+	Run:  runEventSwitch,
+}
+
+func runEventSwitch(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := info.TypeOf(sw.Tag)
+			if tagType == nil || !isTraceKind(tagType) {
+				return true
+			}
+			checkKindSwitch(pass, info, sw, tagType)
+			return true
+		})
+	}
+}
+
+func checkKindSwitch(pass *Pass, info *types.Info, sw *ast.SwitchStmt, kind types.Type) {
+	declared := kindConstants(kind)
+	if len(declared) == 0 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: new kinds reach it explicitly
+		}
+		for _, e := range clause.List {
+			tv, ok := info.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, c := range declared {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Pos(), "switch over trace.Kind has no default and misses %s: a new event kind would be silently dropped", strings.Join(missing, ", "))
+	}
+}
+
+// kindConstants returns every constant of the Kind type declared in
+// its defining package, sorted by name.
+func kindConstants(kind types.Type) []*types.Const {
+	named, ok := kind.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), kind) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

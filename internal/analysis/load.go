@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks module packages with no tooling
+// beyond the standard library: module-internal imports are resolved
+// against the module directory and checked from source; standard-
+// library imports are delegated to go/importer's source importer.
+// Results are memoized, so shared dependencies type-check once.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	loaded map[string]*Package // by import path
+	stack  []string            // import cycle detection
+}
+
+// NewLoader returns a Loader for the module rooted at dir. The module
+// path is read from go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        std,
+		loaded:     make(map[string]*Package),
+	}, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// LoadModule loads every package in the module (skipping testdata,
+// hidden directories and test files), sorted by import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		ipath := l.ModulePath
+		if rel != "." {
+			ipath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, ipath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path. Test files are excluded: the suite guards
+// shipped code paths.
+func (l *Loader) LoadDir(dir, ipath string) (*Package, error) {
+	if pkg, ok := l.loaded[ipath]; ok {
+		return pkg, nil
+	}
+	for _, active := range l.stack {
+		if active == ipath {
+			return nil, fmt.Errorf("analysis: import cycle through %s", ipath)
+		}
+	}
+	l.stack = append(l.stack, ipath)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(ipath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", ipath, err)
+	}
+	pkg := &Package{PkgPath: ipath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.loaded[ipath] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer for the type-checker's benefit:
+// module-internal paths load from the module tree, everything else is
+// assumed to be standard library and goes to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if rest, ok := strings.CutPrefix(path, l.ModulePath); ok && (rest == "" || strings.HasPrefix(rest, "/")) {
+		dir := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(rest, "/")))
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.ModuleDir, 0)
+}

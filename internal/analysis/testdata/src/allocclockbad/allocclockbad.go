@@ -1,0 +1,25 @@
+// Package allocclockbad violates the allocation-clock unit
+// discipline: raw Time<->integer conversions outside internal/core and
+// a KB-labelled verb fed raw bytes.
+package allocclockbad
+
+import (
+	"fmt"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+)
+
+// Raw converts a byte count straight into a clock reading.
+func Raw(totalBytes uint64) core.Time {
+	return core.Time(totalBytes) // want: raw conversion of uint64 to the allocation clock
+}
+
+// RawBack strips the unit off a clock reading.
+func RawBack(now core.Time) uint64 {
+	return uint64(now) // want: raw conversion of core.Time to uint64
+}
+
+// PrintUnscaled prints raw bytes under a KB label.
+func PrintUnscaled(rawBytes uint64) string {
+	return fmt.Sprintf("mem %d KB", rawBytes) // want: not visibly scaled
+}

@@ -1,0 +1,35 @@
+// Package allocclockgood handles the allocation clock the approved
+// ways: named helpers, untyped constants, float math, and visibly
+// scaled KB operands.
+package allocclockgood
+
+import (
+	"fmt"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+)
+
+// Helpers uses the unit-carrying conversion helpers.
+func Helpers(totalBytes uint64, now core.Time) uint64 {
+	start := core.TimeAt(totalBytes)
+	later := start.Add(4096)
+	return now.Sub(later)
+}
+
+// Constant names its unit at the conversion itself.
+func Constant() core.Time {
+	return core.Time(1 << 20)
+}
+
+// Float conversions are where unit-checked arithmetic ends anyway.
+func Float(now core.Time) float64 {
+	return float64(now)
+}
+
+// PrintScaled feeds KB verbs visibly scaled operands.
+func PrintScaled(rawBytes uint64, budgetKB uint64) string {
+	s := fmt.Sprintf("mem %.1f KB", float64(rawBytes)/1024)
+	s += fmt.Sprintf(" budget %d KB", budgetKB)
+	s += fmt.Sprintf(" raw %d bytes", rawBytes)
+	return s
+}

@@ -1,0 +1,13 @@
+// Package baredirective suppresses a map-range diagnostic with an
+// ignore directive that is missing its reason; the directive itself
+// must be reported.
+package baredirective
+
+// Sum folds a map order-insensitively but does not say so.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { //dtbvet:ignore
+		total += v
+	}
+	return total
+}

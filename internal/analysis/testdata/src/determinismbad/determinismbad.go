@@ -1,0 +1,28 @@
+// Package determinismbad reads the wall clock, imports math/rand and
+// folds a map in iteration order — three ways to make a run
+// unrepeatable.
+package determinismbad
+
+import (
+	"math/rand" // want: use internal/xrand
+	"time"
+)
+
+// Stamp tags output with host time.
+func Stamp() string {
+	return time.Now().String() // want: reads the wall clock
+}
+
+// Pick chooses a victim with unseeded global randomness.
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Keys collects map keys in nondeterministic order.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want: nondeterministic order
+		out = append(out, k)
+	}
+	return out
+}

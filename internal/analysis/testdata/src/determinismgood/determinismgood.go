@@ -1,0 +1,40 @@
+// Package determinismgood does the same jobs deterministically: seeded
+// xrand, duration arithmetic without wall-clock reads, sorted map keys,
+// and an order-insensitive fold annotated with a reasoned ignore.
+package determinismgood
+
+import (
+	"sort"
+	"time"
+
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// Pick chooses a victim replayably from an explicit seed.
+func Pick(seed uint64, n int) int {
+	return xrand.New(seed).Intn(n)
+}
+
+// Budget does duration arithmetic without reading the host clock.
+func Budget(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// Keys returns map keys in sorted order.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //dtbvet:ignore keys are sorted before the slice is returned
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum ranges over a slice, which iterates in index order.
+func Sum(weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}

@@ -1,0 +1,17 @@
+// Package eventswitchbad switches over trace.Kind without covering
+// every declared kind and without a default clause, so a new event
+// kind would fall through silently.
+package eventswitchbad
+
+import "github.com/dtbgc/dtbgc/internal/trace"
+
+// Describe drops KindMark (and any future kind) on the floor.
+func Describe(e trace.Event) string {
+	switch e.Kind { // want: misses KindMark
+	case trace.KindAlloc:
+		return "alloc"
+	case trace.KindFree, trace.KindPtrWrite:
+		return "free-or-write"
+	}
+	return ""
+}

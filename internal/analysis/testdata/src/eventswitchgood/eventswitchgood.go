@@ -1,0 +1,40 @@
+// Package eventswitchgood handles trace.Kind switches the two approved
+// ways — full enumeration or a default clause — and shows that
+// switches over unrelated types are left alone.
+package eventswitchgood
+
+import "github.com/dtbgc/dtbgc/internal/trace"
+
+// Exhaustive enumerates every declared kind.
+func Exhaustive(k trace.Kind) int {
+	switch k {
+	case trace.KindAlloc:
+		return 1
+	case trace.KindFree:
+		return 2
+	case trace.KindPtrWrite:
+		return 3
+	case trace.KindMark:
+		return 4
+	}
+	return 0
+}
+
+// Defaulted routes unknown kinds explicitly.
+func Defaulted(k trace.Kind) bool {
+	switch k {
+	case trace.KindAlloc:
+		return true
+	default:
+		return false
+	}
+}
+
+// OtherType switches over a plain string; not the analyzer's business.
+func OtherType(s string) int {
+	switch s {
+	case "alloc":
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+// Package puritybad defines a boundary policy that breaks purity every
+// way the analyzer knows: it mutates the history, retains it, scribbles
+// on its receiver and keeps package-level state.
+package puritybad
+
+import "github.com/dtbgc/dtbgc/internal/core"
+
+// Sticky is a policy-shaped type with mutable state.
+type Sticky struct {
+	K     int
+	last  core.Time
+	saved *core.History
+}
+
+// Calls counts invocations across runs — hidden global state.
+var Calls int
+
+// Name implements core.Policy.
+func (p *Sticky) Name() string { return "sticky" }
+
+// Boundary is impure in five distinct ways.
+func (p *Sticky) Boundary(now core.Time, hist *core.History, heap core.Heap) core.Time {
+	hist.Record(core.Scavenge{}) // want: must not mutate the scavenge history
+	hist.Scavenges[0].Traced = 0 // want: writes through its History parameter
+	p.last = now                 // want: mutates receiver state
+	p.saved = hist               // want: mutates receiver state
+	Calls++                      // want: writes package variable
+	return hist.TimeOfPrevious(p.K)
+}

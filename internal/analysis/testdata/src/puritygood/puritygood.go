@@ -1,0 +1,28 @@
+// Package puritygood defines a boundary policy that is a pure function
+// of (now, history, heap): it reads the history, binds it to locals,
+// and derives its answer from configuration fields it never writes.
+package puritygood
+
+import "github.com/dtbgc/dtbgc/internal/core"
+
+// Clean is a pure, configuration-only policy.
+type Clean struct {
+	K int
+}
+
+// Name implements core.Policy.
+func (c Clean) Name() string { return "clean" }
+
+// Boundary reads the history without mutating or retaining it.
+func (c Clean) Boundary(now core.Time, hist *core.History, heap core.Heap) core.Time {
+	last, ok := hist.Last()
+	if !ok {
+		return 0
+	}
+	h := hist // binding the parameter to a local is not retention
+	window := now.Sub(last.T)
+	if window == 0 {
+		return h.TimeOfPrevious(1)
+	}
+	return h.TimeOfPrevious(c.K)
+}

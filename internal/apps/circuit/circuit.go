@@ -13,6 +13,7 @@ package circuit
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/dtbgc/dtbgc/internal/apps/mlib"
@@ -95,10 +96,18 @@ func (n *Network) nodeName(r mheap.Ref) string {
 	return mlib.StringVal(n.heap(), n.heap().Ptr(r, slotName))
 }
 
-// Free releases all network storage.
+// Free releases all network storage. Nodes are released in name
+// order: each Free lands in the recorded trace, so the release order
+// must not depend on map iteration.
 func (n *Network) Free() {
 	h := n.heap()
-	for _, r := range n.nodes {
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes { //dtbvet:ignore keys are sorted before any heap event is emitted
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := n.nodes[name]
 		if s := h.Ptr(r, slotName); s != mheap.Nil {
 			h.SetPtr(r, slotName, mheap.Nil)
 			h.Free(s)
@@ -111,8 +120,8 @@ func (n *Network) Free() {
 			h.Free(v)
 		}
 	}
-	for _, r := range n.nodes {
-		h.Free(r)
+	for _, name := range names {
+		h.Free(n.nodes[name])
 	}
 	n.nodes = nil
 	n.order = nil

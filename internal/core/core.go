@@ -26,7 +26,36 @@ import "fmt"
 // Time is a point on the allocation clock: the number of bytes the
 // program had allocated when the event occurred. An object's birth
 // time orders it against any threatening boundary.
+//
+// Although Time is numerically a byte count, it is a *reading of the
+// clock*, not an amount of storage, and the two must not be mixed
+// silently — that is the unit confusion behind subtly wrong boundary
+// arithmetic. Outside this package, convert through the named helpers
+// (TimeAt, Time.Bytes, Time.Add, Time.Sub) rather than raw
+// conversions; the dtbvet allocclock analyzer enforces this.
 type Time uint64
+
+// TimeAt returns the clock reading at the point where the program has
+// allocated total bytes in all: the explicit bytes-to-clock
+// conversion.
+func TimeAt(total uint64) Time { return Time(total) }
+
+// Bytes returns the total bytes the program had allocated at reading
+// t: the explicit clock-to-bytes conversion.
+func (t Time) Bytes() uint64 { return uint64(t) }
+
+// Add advances the clock by n freshly allocated bytes.
+func (t Time) Add(n uint64) Time { return t + Time(n) }
+
+// Sub returns the allocation volume between two readings, in bytes.
+// The volume is clamped at zero when earlier is actually later than t,
+// so window arithmetic never underflows.
+func (t Time) Sub(earlier Time) uint64 {
+	if earlier > t {
+		return 0
+	}
+	return uint64(t - earlier)
+}
 
 // Scavenge records the observable outcome of one collection, the
 // history that boundary policies feed on. Field names follow the

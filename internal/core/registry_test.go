@@ -54,6 +54,47 @@ func TestParsePolicyErrorMentionsKnown(t *testing.T) {
 	}
 }
 
+// TestParsePolicyErrorsAreDescriptive pins the wording of each failure
+// class: a command-line typo must produce an actionable error, never a
+// panic or a bare "invalid".
+func TestParsePolicyErrorsAreDescriptive(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"dtbfm:", "bad byte count"},
+		{"dtbmem:12q", "bad byte count"},
+		{"feedmed:k", "bad byte count"},
+		{"dtbmem:-5", "bad byte count"},
+		{"fixed0", "K >= 1"},
+		{"fixed", "K >= 1"},
+		{"fixed-3", "K >= 1"},
+		{"full:1", "takes no argument"},
+		{"fixed4:9", "takes no argument"},
+		{"dtbfm", "requires an argument"},
+		{"gen0", "unknown policy"},
+		{"", "unknown policy"},
+	}
+	for _, c := range cases {
+		_, err := parsePolicyNoPanic(t, c.spec)
+		if err == nil {
+			t.Errorf("ParsePolicy(%q) accepted invalid spec", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParsePolicy(%q) error %q does not mention %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+func parsePolicyNoPanic(t *testing.T, spec string) (p Policy, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("ParsePolicy(%q) panicked: %v", spec, r)
+			err = nil
+		}
+	}()
+	return ParsePolicy(spec)
+}
+
 func TestKnownPoliciesSorted(t *testing.T) {
 	names := KnownPolicies()
 	if len(names) < 5 {

@@ -29,6 +29,7 @@ package gc
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/dtbgc/dtbgc/internal/core"
 	"github.com/dtbgc/dtbgc/internal/mheap"
@@ -185,6 +186,21 @@ func (c *Collector) SetGlobal(name string, r mheap.Ref) {
 // Global returns the named global, or Nil.
 func (c *Collector) Global(name string) mheap.Ref { return c.globals[name] }
 
+// globalRoots returns the global references in name order, so marking
+// visits roots in the same order every run.
+func (c *Collector) globalRoots() []mheap.Ref {
+	names := make([]string, 0, len(c.globals))
+	for name := range c.globals { //dtbvet:ignore keys are sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	refs := make([]mheap.Ref, len(names))
+	for i, name := range names {
+		refs[i] = c.globals[name]
+	}
+	return refs
+}
+
 // PushRoot registers a temporary root (a stack slot or register).
 func (c *Collector) PushRoot(r mheap.Ref) { c.rootStack = append(c.rootStack, r) }
 
@@ -267,7 +283,7 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 			gray = append(gray, r)
 		}
 	}
-	for _, r := range c.globals {
+	for _, r := range c.globalRoots() {
 		addGray(r)
 	}
 	for _, r := range c.rootStack {
@@ -276,7 +292,7 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 	// ...plus remembered locations crossing the boundary. Entries
 	// whose source has been reclaimed, or which no longer hold a
 	// forward-in-time pointer, are pruned as we go.
-	for loc := range c.remembered {
+	for loc := range c.remembered { //dtbvet:ignore pruning and gray-set insertion are order-insensitive (sets and sums only)
 		if !c.heap.Contains(loc.src) {
 			delete(c.remembered, loc)
 			continue
@@ -380,7 +396,7 @@ func (c *Collector) ReachableBytes() uint64 {
 			stack = append(stack, r)
 		}
 	}
-	for _, r := range c.globals {
+	for _, r := range c.globalRoots() {
 		add(r)
 	}
 	for _, r := range c.rootStack {

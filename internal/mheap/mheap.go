@@ -167,10 +167,10 @@ func (h *Heap) Alloc(nptrs, dataBytes int) Ref {
 
 	id := h.nextID
 	h.nextID++
-	h.allocClock += core.Time(headerBytes + payload)
+	h.allocClock = h.allocClock.Add(uint64(headerBytes + payload))
 	binary.LittleEndian.PutUint32(h.space[addr:], payload)
 	binary.LittleEndian.PutUint32(h.space[addr+4:], uint32(nptrs))
-	binary.LittleEndian.PutUint64(h.space[addr+8:], uint64(h.allocClock))
+	binary.LittleEndian.PutUint64(h.space[addr+8:], h.allocClock.Bytes())
 	h.objects[id] = entry{addr: addr, total: total, birth: h.allocClock}
 	h.inUseBytes += uint64(headerBytes + payload)
 
@@ -294,7 +294,7 @@ func (h *Heap) Data(r Ref) []byte {
 // first), the order the threatening boundary partitions.
 func (h *Heap) Refs() []Ref {
 	refs := make([]Ref, 0, len(h.objects))
-	for r := range h.objects {
+	for r := range h.objects { //dtbvet:ignore refs are sorted by birth time below
 		refs = append(refs, r)
 	}
 	sort.Slice(refs, func(i, j int) bool {
@@ -312,7 +312,7 @@ func (h *Heap) Refs() []Ref {
 // "live" means not yet freed or reclaimed).
 func (h *Heap) LiveBytesBornAfter(t core.Time) uint64 {
 	var sum uint64
-	for r, e := range h.objects {
+	for r, e := range h.objects { //dtbvet:ignore order-insensitive sum of live bytes
 		if e.birth > t {
 			sum += uint64(h.TotalSize(r))
 		}
@@ -353,7 +353,7 @@ func (h *Heap) Fragmentation() float64 {
 		return 0
 	}
 	var used uint64
-	for _, e := range h.objects {
+	for _, e := range h.objects { //dtbvet:ignore order-insensitive sum of block sizes
 		used += uint64(e.total)
 	}
 	return 1 - float64(used)/float64(h.next)
@@ -365,7 +365,7 @@ func (h *Heap) Fragmentation() float64 {
 func (h *Heap) CheckIntegrity() error {
 	var sum uint64
 	seen := make(map[uint64]Ref)
-	for r, e := range h.objects {
+	for r, e := range h.objects { //dtbvet:ignore diagnostic-only: which of several invariant breaks is reported first may vary
 		if e.addr+uint64(e.total) > h.next {
 			return fmt.Errorf("mheap: object %d extends past bump pointer", r)
 		}
@@ -392,7 +392,7 @@ func (h *Heap) CheckIntegrity() error {
 	if sum != h.inUseBytes {
 		return fmt.Errorf("mheap: inUseBytes %d != recomputed %d", h.inUseBytes, sum)
 	}
-	for class, list := range h.freeLists {
+	for class, list := range h.freeLists { //dtbvet:ignore diagnostic-only: which aliasing free block is reported first may vary
 		for _, addr := range list {
 			if owner, live := seen[addr]; live {
 				return fmt.Errorf("mheap: free block %d (class %d) aliases live object %d", addr, class, owner)

@@ -293,7 +293,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 func (r *Runner) memInUse() uint64 {
 	switch r.cfg.Mode {
 	case ModeNoGC:
-		return uint64(r.clock) // cumulative allocation, frees ignored
+		return r.clock.Bytes() // cumulative allocation, frees ignored
 	case ModeLive:
 		return r.heap.live
 	default:
@@ -324,7 +324,7 @@ func (r *Runner) Feed(e trace.Event) error {
 	r.lastInstr = e.Instr
 	switch e.Kind {
 	case trace.KindAlloc:
-		r.clock += core.Time(e.Size)
+		r.clock = r.clock.Add(e.Size)
 		addr := r.nextAddr
 		r.nextAddr += e.Size
 		if err := r.heap.alloc(e.ID, e.Size, r.clock, addr); err != nil {
@@ -417,7 +417,7 @@ func (r *Runner) Finish() *Result {
 	res.MemMaxBytes = r.memStat.Max()
 	res.LiveMeanBytes = r.liveStat.Mean()
 	res.LiveMaxBytes = r.liveStat.Max()
-	res.TotalAlloc = uint64(r.clock)
+	res.TotalAlloc = r.clock.Bytes()
 	res.ExecSeconds = r.cfg.Machine.Seconds(r.lastInstr)
 	if res.ExecSeconds > 0 {
 		res.OverheadPct = 100 * r.cfg.Machine.PauseSeconds(res.TracedTotalBytes) / res.ExecSeconds

@@ -1,5 +1,7 @@
 package trace
 
+import "fmt"
+
 // Forward-pointer analysis for §4.2 of the paper: the dynamic
 // threatening boundary collector must remember ALL forward-in-time
 // pointers (stores where the source object is older than the new
@@ -59,6 +61,10 @@ func MeasureForward(events []Event) (ForwardStats, error) {
 			default:
 				fs.SelfSame++
 			}
+		case KindMark:
+			// Annotations carry no pointers.
+		default:
+			return fs, fmt.Errorf("trace: event %d: unknown kind %d", i, e.Kind)
 		}
 	}
 	return fs, nil

@@ -137,9 +137,13 @@ func MeasureLifetimes(events []Event) (*LifetimeStats, error) {
 			delete(births, e.ID)
 			ls.FreedBytes += b.size
 			ls.lifetimes = append(ls.lifetimes, lifeSample{life: clock - b.clock, bytes: b.size})
+		case KindPtrWrite, KindMark:
+			// Pointer stores and annotations do not affect lifetimes.
+		default:
+			return nil, fmt.Errorf("trace: event %d: unknown kind %d", i, e.Kind)
 		}
 	}
-	for _, b := range births {
+	for _, b := range births { //dtbvet:ignore order-insensitive sum of surviving bytes
 		ls.PermanentBytes += b.size
 	}
 	if ls.TotalObjects > 0 {

@@ -14,6 +14,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 )
 
 // ObjectID identifies one heap object within a trace. IDs are assigned
@@ -253,13 +254,15 @@ func (b *Builder) Mark(label string) {
 // Live reports whether the object is currently live in the builder.
 func (b *Builder) Live(id ObjectID) bool { return b.live[id] }
 
-// LiveIDs returns the IDs of all currently live objects, in
-// unspecified order.
+// LiveIDs returns the IDs of all currently live objects in ascending
+// ID (= allocation) order, so generators that pick victims from it
+// produce identical traces run to run.
 func (b *Builder) LiveIDs() []ObjectID {
 	ids := make([]ObjectID, 0, len(b.live))
-	for id := range b.live {
+	for id := range b.live { //dtbvet:ignore keys are sorted before the slice is returned
 		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

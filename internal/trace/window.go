@@ -44,12 +44,16 @@ func Window(events []Event, from, to uint64) ([]Event, error) {
 				return nil, fmt.Errorf("trace: event %d frees unknown object %d", i, e.ID)
 			}
 			delete(pre, e.ID)
+		case KindPtrWrite, KindMark:
+			// Neither affects pre-window liveness.
+		default:
+			return nil, fmt.Errorf("trace: event %d: unknown kind %d", i, e.Kind)
 		}
 	}
 
 	// Synthetic allocations for the survivors, oldest first.
 	survivors := make([]preObj, 0, len(pre))
-	for _, o := range pre {
+	for _, o := range pre { //dtbvet:ignore survivors are sorted by allocation order below
 		survivors = append(survivors, o)
 	}
 	sort.Slice(survivors, func(a, b int) bool { return survivors[a].order < survivors[b].order })
