@@ -27,6 +27,10 @@ type AppEvalOptions struct {
 	MemMaxBytes uint64
 	// TraceMaxBytes is the FEEDMED/DTBFM budget (default 16 KB).
 	TraceMaxBytes uint64
+	// Probe, when non-nil, receives telemetry from every simulated
+	// run, labelled "app/collector" (the app runs themselves are not
+	// instrumented — they record traces; the replays emit telemetry).
+	Probe Probe
 }
 
 func (o AppEvalOptions) withDefaults() AppEvalOptions {
@@ -129,13 +133,21 @@ func RunAppEvaluation(opts AppEvalOptions) (*Evaluation, error) {
 			DtbFMPolicy(opts.TraceMaxBytes),
 		}
 		for _, p := range policies {
-			res, err := Simulate(events, SimOptions{Policy: p, TriggerBytes: opts.TriggerBytes})
+			res, err := Simulate(events, SimOptions{
+				Policy:       p,
+				TriggerBytes: opts.TriggerBytes,
+				Probe:        opts.Probe,
+				Label:        a.name + "/" + p.Name(),
+			})
 			if err != nil {
 				return nil, fmt.Errorf("dtbgc: app %s under %s: %w", a.name, p.Name(), err)
 			}
 			rs.Results[res.Collector] = res
 		}
-		for _, base := range []SimOptions{{NoGC: true}, {LiveOracle: true}} {
+		for _, base := range []SimOptions{
+			{NoGC: true, Probe: opts.Probe, Label: a.name + "/NoGC"},
+			{LiveOracle: true, Probe: opts.Probe, Label: a.name + "/Live"},
+		} {
 			res, err := Simulate(events, base)
 			if err != nil {
 				return nil, fmt.Errorf("dtbgc: app %s baseline: %w", a.name, err)

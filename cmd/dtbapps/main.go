@@ -9,6 +9,12 @@
 //	dtbapps espresso [-problems N] [-vars V] [-cubes C] [-seed S] [-o trace.dtbt]
 //	dtbapps sis     [-gates N] [-latches L] [-vectors V] [-seed S] [-o trace.dtbt]
 //	dtbapps cfrac   [-n NUMBER] [-o trace.dtbt]
+//	dtbapps eval    [-progress] [-trigger BYTES] [-memmax BYTES] [-tracemax BYTES]
+//
+// The eval subcommand runs the full app-driven evaluation matrix
+// (every mini-application's trace under all six collectors plus the
+// baselines) and prints the paper's tables; -progress streams a
+// human progress/summary line per run to stderr while it works.
 package main
 
 import (
@@ -34,6 +40,9 @@ func main() {
 	var out string
 
 	switch os.Args[1] {
+	case "eval":
+		runEval(os.Args[2:])
+		return
 	case "ghost":
 		fs := flag.NewFlagSet("ghost", flag.ExitOnError)
 		pages := fs.Int("pages", 40, "pages to interpret")
@@ -138,7 +147,36 @@ func main() {
 	}
 }
 
+// runEval is the app-driven evaluation: each mini-application's
+// recorded trace replayed under all six collectors plus the
+// baselines, with optional live progress reporting.
+func runEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	progress := fs.Bool("progress", false, "stream per-run progress and summaries to stderr")
+	trigger := fs.Uint64("trigger", 0, "scavenge trigger in bytes (default 64 KB)")
+	memMax := fs.Uint64("memmax", 0, "DTBMEM memory constraint in bytes (default 256 KB)")
+	traceMax := fs.Uint64("tracemax", 0, "FEEDMED/DTBFM trace budget in bytes (default 16 KB)")
+	fs.Parse(args)
+
+	opts := dtbgc.AppEvalOptions{
+		TriggerBytes:  *trigger,
+		MemMaxBytes:   *memMax,
+		TraceMaxBytes: *traceMax,
+	}
+	if *progress {
+		opts.Probe = dtbgc.NewProgressReporter(os.Stderr)
+	}
+	ev, err := dtbgc.RunAppEvaluation(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtbapps:", err)
+		os.Exit(1)
+	}
+	fmt.Println(ev.Table2())
+	fmt.Println(ev.Table3())
+	fmt.Println(ev.Table4())
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dtbapps {ghost|espresso|sis|cfrac} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dtbapps {ghost|espresso|sis|cfrac|eval} [flags]")
 	os.Exit(2)
 }

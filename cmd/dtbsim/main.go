@@ -7,6 +7,13 @@
 //	dtbsim -policy dtbfm:50k -workload "GHOST(1)" [-scale F] [-trigger BYTES]
 //	dtbsim -policy dtbmem:3000k -trace events.dtbt
 //	dtbsim -baseline live -workload CFRAC
+//	dtbsim -policy dtbfm:50k -workload SIS -telemetry run.jsonl
+//
+// -telemetry streams per-scavenge JSON-lines telemetry (the schema is
+// documented in the README's Observability section) to a file, or to
+// stdout with "-". Conflicting flags are rejected: -policy cannot be
+// combined with -baseline, -workload with -trace, and -scale only
+// applies to generated workloads.
 package main
 
 import (
@@ -27,11 +34,25 @@ func main() {
 	history := flag.Bool("history", false, "print the per-scavenge history as CSV instead of the summary")
 	opportunistic := flag.Bool("opportunistic", false, "also scavenge at trace marks (program quiescent points)")
 	pageFrames := flag.Int("pages", 0, "enable the VM model with this many resident 4 KB pages")
+	telemetry := flag.String("telemetry", "", "write per-scavenge JSON-lines telemetry to FILE (- for stdout)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "dtbsim:", err)
 		os.Exit(1)
+	}
+
+	// Conflicting flags are an error, not a silent preference: a
+	// dropped -policy or -scale yields a plausible-looking result for
+	// a run the user did not ask for.
+	if *policySpec != "" && *baseline != "" {
+		fail(fmt.Errorf("-policy %q conflicts with -baseline %q: a run is driven by one or the other", *policySpec, *baseline))
+	}
+	if *workloadName != "" && *traceFile != "" {
+		fail(fmt.Errorf("-workload %q conflicts with -trace %q: choose one event source", *workloadName, *traceFile))
+	}
+	if *traceFile != "" && flagWasSet("scale") {
+		fail(fmt.Errorf("-scale applies to generated workloads and cannot rescale the recorded trace %q", *traceFile))
 	}
 
 	var events []dtbgc.Event
@@ -60,6 +81,26 @@ func main() {
 	}
 
 	opts := dtbgc.SimOptions{TriggerBytes: *trigger, Opportunistic: *opportunistic, PageFrames: *pageFrames}
+	var tw *dtbgc.TelemetryWriter
+	if *telemetry != "" {
+		dst := os.Stdout
+		if *telemetry != "-" {
+			f, err := os.Create(*telemetry)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		tw = dtbgc.NewTelemetryWriter(dst)
+		opts.Probe = tw
+		switch {
+		case *workloadName != "":
+			opts.Label = *workloadName
+		default:
+			opts.Label = *traceFile
+		}
+	}
 	switch *baseline {
 	case "":
 		p, err := dtbgc.ParsePolicy(*policySpec)
@@ -79,6 +120,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if tw != nil {
+		if err := tw.Err(); err != nil {
+			fail(fmt.Errorf("writing telemetry: %w", err))
+		}
+	}
 	if *history {
 		fmt.Print(dtbgc.HistoryCSV(res))
 		return
@@ -96,4 +142,16 @@ func main() {
 		fmt.Printf("page faults:    %d of %d accesses (%.2f%%)\n",
 			res.PageFaults, res.PageAccesses, 100*float64(res.PageFaults)/float64(res.PageAccesses))
 	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command
+// line (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

@@ -28,20 +28,26 @@ func main() {
 	compare := flag.Bool("compare", false, "print measured values beside the paper's published numbers")
 	check := flag.Bool("check", false, "verify the paper's qualitative claims (DESIGN.md §6); non-zero exit on failure")
 	apps := flag.Bool("apps", false, "evaluate over the real mini-application traces instead of the calibrated profiles")
+	progress := flag.Bool("progress", false, "stream per-run progress and summaries to stderr while the evaluation runs")
 	flag.Parse()
 
+	var probe dtbgc.Probe
+	if *progress {
+		probe = dtbgc.NewProgressReporter(os.Stderr)
+	}
 	var (
 		ev  *dtbgc.Evaluation
 		err error
 	)
 	if *apps {
-		ev, err = dtbgc.RunAppEvaluation(dtbgc.AppEvalOptions{})
+		ev, err = dtbgc.RunAppEvaluation(dtbgc.AppEvalOptions{Probe: probe})
 	} else {
 		ev, err = dtbgc.RunPaperEvaluation(dtbgc.EvalOptions{
 			Scale:         *scale,
 			TriggerBytes:  *trigger,
 			MemMaxBytes:   *memMax,
 			TraceMaxBytes: *traceMax,
+			Probe:         probe,
 		})
 	}
 	if err != nil {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+// emitted runs a real simulation through the real TelemetryWriter, so
+// the checker is tested against the stream the simulator actually
+// produces — the drift this command exists to catch.
+func emitted(t *testing.T) []byte {
+	t.Helper()
+	b := trace.NewBuilder()
+	var ids []trace.ObjectID
+	for i := 0; i < 600; i++ {
+		b.Advance(50)
+		ids = append(ids, b.Alloc(1024))
+		if len(ids) > 6 {
+			b.Free(ids[0])
+			ids = ids[1:]
+		}
+	}
+	var buf bytes.Buffer
+	_, err := sim.Run(b.Events(), sim.Config{
+		Policy:       core.DtbFM{TraceMax: 8 * 1024},
+		TriggerBytes: 64 * 1024,
+		Probe:        sim.NewTelemetryWriter(&buf),
+		Label:        "test/DtbFM",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckerAcceptsRealStream(t *testing.T) {
+	stream := emitted(t)
+	problems, err := checkStream(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("real telemetry stream rejected:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestCheckerRejectsViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string // substring of some reported problem
+	}{
+		{"garbage", "not json\n", "not a JSON object"},
+		{"unknown event", `{"event":"nope","label":""}` + "\n", "unknown event type"},
+		{"missing field", `{"event":"run_start","label":"x"}` + "\n", "missing field"},
+		{"mistyped field", `{"event":"run_start","label":"x","collector":3,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n", `"collector" is not a string`},
+		{"empty stream", "", "stream is empty"},
+		{"scavenge without decision",
+			`{"event":"run_start","label":"x","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
+				`{"event":"scavenge","label":"x","n":1,"trigger":"bytes","t":10,"tb":0,"mem_before":10,"traced":5,"reclaimed":5,"surviving":5,"live":5,"tenured_garbage":0,"pause_seconds":0.1}` + "\n",
+			"without a preceding decision"},
+		{"missing run_finish",
+			`{"event":"run_start","label":"x","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n",
+			"no run_finish"},
+		{"tenured garbage mismatch",
+			`{"event":"run_start","label":"x","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
+				`{"event":"decision","label":"x","n":1,"trigger":"bytes","now":10,"tb":0,"candidates":[0],"mem_before":10,"live_before":5}` + "\n" +
+				`{"event":"scavenge","label":"x","n":1,"trigger":"bytes","t":10,"tb":0,"mem_before":10,"traced":5,"reclaimed":5,"surviving":5,"live":5,"tenured_garbage":3,"pause_seconds":0.1}` + "\n" +
+				`{"event":"run_finish","label":"x","collector":"Full","collections":1,"total_alloc":10,"exec_seconds":1,"mem_mean_bytes":1,"mem_max_bytes":1,"live_mean_bytes":1,"live_max_bytes":1,"traced_total_bytes":5,"overhead_pct":1,"pause_p50_seconds":0.1,"pause_p90_seconds":0.1}` + "\n",
+			"tenured_garbage"},
+		{"collection count mismatch",
+			`{"event":"run_start","label":"x","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
+				`{"event":"run_finish","label":"x","collector":"Full","collections":2,"total_alloc":10,"exec_seconds":1,"mem_mean_bytes":1,"mem_max_bytes":1,"live_mean_bytes":1,"live_max_bytes":1,"traced_total_bytes":5,"overhead_pct":1,"pause_p50_seconds":0.1,"pause_p90_seconds":0.1}` + "\n",
+			"collections=2 but 0 scavenge"},
+	}
+	for _, tc := range cases {
+		problems, err := checkStream(strings.NewReader(tc.input))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: problems %q do not mention %q", tc.name, problems, tc.want)
+		}
+	}
+}
+
+func TestCheckerDemuxesInterleavedRuns(t *testing.T) {
+	// Two concurrent runs interleaved line-by-line must both validate.
+	a := `{"event":"run_start","label":"a","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}`
+	b := `{"event":"run_start","label":"b","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}`
+	af := `{"event":"run_finish","label":"a","collector":"Full","collections":0,"total_alloc":10,"exec_seconds":1,"mem_mean_bytes":1,"mem_max_bytes":1,"live_mean_bytes":1,"live_max_bytes":1,"traced_total_bytes":0,"overhead_pct":0,"pause_p50_seconds":0,"pause_p90_seconds":0}`
+	bf := `{"event":"run_finish","label":"b","collector":"Full","collections":0,"total_alloc":10,"exec_seconds":1,"mem_mean_bytes":1,"mem_max_bytes":1,"live_mean_bytes":1,"live_max_bytes":1,"traced_total_bytes":0,"overhead_pct":0,"pause_p50_seconds":0,"pause_p90_seconds":0}`
+	input := strings.Join([]string{a, b, af, bf}, "\n") + "\n"
+	problems, err := checkStream(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("interleaved runs rejected: %q", problems)
+	}
+}

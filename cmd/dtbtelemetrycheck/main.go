@@ -1,0 +1,60 @@
+// Command dtbtelemetrycheck validates a JSON-lines telemetry stream
+// (as written by dtbsim -telemetry or dtbgc.NewTelemetryWriter)
+// against the documented schema: every line must be a JSON object
+// carrying a known "event" discriminator with that event's required
+// fields at the required JSON types, and each run's event sequence
+// must be coherent (run_start first, decision/scavenge pairs with
+// increasing indices, run_finish last with a matching collection
+// count). It is the CI gate that keeps the emitted telemetry and the
+// README's schema documentation from drifting apart.
+//
+// Usage:
+//
+//	dtbtelemetrycheck FILE...
+//	dtbsim -policy full -workload SIS -telemetry - | dtbtelemetrycheck -
+//
+// Exit status is 0 when every stream is schema-valid, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: dtbtelemetrycheck FILE... (- for stdin)")
+		os.Exit(2)
+	}
+	failed := false
+	for _, arg := range os.Args[1:] {
+		var r io.Reader
+		name := arg
+		if arg == "-" {
+			r, name = os.Stdin, "<stdin>"
+		} else {
+			f, err := os.Open(arg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dtbtelemetrycheck:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			r = f
+		}
+		problems, err := checkStream(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtbtelemetrycheck: %s: %v\n", name, err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Printf("%s: %s\n", name, p)
+		}
+		if len(problems) > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -19,7 +19,12 @@
 //     use LookupWorkload, which returns an error listing the valid
 //     names instead;
 //   - the full evaluation harness (RunPaperEvaluation) regenerating
-//     Tables 2, 3, 4 and 6 and the Figure 2 memory curves.
+//     Tables 2, 3, 4 and 6 and the Figure 2 memory curves;
+//   - per-scavenge telemetry: a Probe set on SimOptions or EvalOptions
+//     observes every run (policy decisions with candidate boundaries,
+//     scavenge outcomes with tenured garbage, allocation progress)
+//     without influencing it, with stock JSON-lines and human progress
+//     sinks (NewTelemetryWriter, NewProgressReporter).
 //
 // # Quick start
 //

@@ -3,6 +3,7 @@ package dtbgc
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 
@@ -107,6 +108,20 @@ type SimOptions struct {
 	// composable with any boundary policy's answer to "what to
 	// collect" (§4).
 	Opportunistic bool
+	// Probe, when non-nil, receives the run's telemetry: a typed
+	// event at run start and finish, per scavenge (the policy decision
+	// and the outcome), and periodically during allocation. Telemetry
+	// observes, never influences — a run's result is identical with or
+	// without a probe — and a nil Probe costs the simulator nothing.
+	// See NewTelemetryWriter and NewProgressReporter for stock sinks.
+	Probe Probe
+	// ProgressBytes sets the allocation interval between Progress
+	// telemetry events (default 4 MB; only meaningful with a Probe).
+	ProgressBytes uint64
+	// Label tags every telemetry event of this run so one Probe can
+	// demux several runs (the evaluation harness labels runs
+	// "workload/collector").
+	Label string
 }
 
 func (o SimOptions) config() sim.Config {
@@ -119,6 +134,9 @@ func (o SimOptions) config() sim.Config {
 		Opportunistic: o.Opportunistic,
 		PageFrames:    o.PageFrames,
 		PageBytes:     o.PageBytes,
+		Probe:         o.Probe,
+		ProgressBytes: o.ProgressBytes,
+		Label:         o.Label,
 	}
 	switch {
 	case o.NoGC:
@@ -147,11 +165,17 @@ func SimulateStream(r io.Reader, opts SimOptions) (*Result, error) {
 // HistoryCSV renders a result's per-scavenge history — time,
 // boundary, traced, reclaimed, surviving bytes and the pause — as CSV
 // for plotting or inspection.
+//
+// History and Pauses are produced in lockstep by the simulator, one
+// entry each per scavenge. If a hand-built Result violates that, the
+// orphaned rows render an explicit NaN pause cell rather than a
+// fabricated 0.0 — a zero pause is a plausible measurement, NaN is
+// unmistakably "no data".
 func HistoryCSV(res *Result) string {
 	var b strings.Builder
 	b.WriteString("n,tKB,tbKB,memBeforeKB,tracedKB,reclaimedKB,survivingKB,pauseMS\n")
 	for i, s := range res.History.Scavenges {
-		pause := 0.0
+		pause := math.NaN()
 		if i < len(res.Pauses) {
 			pause = res.Pauses[i] * 1000
 		}

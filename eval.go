@@ -1,6 +1,7 @@
 package dtbgc
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -34,6 +35,11 @@ type EvalOptions struct {
 	RecordCurves bool
 	// CurvePoints caps retained curve lengths (0 = keep all).
 	CurvePoints int
+	// Probe, when non-nil, receives telemetry from every run of the
+	// evaluation, each labelled "workload/collector". Workloads run
+	// concurrently, so the Probe must be safe for concurrent use —
+	// the stock sinks (NewTelemetryWriter, NewProgressReporter) are.
+	Probe Probe
 }
 
 func (o EvalOptions) withDefaults() EvalOptions {
@@ -74,6 +80,13 @@ type Evaluation struct {
 // concurrently (each run is single-threaded and deterministic, so
 // the evaluation's results do not depend on scheduling).
 func RunPaperEvaluation(opts EvalOptions) (*Evaluation, error) {
+	// A non-nil empty profile list would "succeed" with zero runs —
+	// every Table accessor would render headers over no data, which
+	// reads like a passing evaluation. Refuse it up front; leave
+	// Profiles nil to get the six paper runs.
+	if opts.Profiles != nil && len(opts.Profiles) == 0 {
+		return nil, errors.New("dtbgc: EvalOptions.Profiles is empty: an evaluation over zero workloads would masquerade as success (leave it nil for the paper profiles)")
+	}
 	opts = opts.withDefaults()
 	ev := &Evaluation{Options: opts, Runs: make([]RunSet, len(opts.Profiles))}
 	errs := make([]error, len(opts.Profiles))
@@ -87,10 +100,10 @@ func RunPaperEvaluation(opts EvalOptions) (*Evaluation, error) {
 		}(i, w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// Report every workload's failure, not just the first: a scaled-
+	// down run that breaks two workloads should say so in one pass.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return ev, nil
 }
@@ -114,15 +127,18 @@ func runWorkloadSet(w Workload, opts EvalOptions) (RunSet, error) {
 			TriggerBytes: opts.TriggerBytes,
 			RecordCurve:  opts.RecordCurves,
 			CurvePoints:  opts.CurvePoints,
+			Probe:        opts.Probe,
+			Label:        scaled.Name + "/" + p.Name(),
 		})
 		if err != nil {
 			return rs, fmt.Errorf("dtbgc: %s under %s: %w", w.Name, p.Name(), err)
 		}
 		rs.Results[res.Collector] = res
 	}
-	for _, base := range []SimOptions{{NoGC: true}, {LiveOracle: true}} {
+	for _, base := range []SimOptions{{NoGC: true, Label: scaled.Name + "/NoGC"}, {LiveOracle: true, Label: scaled.Name + "/Live"}} {
 		base.RecordCurve = opts.RecordCurves
 		base.CurvePoints = opts.CurvePoints
+		base.Probe = opts.Probe
 		res, err := Simulate(events, base)
 		if err != nil {
 			return rs, fmt.Errorf("dtbgc: %s baseline: %w", w.Name, err)

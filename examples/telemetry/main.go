@@ -1,0 +1,116 @@
+// Telemetry: watch a collector make its per-scavenge decisions.
+//
+// The dynamic-threatening-boundary collectors are feedback systems —
+// they react to what they measure — and a dtbgc.Probe is the window
+// onto those measurements. This example attaches two probes to one
+// DTBFM run: a custom one that prints how each boundary decision
+// relates to its trace budget, and the stock JSON-lines sink whose
+// output drives dashboards or cmd/dtbtelemetrycheck.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	dtbgc "github.com/dtbgc/dtbgc"
+)
+
+// boundaryWatcher is a custom Probe: it prints, for every scavenge,
+// where the policy put the threatening boundary and whether the pause
+// stayed under budget. The other events are deliberately ignored —
+// a Probe implements all five methods but cares about what it cares
+// about.
+type boundaryWatcher struct {
+	budgetBytes uint64
+}
+
+func (w *boundaryWatcher) RunStart(e dtbgc.RunStart) {
+	fmt.Printf("run: %s collector, scavenge every %d KB\n", e.Collector, e.TriggerBytes/1024)
+}
+
+func (w *boundaryWatcher) Decision(e dtbgc.Decision) {
+	// The threatened window is (TB, now]: everything allocated after
+	// the boundary gets traced. Candidates are the ages the Table-1
+	// policies pick among (0 = full collection).
+	window := e.Now.Sub(e.TB)
+	fmt.Printf("  decision %2d (%s): window %4d KB of %4d KB heap, %d candidates\n",
+		e.N, e.Trigger, window/1024, e.MemBefore/1024, len(e.Candidates))
+}
+
+func (w *boundaryWatcher) Scavenge(e dtbgc.ScavengeEvent) {
+	verdict := "within budget"
+	if e.Traced > w.budgetBytes {
+		verdict = "OVER budget"
+	}
+	fmt.Printf("  scavenge %2d: traced %4d KB (%s), reclaimed %4d KB, tenured garbage %4d KB\n",
+		e.N, e.Traced/1024, verdict, e.Reclaimed/1024, e.TenuredGarbage/1024)
+}
+
+func (w *boundaryWatcher) Progress(dtbgc.Progress)   {}
+func (w *boundaryWatcher) RunFinish(dtbgc.RunFinish) {}
+
+// fanout forwards every event to several probes — SimOptions takes
+// one Probe, and composing sinks is a three-line type.
+type fanout []dtbgc.Probe
+
+func (f fanout) RunStart(e dtbgc.RunStart) {
+	for _, p := range f {
+		p.RunStart(e)
+	}
+}
+func (f fanout) Decision(e dtbgc.Decision) {
+	for _, p := range f {
+		p.Decision(e)
+	}
+}
+func (f fanout) Scavenge(e dtbgc.ScavengeEvent) {
+	for _, p := range f {
+		p.Scavenge(e)
+	}
+}
+func (f fanout) Progress(e dtbgc.Progress) {
+	for _, p := range f {
+		p.Progress(e)
+	}
+}
+func (f fanout) RunFinish(e dtbgc.RunFinish) {
+	for _, p := range f {
+		p.RunFinish(e)
+	}
+}
+
+func main() {
+	events, err := dtbgc.WorkloadByName("ESPRESSO(1)").Scale(0.25).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const budget = 50 * 1024 // 100 ms of tracing on the paper machine
+
+	// Machine-readable stream alongside the human one: every event as
+	// one JSON object per line.
+	f, err := os.CreateTemp("", "dtbgc-telemetry-*.jsonl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tw := dtbgc.NewTelemetryWriter(f)
+
+	res, err := dtbgc.Simulate(events, dtbgc.SimOptions{
+		Policy:       dtbgc.DtbFMPolicy(budget),
+		TriggerBytes: 256 * 1024,
+		Probe:        fanout{&boundaryWatcher{budgetBytes: budget}, tw},
+		Label:        "ESPRESSO(1)/DtbFM",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("done: %d collections, median pause %.0f ms, mean memory %.0f KB\n",
+		res.Collections, res.MedianPauseSeconds()*1000, res.MemMeanBytes/1024)
+	fmt.Printf("JSON telemetry written to %s (validate with: go run ./cmd/dtbtelemetrycheck %[1]s)\n", f.Name())
+}

@@ -68,6 +68,14 @@ type Collector struct {
 	tracedTotal    uint64
 	reclaimedTotal uint64
 	collections    int
+
+	// Telemetry counters, mirroring the observables the simulator's
+	// Probe reports (write-barrier traffic, remembered-set pressure,
+	// untenuring) for the real collector.
+	barrierHits    uint64
+	rememberedPeak int
+	untenuredTotal uint64
+	untenuredLast  uint64
 }
 
 // Options configures a Collector.
@@ -115,6 +123,7 @@ func New(h *mheap.Heap, opts Options) (*Collector, error) {
 // set must contain every location where an older object points at a
 // younger one.
 func (c *Collector) writeBarrier(src mheap.Ref, field int, _, target mheap.Ref) {
+	c.barrierHits++
 	loc := ptrLoc{src, field}
 	if target == mheap.Nil {
 		// Overwriting with nil retires the location lazily; it is
@@ -133,6 +142,9 @@ func (c *Collector) writeBarrier(src mheap.Ref, field int, _, target mheap.Ref) 
 			return
 		}
 		c.remembered[loc] = struct{}{}
+		if len(c.remembered) > c.rememberedPeak {
+			c.rememberedPeak = len(c.remembered)
+		}
 	} else {
 		// The location now holds a backward-in-time pointer; any
 		// earlier forward entry for it is stale.
@@ -328,14 +340,31 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 		}
 	}
 
-	// Reclaim the unreached threatened objects.
+	// Reclaim the unreached threatened objects. Objects that were
+	// immune at the previous scavenge (born at or before its boundary)
+	// but die now are untenured storage — the reclamation a
+	// boundary-moving policy wins back and a fixed one never can
+	// (paper §3's tenured-garbage argument).
+	prevTB, hasPrev := core.Time(0), false
+	if last, ok := c.hist.Last(); ok {
+		prevTB, hasPrev = last.TB, true
+	}
 	var dead []mheap.Ref
+	var untenured uint64
 	for _, r := range c.heap.Refs() {
 		if threatened(r) && !visited[r] {
 			dead = append(dead, r)
+			if hasPrev && c.heap.Birth(r) <= prevTB {
+				untenured += uint64(c.heap.TotalSize(r))
+			}
 		}
 	}
 	reclaimed := c.heap.Reclaim(dead)
+	c.untenuredLast = untenured
+	c.untenuredTotal += untenured
+	if len(c.remembered) > c.rememberedPeak {
+		c.rememberedPeak = len(c.remembered)
+	}
 
 	c.lastScavenge = now
 	s := core.Scavenge{
@@ -357,6 +386,24 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 // BarrierSkips returns how many barrier hits the FilterRecent
 // optimization elided (0 when the filter is off).
 func (c *Collector) BarrierSkips() uint64 { return c.barrierSkips }
+
+// BarrierHits returns how many pointer stores reached the write
+// barrier — the §4.2 mutator-overhead observable.
+func (c *Collector) BarrierHits() uint64 { return c.barrierHits }
+
+// RememberedPeak returns the largest remembered-set cardinality seen
+// so far (locations, not bytes).
+func (c *Collector) RememberedPeak() int { return c.rememberedPeak }
+
+// UntenuredBytes returns the cumulative bytes of previously immune
+// storage reclaimed by later scavenges whose boundary moved back —
+// the untenuring the dynamic policies exist to enable. A classic
+// generational collector (FIXED-k) keeps this at zero forever.
+func (c *Collector) UntenuredBytes() uint64 { return c.untenuredTotal }
+
+// LastUntenuredBytes returns the untenured bytes of the most recent
+// scavenge only.
+func (c *Collector) LastUntenuredBytes() uint64 { return c.untenuredLast }
 
 // CheckRememberedInvariant verifies remembered-set soundness: every
 // forward-in-time pointer currently stored in the heap is covered by a

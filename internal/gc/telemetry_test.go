@@ -1,0 +1,116 @@
+package gc
+
+// Tests for the collector's telemetry counters: write-barrier hits,
+// remembered-set peak, and untenured-byte accounting. They reuse the
+// Figure 1 scenario, whose second scavenge is the paper's canonical
+// untenuring moment.
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+)
+
+func TestBarrierHitCounter(t *testing.T) {
+	f := buildFigure1(t)
+	// buildFigure1 performs exactly three pointer stores (I->J, G->K,
+	// J->F); every store must reach the barrier.
+	if got := f.c.BarrierHits(); got != 3 {
+		t.Fatalf("BarrierHits = %d, want 3", got)
+	}
+	// A backward store still hits the barrier but is not remembered.
+	before := f.c.RememberedSize()
+	f.h.SetPtr(f.A, 0, f.G)
+	if got := f.c.BarrierHits(); got != 4 {
+		t.Fatalf("BarrierHits after backward store = %d, want 4", got)
+	}
+	if got := f.c.RememberedSize(); got != before {
+		t.Fatalf("backward store changed remembered set: %d -> %d", before, got)
+	}
+}
+
+func TestRememberedPeakSurvivesPruning(t *testing.T) {
+	f := buildFigure1(t)
+	peak := f.c.RememberedPeak()
+	if peak != 3 {
+		t.Fatalf("RememberedPeak = %d, want 3 (stores I->J, G->K, J->F)", peak)
+	}
+	// A full collection reclaims the garbage chain; the following
+	// scavenge prunes the dead-source remembered entries (pruning is
+	// lazy). The peak must not move backwards.
+	f.c.CollectAt(0)
+	f.c.CollectAt(0)
+	if got := f.c.RememberedSize(); got >= peak {
+		t.Fatalf("full collection left remembered set at %d, want < %d", got, peak)
+	}
+	if got := f.c.RememberedPeak(); got != peak {
+		t.Fatalf("RememberedPeak after pruning = %d, want %d", got, peak)
+	}
+}
+
+func TestUntenuredBytesAccounting(t *testing.T) {
+	f := buildFigure1(t)
+
+	// First scavenge at TB_min: nothing was immune before, so nothing
+	// can be untenured.
+	f.c.CollectAt(f.tbMin)
+	if got := f.c.UntenuredBytes(); got != 0 {
+		t.Fatalf("UntenuredBytes after first scavenge = %d, want 0", got)
+	}
+
+	// Second scavenge at 0 moves the boundary back: I and J (immune
+	// tenured garbage of scavenge 1) are untenured and reclaimed,
+	// taking their nepotism victim F with them. F was born after
+	// TB_min — threatened both times — so only I and J count as
+	// untenured, while Reclaimed covers all three.
+	sizeIJ := uint64(f.h.TotalSize(f.I) + f.h.TotalSize(f.J))
+	sizeF := uint64(f.h.TotalSize(f.F))
+	s := f.c.CollectAt(0)
+	if want := sizeIJ + sizeF; s.Reclaimed != want {
+		t.Fatalf("second scavenge reclaimed %d bytes, want %d (I+J+F)", s.Reclaimed, want)
+	}
+	if got := f.c.LastUntenuredBytes(); got != sizeIJ {
+		t.Fatalf("LastUntenuredBytes = %d, want %d (I+J)", got, sizeIJ)
+	}
+	if got := f.c.UntenuredBytes(); got != sizeIJ {
+		t.Fatalf("UntenuredBytes = %d, want %d", got, sizeIJ)
+	}
+
+	// A FIXED-style collector that never moves the boundary back can
+	// never untenure: scavenging again at the last scavenge time finds
+	// no immune-then, threatened-now storage.
+	f.c.CollectAt(f.c.History().TimeOfPrevious(1))
+	if got := f.c.LastUntenuredBytes(); got != 0 {
+		t.Fatalf("LastUntenuredBytes with a non-regressing boundary = %d, want 0", got)
+	}
+}
+
+func TestUntenuredZeroUnderFixedPolicy(t *testing.T) {
+	h := mheap.New()
+	c, err := New(h, Options{Policy: core.Fixed{K: 1}, TriggerBytes: 4096, AutoCollect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate-and-drop churn with a rooted spine; FIXED1 never moves
+	// the boundary back, so untenured bytes must stay zero.
+	spine := c.Alloc(1, 64)
+	c.SetGlobal("spine", spine)
+	for i := 0; i < 400; i++ {
+		c.PushRoot(spine)
+		r := c.Alloc(1, 128)
+		c.PopRoot()
+		if i%3 == 0 {
+			h.SetPtr(spine, 0, r) // keep one young object reachable
+		}
+	}
+	if c.Collections() == 0 {
+		t.Fatal("auto-collect never triggered")
+	}
+	if got := c.UntenuredBytes(); got != 0 {
+		t.Fatalf("FIXED1 untenured %d bytes; fixed boundaries cannot untenure", got)
+	}
+	if c.BarrierHits() == 0 {
+		t.Fatal("pointer stores never reached the barrier")
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import "github.com/dtbgc/dtbgc/internal/core"
+
+// Probe observes a simulation run as it happens: the paper's whole
+// contribution is a collector that *reacts to measurements*, and a
+// Probe is the window onto those measurements — the policy decision
+// before each scavenge, the scavenge outcome, periodic allocation
+// progress, and run start/finish.
+//
+// Telemetry observes, never influences: the runner passes probes
+// copies of its state, calls them at well-defined points, and reads
+// nothing back. A Probe must not mutate anything it is handed (the
+// RunFinish result is shared with the caller of Run) and must not
+// block; slow sinks slow the simulation but cannot change its result.
+// Every run emits exactly the same event sequence for the same trace
+// and configuration, so telemetry is as replayable as the simulation
+// itself.
+//
+// The zero Probe (nil Config.Probe) is free: the hooks reduce to a
+// nil check and the hot path allocates nothing on its behalf (see the
+// no-probe allocation guard in the tests).
+type Probe interface {
+	// RunStart is emitted once, before any event is fed.
+	RunStart(RunStart)
+	// Decision is emitted after the policy chose the threatening
+	// boundary for scavenge N, before any storage is traced.
+	Decision(Decision)
+	// Scavenge is emitted after scavenge N completed.
+	Scavenge(ScavengeEvent)
+	// Progress is emitted roughly every Config.ProgressBytes of
+	// allocation.
+	Progress(Progress)
+	// RunFinish is emitted once, from Finish, with the final result.
+	RunFinish(RunFinish)
+}
+
+// TriggerReason says why a scavenge ran.
+type TriggerReason uint8
+
+const (
+	// TriggerByteBudget: the allocation interval (Config.TriggerBytes)
+	// elapsed — the paper's fixed scavenge trigger.
+	TriggerByteBudget TriggerReason = iota
+	// TriggerMark: an opportunistic scavenge at a trace Mark event (a
+	// program quiescent point, Wilson & Moher scheduling).
+	TriggerMark
+)
+
+// String returns the wire name used in JSON telemetry.
+func (t TriggerReason) String() string {
+	switch t {
+	case TriggerByteBudget:
+		return "bytes"
+	case TriggerMark:
+		return "mark"
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the reason as its wire name.
+func (t TriggerReason) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// RunStart announces a run and its fixed configuration.
+type RunStart struct {
+	Label         string // Config.Label, "" when unset
+	Collector     string // policy name, "NoGC" or "Live"
+	TriggerBytes  uint64
+	ProgressBytes uint64
+	Opportunistic bool
+}
+
+// Decision records one boundary-policy decision: the inputs the policy
+// saw and the boundary it chose, emitted before the scavenge runs.
+type Decision struct {
+	Label   string
+	N       int           // 1-based index of the scavenge about to run
+	Trigger TriggerReason // why the scavenge was scheduled
+	Now     core.Time     // t_n, the allocation clock at the decision
+	TB      core.Time     // TB_n, the chosen boundary (post-clamp)
+	// Candidates are the boundary ages available to the Table-1
+	// policies at this decision: program start (a full collection)
+	// plus the most recent prior scavenge times, oldest first, capped
+	// at a fixed count. The chosen TB need not be a member — the
+	// dynamic policies interpolate between candidates.
+	Candidates []core.Time
+	MemBefore  uint64 // Mem_n: bytes in use at the decision
+	LiveBefore uint64 // oracle live bytes at the decision
+}
+
+// ScavengeEvent records one completed scavenge. Its fields match the
+// core.Scavenge the run's History retains, plus the oracle-derived
+// measures only the simulator knows.
+type ScavengeEvent struct {
+	Label     string
+	N         int // 1-based scavenge index, matching History.Scavenges[N-1].N
+	Trigger   TriggerReason
+	T         core.Time // t_n
+	TB        core.Time // TB_n
+	MemBefore uint64
+	Traced    uint64
+	Reclaimed uint64
+	Surviving uint64
+	// Live is the oracle live-byte count just after the scavenge;
+	// Surviving - Live is the garbage the boundary tenured.
+	Live           uint64
+	TenuredGarbage uint64
+	PauseSeconds   float64 // Traced at the machine's trace rate
+}
+
+// Progress is the periodic allocation heartbeat for watching long
+// runs: cadence is controlled by Config.ProgressBytes.
+type Progress struct {
+	Label       string
+	Events      int       // trace events fed so far
+	Instr       uint64    // instruction clock of the latest event
+	Clock       core.Time // allocation clock
+	InUse       uint64    // bytes in use under the run's mode
+	Live        uint64    // oracle live bytes
+	Collections int       // scavenges completed so far
+}
+
+// RunFinish closes a run's event stream with its final result. The
+// Result is the same object Run returns — read-only for probes.
+type RunFinish struct {
+	Label  string
+	Result *Result
+}
+
+// maxCandidates caps the Decision candidate list so long runs emit
+// bounded events.
+const maxCandidates = 16
+
+// boundaryCandidates lists the boundary ages a Table-1 policy can
+// choose among at the next decision: 0 (program start, FULL's choice)
+// and the most recent prior scavenge times (FIXED-k's t_{n-k}, the
+// FEEDMED/DTBFM advance candidates). The history is read, never
+// retained.
+func boundaryCandidates(hist *core.History) []core.Time {
+	n := len(hist.Scavenges)
+	first := 0
+	if n > maxCandidates-1 {
+		first = n - (maxCandidates - 1)
+	}
+	out := make([]core.Time, 0, n-first+1)
+	out = append(out, 0)
+	for _, s := range hist.Scavenges[first:] {
+		out = append(out, s.T)
+	}
+	return out
+}

@@ -91,6 +91,19 @@ type Config struct {
 	// the byte trigger has accumulated. The byte trigger still fires
 	// as a backstop, so memory stays bounded on mark-free traces.
 	Opportunistic bool
+
+	// Probe, when non-nil, receives the run's telemetry events (see
+	// Probe). Telemetry observes, never influences: a run's result is
+	// identical with or without a probe attached, and a nil probe
+	// costs the hot path nothing.
+	Probe Probe
+	// Label tags every event this run emits, so one sink can demux
+	// several concurrent runs. Empty is fine for single runs.
+	Label string
+	// ProgressBytes sets the allocation interval between Progress
+	// events; zero means 4 MB. Progress events are only produced when
+	// a Probe is attached.
+	ProgressBytes uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PageFrames > 0 && c.PageBytes == 0 {
 		c.PageBytes = 4096
+	}
+	if c.ProgressBytes == 0 {
+		c.ProgressBytes = 4 << 20
 	}
 	return c
 }
@@ -246,15 +262,16 @@ type Runner struct {
 	res  *Result
 	heap *heapModel
 
-	clock        core.Time
-	sinceTrigger uint64
-	memStat      stats.Weighted
-	liveStat     stats.Weighted
-	lastInstr    uint64
-	nEvents      int
-	curve        *stats.Series
-	liveCurve    *stats.Series
-	finished     bool
+	clock         core.Time
+	sinceTrigger  uint64
+	sinceProgress uint64
+	memStat       stats.Weighted
+	liveStat      stats.Weighted
+	lastInstr     uint64
+	nEvents       int
+	curve         *stats.Series
+	liveCurve     *stats.Series
+	finished      bool
 
 	// Virtual-memory model (nil unless configured).
 	pages    *vmem.Model
@@ -286,6 +303,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.PageFrames > 0 {
 		r.pages = vmem.New(cfg.PageBytes, cfg.PageFrames)
+	}
+	if p := cfg.Probe; p != nil {
+		p.RunStart(RunStart{
+			Label:         cfg.Label,
+			Collector:     res.Collector,
+			TriggerBytes:  cfg.TriggerBytes,
+			ProgressBytes: cfg.ProgressBytes,
+			Opportunistic: cfg.Opportunistic,
+		})
 	}
 	return r, nil
 }
@@ -334,11 +360,24 @@ func (r *Runner) Feed(e trace.Event) error {
 			r.pages.Touch(addr, e.Size) // the mutator initializes it
 		}
 		r.sinceTrigger += e.Size
+		r.sinceProgress += e.Size
 		r.sample(e.Instr)
 		if r.cfg.Mode == ModePolicy && r.sinceTrigger >= r.cfg.TriggerBytes {
 			r.sinceTrigger = 0
-			r.scavenge()
+			r.scavenge(TriggerByteBudget)
 			r.sample(e.Instr)
+		}
+		if r.cfg.Probe != nil && r.sinceProgress >= r.cfg.ProgressBytes {
+			r.sinceProgress = 0
+			r.cfg.Probe.Progress(Progress{
+				Label:       r.cfg.Label,
+				Events:      r.nEvents,
+				Instr:       e.Instr,
+				Clock:       r.clock,
+				InUse:       r.memInUse(),
+				Live:        r.heap.live,
+				Collections: r.res.Collections,
+			})
 		}
 	case trace.KindFree:
 		if r.pages != nil {
@@ -355,7 +394,7 @@ func (r *Runner) Feed(e trace.Event) error {
 		if r.cfg.Mode == ModePolicy && r.cfg.Opportunistic &&
 			r.sinceTrigger >= r.cfg.TriggerBytes/2 {
 			r.sinceTrigger = 0
-			r.scavenge()
+			r.scavenge(TriggerMark)
 			r.sample(e.Instr)
 		}
 	case trace.KindPtrWrite:
@@ -373,10 +412,22 @@ func (r *Runner) Feed(e trace.Event) error {
 	return nil
 }
 
-func (r *Runner) scavenge() {
+func (r *Runner) scavenge(reason TriggerReason) {
 	heap, cfg, res := r.heap, r.cfg, r.res
 	memBefore := heap.inUse
 	tb := core.ClampBoundary(cfg.Policy.Boundary(r.clock, &res.History, heap), r.clock)
+	if p := cfg.Probe; p != nil {
+		p.Decision(Decision{
+			Label:      cfg.Label,
+			N:          res.Collections + 1,
+			Trigger:    reason,
+			Now:        r.clock,
+			TB:         tb,
+			Candidates: boundaryCandidates(&res.History),
+			MemBefore:  memBefore,
+			LiveBefore: heap.live,
+		})
+	}
 	traced, reclaimed := heap.scavenge(tb)
 	if r.pages != nil {
 		// Copying semantics: every survivor of the threatened region
@@ -401,7 +452,24 @@ func (r *Runner) scavenge() {
 	})
 	res.Collections++
 	res.TracedTotalBytes += traced
-	res.Pauses = append(res.Pauses, cfg.Machine.PauseSeconds(traced))
+	pause := cfg.Machine.PauseSeconds(traced)
+	res.Pauses = append(res.Pauses, pause)
+	if p := cfg.Probe; p != nil {
+		p.Scavenge(ScavengeEvent{
+			Label:          cfg.Label,
+			N:              res.Collections,
+			Trigger:        reason,
+			T:              r.clock,
+			TB:             tb,
+			MemBefore:      memBefore,
+			Traced:         traced,
+			Reclaimed:      reclaimed,
+			Surviving:      heap.inUse,
+			Live:           heap.live,
+			TenuredGarbage: heap.inUse - heap.live,
+			PauseSeconds:   pause,
+		})
+	}
 }
 
 // Finish closes the run and returns the Result. It is idempotent.
@@ -434,6 +502,9 @@ func (r *Runner) Finish() *Result {
 		}
 		res.Curve = curve
 		res.LiveCurve = liveCurve
+	}
+	if p := r.cfg.Probe; p != nil {
+		p.RunFinish(RunFinish{Label: r.cfg.Label, Result: res})
 	}
 	return res
 }

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/stats"
+)
+
+// TelemetryWriter is the machine-consumption Probe: it writes one JSON
+// object per event, one event per line, to an io.Writer.
+//
+// Every line carries an "event" discriminator ("run_start",
+// "decision", "scavenge", "progress", "run_finish") and a "label"
+// naming the run; the remaining fields are fixed per event type (the
+// schema is documented in the README's Observability section and
+// enforced in CI by cmd/dtbtelemetrycheck). Allocation-clock readings
+// and byte counts are emitted as raw bytes — consumers scale.
+//
+// The writer is safe for concurrent use by several runs (the
+// evaluation harness runs workloads in parallel); lines from
+// concurrent runs interleave but each line is whole, so demux by
+// label. Write errors are sticky: the first one is retained, later
+// events are dropped, and Err reports it when the run is over.
+type TelemetryWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewTelemetryWriter returns a JSON-lines telemetry sink writing to w.
+func NewTelemetryWriter(w io.Writer) *TelemetryWriter {
+	return &TelemetryWriter{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write or encode error, or nil.
+func (t *TelemetryWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *TelemetryWriter) emit(v any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(v)
+}
+
+// The wire envelopes. Field order here is emission order (encoding/
+// json preserves struct order), so the stream is byte-for-byte
+// deterministic for a deterministic run.
+
+type jsonRunStart struct {
+	Event         string `json:"event"`
+	Label         string `json:"label"`
+	Collector     string `json:"collector"`
+	TriggerBytes  uint64 `json:"trigger_bytes"`
+	ProgressBytes uint64 `json:"progress_bytes"`
+	Opportunistic bool   `json:"opportunistic"`
+}
+
+type jsonDecision struct {
+	Event      string        `json:"event"`
+	Label      string        `json:"label"`
+	N          int           `json:"n"`
+	Trigger    TriggerReason `json:"trigger"`
+	Now        core.Time     `json:"now"`
+	TB         core.Time     `json:"tb"`
+	Candidates []core.Time   `json:"candidates"`
+	MemBefore  uint64        `json:"mem_before"`
+	LiveBefore uint64        `json:"live_before"`
+}
+
+type jsonScavenge struct {
+	Event          string        `json:"event"`
+	Label          string        `json:"label"`
+	N              int           `json:"n"`
+	Trigger        TriggerReason `json:"trigger"`
+	T              core.Time     `json:"t"`
+	TB             core.Time     `json:"tb"`
+	MemBefore      uint64        `json:"mem_before"`
+	Traced         uint64        `json:"traced"`
+	Reclaimed      uint64        `json:"reclaimed"`
+	Surviving      uint64        `json:"surviving"`
+	Live           uint64        `json:"live"`
+	TenuredGarbage uint64        `json:"tenured_garbage"`
+	PauseSeconds   float64       `json:"pause_seconds"`
+}
+
+type jsonProgress struct {
+	Event       string    `json:"event"`
+	Label       string    `json:"label"`
+	Events      int       `json:"events"`
+	Instr       uint64    `json:"instr"`
+	Allocated   core.Time `json:"allocated"`
+	InUse       uint64    `json:"in_use"`
+	Live        uint64    `json:"live"`
+	Collections int       `json:"collections"`
+}
+
+type jsonRunFinish struct {
+	Event            string  `json:"event"`
+	Label            string  `json:"label"`
+	Collector        string  `json:"collector"`
+	Collections      int     `json:"collections"`
+	TotalAlloc       uint64  `json:"total_alloc"`
+	ExecSeconds      float64 `json:"exec_seconds"`
+	MemMeanBytes     float64 `json:"mem_mean_bytes"`
+	MemMaxBytes      float64 `json:"mem_max_bytes"`
+	LiveMeanBytes    float64 `json:"live_mean_bytes"`
+	LiveMaxBytes     float64 `json:"live_max_bytes"`
+	TracedTotalBytes uint64  `json:"traced_total_bytes"`
+	OverheadPct      float64 `json:"overhead_pct"`
+	PauseP50Seconds  float64 `json:"pause_p50_seconds"`
+	PauseP90Seconds  float64 `json:"pause_p90_seconds"`
+}
+
+// RunStart implements Probe.
+func (t *TelemetryWriter) RunStart(e RunStart) {
+	t.emit(jsonRunStart{
+		Event: "run_start", Label: e.Label, Collector: e.Collector,
+		TriggerBytes: e.TriggerBytes, ProgressBytes: e.ProgressBytes,
+		Opportunistic: e.Opportunistic,
+	})
+}
+
+// Decision implements Probe.
+func (t *TelemetryWriter) Decision(e Decision) {
+	t.emit(jsonDecision{
+		Event: "decision", Label: e.Label, N: e.N, Trigger: e.Trigger,
+		Now: e.Now, TB: e.TB, Candidates: e.Candidates,
+		MemBefore: e.MemBefore, LiveBefore: e.LiveBefore,
+	})
+}
+
+// Scavenge implements Probe.
+func (t *TelemetryWriter) Scavenge(e ScavengeEvent) {
+	t.emit(jsonScavenge{
+		Event: "scavenge", Label: e.Label, N: e.N, Trigger: e.Trigger,
+		T: e.T, TB: e.TB, MemBefore: e.MemBefore, Traced: e.Traced,
+		Reclaimed: e.Reclaimed, Surviving: e.Surviving, Live: e.Live,
+		TenuredGarbage: e.TenuredGarbage, PauseSeconds: e.PauseSeconds,
+	})
+}
+
+// Progress implements Probe.
+func (t *TelemetryWriter) Progress(e Progress) {
+	t.emit(jsonProgress{
+		Event: "progress", Label: e.Label, Events: e.Events, Instr: e.Instr,
+		Allocated: e.Clock, InUse: e.InUse, Live: e.Live,
+		Collections: e.Collections,
+	})
+}
+
+// RunFinish implements Probe.
+func (t *TelemetryWriter) RunFinish(e RunFinish) {
+	r := e.Result
+	t.emit(jsonRunFinish{
+		Event: "run_finish", Label: e.Label, Collector: r.Collector,
+		Collections: r.Collections, TotalAlloc: r.TotalAlloc,
+		ExecSeconds: r.ExecSeconds, MemMeanBytes: r.MemMeanBytes,
+		MemMaxBytes: r.MemMaxBytes, LiveMeanBytes: r.LiveMeanBytes,
+		LiveMaxBytes: r.LiveMaxBytes, TracedTotalBytes: r.TracedTotalBytes,
+		OverheadPct:     r.OverheadPct,
+		PauseP50Seconds: stats.Percentile(r.Pauses, 50),
+		PauseP90Seconds: stats.Percentile(r.Pauses, 90),
+	})
+}
+
+// ProgressReporter is the human-consumption Probe: one line per run
+// start, periodic progress heartbeats, and a summary line per run
+// finish, for watching long evaluation runs. Per-scavenge events are
+// deliberately silent — a paper-scale run has hundreds.
+//
+// Like TelemetryWriter it is safe for concurrent runs; lines from
+// parallel workloads interleave but stay whole.
+type ProgressReporter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgressReporter returns a human progress/summary sink writing to
+// w (typically os.Stderr).
+func NewProgressReporter(w io.Writer) *ProgressReporter {
+	return &ProgressReporter{w: w}
+}
+
+func (p *ProgressReporter) printf(format string, args ...any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, format, args...)
+}
+
+func label(l, collector string) string {
+	if l != "" {
+		return l
+	}
+	return collector
+}
+
+// RunStart implements Probe.
+func (p *ProgressReporter) RunStart(e RunStart) {
+	p.printf("start %s (trigger %.0f KB)\n", label(e.Label, e.Collector), float64(e.TriggerBytes)/1024)
+}
+
+// Decision implements Probe.
+func (p *ProgressReporter) Decision(Decision) {}
+
+// Scavenge implements Probe.
+func (p *ProgressReporter) Scavenge(ScavengeEvent) {}
+
+// Progress implements Probe.
+func (p *ProgressReporter) Progress(e Progress) {
+	p.printf("  %s: %.1f MB allocated, %d collections, %.0f KB in use\n",
+		label(e.Label, ""), float64(e.Clock.Bytes())/(1024*1024), e.Collections,
+		float64(e.InUse)/1024)
+}
+
+// RunFinish implements Probe.
+func (p *ProgressReporter) RunFinish(e RunFinish) {
+	r := e.Result
+	p.printf("done  %s: %d collections, mem mean/max %.0f/%.0f KB, pause p50/p90 %.0f/%.0f ms, traced %.0f KB\n",
+		label(e.Label, r.Collector), r.Collections,
+		r.MemMeanBytes/1024, r.MemMaxBytes/1024,
+		r.MedianPauseSeconds()*1000, r.P90PauseSeconds()*1000,
+		float64(r.TracedTotalBytes)/1024)
+}
+
+var _ Probe = (*TelemetryWriter)(nil)
+var _ Probe = (*ProgressReporter)(nil)
