@@ -1,12 +1,14 @@
 package dtbgc
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/dtbgc/dtbgc/internal/apps/cfrac"
 	"github.com/dtbgc/dtbgc/internal/apps/circuit"
 	"github.com/dtbgc/dtbgc/internal/apps/logicmin"
 	"github.com/dtbgc/dtbgc/internal/apps/psint"
+	"github.com/dtbgc/dtbgc/internal/engine"
 	"github.com/dtbgc/dtbgc/internal/workload"
 )
 
@@ -30,7 +32,12 @@ type AppEvalOptions struct {
 	// Probe, when non-nil, receives telemetry from every simulated
 	// run, labelled "app/collector" (the app runs themselves are not
 	// instrumented — they record traces; the replays emit telemetry).
+	// Apps run concurrently, so the Probe must be safe for concurrent
+	// use; the stock sinks are.
 	Probe Probe
+	// Workers bounds how many apps run-and-replay concurrently; zero
+	// means GOMAXPROCS.
+	Workers int
 }
 
 func (o AppEvalOptions) withDefaults() AppEvalOptions {
@@ -62,10 +69,22 @@ func (o AppEvalOptions) withDefaults() AppEvalOptions {
 // mini-applications instead of the calibrated synthetic profiles:
 // each program runs on the managed heap (the QPT-instrumentation
 // stand-in), its recorded malloc/free trace drives all six collectors
-// plus the baselines, and the same Table accessors apply. It is the
-// end-to-end variant of RunPaperEvaluation, trading calibration
-// fidelity for organic program behaviour.
+// plus the baselines in one fan-out pass, and the same Table
+// accessors apply. It is the end-to-end variant of
+// RunPaperEvaluation, trading calibration fidelity for organic
+// program behaviour, and RunAppEvaluationContext without
+// cancellation.
 func RunAppEvaluation(opts AppEvalOptions) (*Evaluation, error) {
+	return RunAppEvaluationContext(context.Background(), opts)
+}
+
+// RunAppEvaluationContext is RunAppEvaluation under a context: apps
+// are scheduled on a bounded pool, a hard failure cancels the
+// remaining work, and cancelling ctx aborts in-flight replays at
+// their next event boundary. The apps themselves are not
+// interruptible — cancellation lands between an app's run and its
+// replay, or inside the replay.
+func RunAppEvaluationContext(ctx context.Context, opts AppEvalOptions) (*Evaluation, error) {
 	opts = opts.withDefaults()
 
 	type app struct {
@@ -111,50 +130,43 @@ func RunAppEvaluation(opts AppEvalOptions) (*Evaluation, error) {
 		}},
 	}
 
-	ev := &Evaluation{Options: EvalOptions{
-		Scale:         1,
-		TriggerBytes:  opts.TriggerBytes,
-		MemMaxBytes:   opts.MemMaxBytes,
-		TraceMaxBytes: opts.TraceMaxBytes,
-	}}
-	for _, a := range apps {
-		events, err := a.run()
-		if err != nil {
-			return nil, fmt.Errorf("dtbgc: app %s: %w", a.name, err)
-		}
-		rs := RunSet{
-			Workload: workload.Profile{Name: a.name, Description: a.desc},
-			Results:  make(map[string]*Result, 8),
-		}
-		policies := []Policy{
-			FullPolicy(), FixedPolicy(1), FixedPolicy(4),
-			MemoryPolicy(opts.MemMaxBytes),
-			FeedMedPolicy(opts.TraceMaxBytes),
-			DtbFMPolicy(opts.TraceMaxBytes),
-		}
-		for _, p := range policies {
-			res, err := Simulate(events, SimOptions{
-				Policy:       p,
-				TriggerBytes: opts.TriggerBytes,
-				Probe:        opts.Probe,
-				Label:        a.name + "/" + p.Name(),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("dtbgc: app %s under %s: %w", a.name, p.Name(), err)
+	ev := &Evaluation{
+		Options: EvalOptions{
+			Scale:         1,
+			TriggerBytes:  opts.TriggerBytes,
+			MemMaxBytes:   opts.MemMaxBytes,
+			TraceMaxBytes: opts.TraceMaxBytes,
+		},
+		Runs: make([]RunSet, len(apps)),
+	}
+	jobs := make([]engine.Job, len(apps))
+	for i, a := range apps {
+		jobs[i] = func(ctx context.Context) error {
+			// The app run records the whole trace before any replay and
+			// cannot be interrupted mid-program; skip it when the
+			// evaluation is already cancelled.
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			rs.Results[res.Collector] = res
-		}
-		for _, base := range []SimOptions{
-			{NoGC: true, Probe: opts.Probe, Label: a.name + "/NoGC"},
-			{LiveOracle: true, Probe: opts.Probe, Label: a.name + "/Live"},
-		} {
-			res, err := Simulate(events, base)
+			events, err := a.run()
 			if err != nil {
-				return nil, fmt.Errorf("dtbgc: app %s baseline: %w", a.name, err)
+				return fmt.Errorf("dtbgc: app %s: %w", a.name, err)
 			}
-			rs.Results[res.Collector] = res
+			sims := collectorMatrix(a.name, opts.TriggerBytes, opts.MemMaxBytes,
+				opts.TraceMaxBytes, false, 0, opts.Probe)
+			results, err := replayMatrix(ctx, SliceSource(events), sims)
+			if err != nil {
+				return fmt.Errorf("dtbgc: app %s: %w", a.name, err)
+			}
+			ev.Runs[i] = RunSet{
+				Workload: workload.Profile{Name: a.name, Description: a.desc},
+				Results:  results,
+			}
+			return nil
 		}
-		ev.Runs = append(ev.Runs, rs)
+	}
+	if err := engine.RunJobs(ctx, opts.Workers, jobs); err != nil {
+		return nil, err
 	}
 	return ev, nil
 }

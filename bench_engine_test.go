@@ -1,0 +1,181 @@
+package dtbgc
+
+// Replay-engine benchmarks: the single-pass fan-out against the
+// legacy materialize-then-replay-per-collector shape it replaced.
+// Besides the standard ns/op and allocs/op, each benchmark verifies
+// the pass-count contract (the fan-out generates the trace exactly
+// once per iteration) and, when BENCH_ENGINE_JSON names a file, the
+// measurements are snapshotted there as JSON for CI to archive.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// engineBenchWorkload and engineBenchMatrix mirror benchOptions: the
+// same reduced-scale workload under the full eight-collector matrix.
+func engineBenchWorkload() Workload { return WorkloadByName("GHOST(1)").Scale(0.05) }
+
+func engineBenchMatrix() []SimOptions {
+	return collectorMatrix("GHOST(1)", 51*1024, 150*1024, 10*1024, false, 0, nil)
+}
+
+// engineBenchSnapshot is one BENCH_engine.json record.
+type engineBenchSnapshot struct {
+	Name                string  `json:"name"`
+	Collectors          int     `json:"collectors"`
+	Iters               int     `json:"iters"`
+	NsPerOp             float64 `json:"ns_per_op"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	BytesPerOp          float64 `json:"bytes_per_op"`
+	GeneratePassesPerOp float64 `json:"generate_passes_per_op"`
+}
+
+var (
+	engineBenchMu      sync.Mutex
+	engineBenchResults []engineBenchSnapshot
+)
+
+// recordEngineBench appends a snapshot and rewrites the JSON file (if
+// requested via BENCH_ENGINE_JSON) so the archive is complete no
+// matter which benchmark ran last.
+func recordEngineBench(b *testing.B, s engineBenchSnapshot) {
+	b.Helper()
+	engineBenchMu.Lock()
+	defer engineBenchMu.Unlock()
+	engineBenchResults = append(engineBenchResults, s)
+	path := os.Getenv("BENCH_ENGINE_JSON")
+	if path == "" {
+		return
+	}
+	out, err := json.MarshalIndent(struct {
+		Benchmarks []engineBenchSnapshot `json:"benchmarks"`
+	}{engineBenchResults}, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench snapshot: %v", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+}
+
+// memStatsDelta captures allocation counters around the timed loop so
+// the JSON snapshot carries the same numbers -benchmem prints.
+type memStatsDelta struct{ mallocs, bytes uint64 }
+
+func startMemStats() memStatsDelta {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return memStatsDelta{m.Mallocs, m.TotalAlloc}
+}
+
+func (d memStatsDelta) stop() memStatsDelta {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return memStatsDelta{m.Mallocs - d.mallocs, m.TotalAlloc - d.bytes}
+}
+
+// BenchmarkReplaySinglePassFanOut is the engine path: one streaming
+// generate pass fanned out to all eight runners, no materialized
+// trace. The pass-count assertion is the benchmark's correctness
+// teeth: exactly one generate per iteration regardless of collector
+// count.
+func BenchmarkReplaySinglePassFanOut(b *testing.B) {
+	w := engineBenchWorkload()
+	sims := engineBenchMatrix()
+	passes := 0
+	src := EventSource(func(emit func(Event) error) error {
+		passes++
+		return w.GenerateTo(emit)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	mem := startMemStats()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayAll(context.Background(), src, sims); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d := mem.stop()
+	b.StopTimer()
+	if passes != b.N {
+		b.Fatalf("fan-out ran %d generate passes over %d iterations, want exactly one per iteration", passes, b.N)
+	}
+	b.ReportMetric(float64(passes)/float64(b.N), "generate-passes/op")
+	recordEngineBench(b, engineBenchSnapshot{
+		Name:                "ReplaySinglePassFanOut",
+		Collectors:          len(sims),
+		Iters:               b.N,
+		NsPerOp:             float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp:         float64(d.mallocs) / float64(b.N),
+		BytesPerOp:          float64(d.bytes) / float64(b.N),
+		GeneratePassesPerOp: float64(passes) / float64(b.N),
+	})
+}
+
+// BenchmarkReplayLegacyPerCollector is the pre-engine shape kept here
+// as the comparison baseline: materialize the trace once, then run
+// each collector in its own full replay over the slice.
+func BenchmarkReplayLegacyPerCollector(b *testing.B) {
+	w := engineBenchWorkload()
+	sims := engineBenchMatrix()
+	passes := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	mem := startMemStats()
+	for i := 0; i < b.N; i++ {
+		passes++
+		events, err := w.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range sims {
+			if _, err := Simulate(events, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	d := mem.stop()
+	b.StopTimer()
+	recordEngineBench(b, engineBenchSnapshot{
+		Name:                "ReplayLegacyPerCollector",
+		Collectors:          len(sims),
+		Iters:               b.N,
+		NsPerOp:             float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp:         float64(d.mallocs) / float64(b.N),
+		BytesPerOp:          float64(d.bytes) / float64(b.N),
+		GeneratePassesPerOp: float64(passes) / float64(b.N),
+	})
+}
+
+// BenchmarkEvalFullMatrix measures the whole evaluation front door —
+// streaming generation, fan-out, and the bounded worker pool across
+// all six workloads — at the shared bench scale.
+func BenchmarkEvalFullMatrix(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	mem := startMemStats()
+	for i := 0; i < b.N; i++ {
+		ev, err := RunPaperEvaluationContext(context.Background(), benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ev.Runs) != 6 {
+			b.Fatalf("evaluation covered %d workloads, want 6", len(ev.Runs))
+		}
+	}
+	d := mem.stop()
+	b.StopTimer()
+	recordEngineBench(b, engineBenchSnapshot{
+		Name:        "EvalFullMatrix",
+		Collectors:  8,
+		Iters:       b.N,
+		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp: float64(d.mallocs) / float64(b.N),
+		BytesPerOp:  float64(d.bytes) / float64(b.N),
+	})
+}

@@ -9,18 +9,26 @@
 //	dtbapps espresso [-problems N] [-vars V] [-cubes C] [-seed S] [-o trace.dtbt]
 //	dtbapps sis     [-gates N] [-latches L] [-vectors V] [-seed S] [-o trace.dtbt]
 //	dtbapps cfrac   [-n NUMBER] [-o trace.dtbt]
-//	dtbapps eval    [-progress] [-trigger BYTES] [-memmax BYTES] [-tracemax BYTES]
+//	dtbapps eval    [-progress] [-workers N] [-trigger BYTES] [-memmax BYTES] [-tracemax BYTES]
 //
 // The eval subcommand runs the full app-driven evaluation matrix
 // (every mini-application's trace under all six collectors plus the
 // baselines) and prints the paper's tables; -progress streams a
 // human progress/summary line per run to stderr while it works.
+// Apps are scheduled on a bounded worker pool (-workers, default
+// GOMAXPROCS) and Ctrl-C cancels the evaluation at the next event
+// boundary. -cpuprofile/-memprofile write pprof profiles of the
+// evaluation for `go tool pprof`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	dtbgc "github.com/dtbgc/dtbgc"
 	"github.com/dtbgc/dtbgc/internal/apps/cfrac"
@@ -153,23 +161,59 @@ func main() {
 func runEval(args []string) {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	progress := fs.Bool("progress", false, "stream per-run progress and summaries to stderr")
+	workers := fs.Int("workers", 0, "apps evaluated concurrently (0 = GOMAXPROCS)")
 	trigger := fs.Uint64("trigger", 0, "scavenge trigger in bytes (default 64 KB)")
 	memMax := fs.Uint64("memmax", 0, "DTBMEM memory constraint in bytes (default 256 KB)")
 	traceMax := fs.Uint64("tracemax", 0, "FEEDMED/DTBFM trace budget in bytes (default 16 KB)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the evaluation to FILE")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile taken after the evaluation to FILE")
 	fs.Parse(args)
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dtbapps:", err)
+		os.Exit(1)
+	}
 	opts := dtbgc.AppEvalOptions{
 		TriggerBytes:  *trigger,
 		MemMaxBytes:   *memMax,
 		TraceMaxBytes: *traceMax,
+		Workers:       *workers,
 	}
 	if *progress {
 		opts.Probe = dtbgc.NewProgressReporter(os.Stderr)
 	}
-	ev, err := dtbgc.RunAppEvaluation(opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	stopCPUProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	ev, err := dtbgc.RunAppEvaluationContext(ctx, opts)
+	stopCPUProfile()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtbapps:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // settle allocations so the profile shows retained heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
 	}
 	fmt.Println(ev.Table2())
 	fmt.Println(ev.Table3())

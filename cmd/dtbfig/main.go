@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	dtbgc "github.com/dtbgc/dtbgc"
 )
@@ -29,7 +31,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dtbfig:", err)
 		os.Exit(1)
 	}
-	ev, err := dtbgc.RunPaperEvaluation(dtbgc.EvalOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ev, err := dtbgc.RunPaperEvaluationContext(ctx, dtbgc.EvalOptions{
 		Scale:        *scale,
 		TriggerBytes: *trigger,
 		Profiles:     []dtbgc.Workload{w},

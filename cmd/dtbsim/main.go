@@ -8,18 +8,31 @@
 //	dtbsim -policy dtbmem:3000k -trace events.dtbt
 //	dtbsim -baseline live -workload CFRAC
 //	dtbsim -policy dtbfm:50k -workload SIS -telemetry run.jsonl
+//	dtbsim -policy full -workload "ESPRESSO(2)" -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The run is streamed through the replay engine: a generated workload
+// is emitted event by event and a trace file is decoded event by
+// event, so memory use is bounded by the simulated heap, not the
+// trace length. Interrupting the process (Ctrl-C) cancels the replay
+// at the next event boundary.
 //
 // -telemetry streams per-scavenge JSON-lines telemetry (the schema is
 // documented in the README's Observability section) to a file, or to
-// stdout with "-". Conflicting flags are rejected: -policy cannot be
-// combined with -baseline, -workload with -trace, and -scale only
-// applies to generated workloads.
+// stdout with "-". -cpuprofile and -memprofile write stock pprof
+// profiles of the harness itself, so its hot spots are measurable
+// with `go tool pprof`. Conflicting flags are rejected: -policy
+// cannot be combined with -baseline, -workload with -trace, and
+// -scale only applies to generated workloads.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	dtbgc "github.com/dtbgc/dtbgc"
 )
@@ -35,6 +48,8 @@ func main() {
 	opportunistic := flag.Bool("opportunistic", false, "also scavenge at trace marks (program quiescent points)")
 	pageFrames := flag.Int("pages", 0, "enable the VM model with this many resident 4 KB pages")
 	telemetry := flag.String("telemetry", "", "write per-scavenge JSON-lines telemetry to FILE (- for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the run to FILE")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -55,32 +70,41 @@ func main() {
 		fail(fmt.Errorf("-scale applies to generated workloads and cannot rescale the recorded trace %q", *traceFile))
 	}
 
-	var events []dtbgc.Event
+	opts := dtbgc.SimOptions{TriggerBytes: *trigger, Opportunistic: *opportunistic, PageFrames: *pageFrames}
+	switch *baseline {
+	case "":
+		p, err := dtbgc.ParsePolicy(*policySpec)
+		if err != nil {
+			fail(err)
+		}
+		opts.Policy = p
+	case "nogc":
+		opts.NoGC = true
+	case "live":
+		opts.LiveOracle = true
+	default:
+		fail(fmt.Errorf("unknown baseline %q (nogc or live)", *baseline))
+	}
+
+	var src dtbgc.EventSource
 	switch {
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fail(err)
 		}
-		events, err = dtbgc.ReadTrace(f)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
+		defer f.Close()
+		src = dtbgc.StreamSource(f)
 	case *workloadName != "":
 		w, err := dtbgc.LookupWorkload(*workloadName)
 		if err != nil {
 			fail(err)
 		}
-		events, err = w.Scale(*scale).Generate()
-		if err != nil {
-			fail(err)
-		}
+		src = w.Scale(*scale).GenerateTo
 	default:
 		fail(fmt.Errorf("need -workload or -trace"))
 	}
 
-	opts := dtbgc.SimOptions{TriggerBytes: *trigger, Opportunistic: *opportunistic, PageFrames: *pageFrames}
 	var tw *dtbgc.TelemetryWriter
 	if *telemetry != "" {
 		dst := os.Stdout
@@ -101,24 +125,42 @@ func main() {
 			opts.Label = *traceFile
 		}
 	}
-	switch *baseline {
-	case "":
-		p, err := dtbgc.ParsePolicy(*policySpec)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	stopCPUProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fail(err)
 		}
-		opts.Policy = p
-	case "nogc":
-		opts.NoGC = true
-	case "live":
-		opts.LiveOracle = true
-	default:
-		fail(fmt.Errorf("unknown baseline %q (nogc or live)", *baseline))
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
 	}
 
-	res, err := dtbgc.Simulate(events, opts)
+	results, err := dtbgc.ReplayAll(ctx, src, []dtbgc.SimOptions{opts})
+	stopCPUProfile()
 	if err != nil {
 		fail(err)
+	}
+	res := results[0]
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // settle allocations so the profile shows retained heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
 	}
 	if tw != nil {
 		if err := tw.Err(); err != nil {

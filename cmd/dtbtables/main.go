@@ -8,13 +8,17 @@
 //
 // With no -table flag all four tables print. -scale shrinks the
 // workloads proportionally for quick runs (the paper-size runs take
-// around a minute).
+// around a minute). Workloads are evaluated concurrently on a bounded
+// pool (-workers, default GOMAXPROCS); Ctrl-C cancels the evaluation
+// at the next event boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	dtbgc "github.com/dtbgc/dtbgc"
 )
@@ -25,11 +29,15 @@ func main() {
 	trigger := flag.Uint64("trigger", 1<<20, "scavenge trigger in bytes")
 	memMax := flag.Uint64("memmax", 3000*1024, "DTBMEM memory constraint in bytes")
 	traceMax := flag.Uint64("tracemax", 50*1024, "FEEDMED/DTBFM trace budget in bytes")
+	workers := flag.Int("workers", 0, "workloads evaluated concurrently (0 = GOMAXPROCS)")
 	compare := flag.Bool("compare", false, "print measured values beside the paper's published numbers")
 	check := flag.Bool("check", false, "verify the paper's qualitative claims (DESIGN.md §6); non-zero exit on failure")
 	apps := flag.Bool("apps", false, "evaluate over the real mini-application traces instead of the calibrated profiles")
 	progress := flag.Bool("progress", false, "stream per-run progress and summaries to stderr while the evaluation runs")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var probe dtbgc.Probe
 	if *progress {
@@ -40,14 +48,15 @@ func main() {
 		err error
 	)
 	if *apps {
-		ev, err = dtbgc.RunAppEvaluation(dtbgc.AppEvalOptions{Probe: probe})
+		ev, err = dtbgc.RunAppEvaluationContext(ctx, dtbgc.AppEvalOptions{Probe: probe, Workers: *workers})
 	} else {
-		ev, err = dtbgc.RunPaperEvaluation(dtbgc.EvalOptions{
+		ev, err = dtbgc.RunPaperEvaluationContext(ctx, dtbgc.EvalOptions{
 			Scale:         *scale,
 			TriggerBytes:  *trigger,
 			MemMaxBytes:   *memMax,
 			TraceMaxBytes: *traceMax,
 			Probe:         probe,
+			Workers:       *workers,
 		})
 	}
 	if err != nil {

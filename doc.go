@@ -20,6 +20,12 @@
 //     names instead;
 //   - the full evaluation harness (RunPaperEvaluation) regenerating
 //     Tables 2, 3, 4 and 6 and the Figure 2 memory curves;
+//   - a single-pass replay engine (ReplayAll with an EventSource):
+//     one trace — streamed from a workload generator, a binary trace
+//     file, or a slice — is fed exactly once to any number of
+//     collectors, with results bit-identical to solo Simulate calls;
+//     the evaluation harnesses run on it under bounded parallelism
+//     with context cancellation (RunPaperEvaluationContext);
 //   - per-scavenge telemetry: a Probe set on SimOptions or EvalOptions
 //     observes every run (policy decisions with candidate boundaries,
 //     scavenge outcomes with tenured garbage, allocation progress)

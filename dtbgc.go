@@ -1,6 +1,7 @@
 package dtbgc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/engine"
 	"github.com/dtbgc/dtbgc/internal/sim"
 	"github.com/dtbgc/dtbgc/internal/trace"
 	"github.com/dtbgc/dtbgc/internal/workload"
@@ -160,6 +162,37 @@ func Simulate(events []Event, opts SimOptions) (*Result, error) {
 // use is bounded by the simulated heap, not the trace length.
 func SimulateStream(r io.Reader, opts SimOptions) (*Result, error) {
 	return sim.RunReader(trace.NewReader(r), opts.config())
+}
+
+// EventSource streams one trace in event order to an emit callback,
+// stopping at the first emit error (returned unchanged). It is how
+// the replay engine consumes traces without materializing them:
+// Workload.GenerateTo satisfies the signature directly, and
+// SliceSource/StreamSource adapt the other trace forms.
+type EventSource = engine.Source
+
+// SliceSource adapts an in-memory trace to an EventSource.
+func SliceSource(events []Event) EventSource { return engine.SliceSource(events) }
+
+// StreamSource adapts a binary trace stream (as written by WriteTrace)
+// to an EventSource; events decode one at a time, so replaying an
+// arbitrarily long capture uses memory bounded by the simulated
+// heaps.
+func StreamSource(r io.Reader) EventSource { return engine.ReaderSource(trace.NewReader(r)) }
+
+// ReplayAll is the single-pass fan-out at the heart of the evaluation
+// harness: the source's events are produced exactly once and fed to
+// one independent runner per option set, whose results return in
+// option order. Every result — History and telemetry sequence
+// included — is bit-identical to a solo Simulate over the same trace;
+// only the trace production work is shared. Cancelling ctx aborts the
+// replay at the next event boundary with ctx's error.
+func ReplayAll(ctx context.Context, src EventSource, opts []SimOptions) ([]*Result, error) {
+	cfgs := make([]sim.Config, len(opts))
+	for i, o := range opts {
+		cfgs[i] = o.config()
+	}
+	return engine.Replay(ctx, src, cfgs)
 }
 
 // HistoryCSV renders a result's per-scavenge history — time,

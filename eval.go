@@ -1,11 +1,12 @@
 package dtbgc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
 
+	"github.com/dtbgc/dtbgc/internal/engine"
 	"github.com/dtbgc/dtbgc/internal/sim"
 	"github.com/dtbgc/dtbgc/internal/stats"
 	"github.com/dtbgc/dtbgc/internal/workload"
@@ -40,6 +41,11 @@ type EvalOptions struct {
 	// concurrently, so the Probe must be safe for concurrent use —
 	// the stock sinks (NewTelemetryWriter, NewProgressReporter) are.
 	Probe Probe
+	// Workers bounds how many workloads replay concurrently; zero
+	// means GOMAXPROCS. Each workload is one job — a single trace
+	// pass fanned out to all collectors — so results never depend on
+	// the worker count or scheduling.
+	Workers int
 }
 
 func (o EvalOptions) withDefaults() EvalOptions {
@@ -75,11 +81,23 @@ type Evaluation struct {
 }
 
 // RunPaperEvaluation executes the full experiment matrix: each
-// workload trace is generated once and replayed under all six
-// collectors plus the NoGC and Live baselines. Workloads run
-// concurrently (each run is single-threaded and deterministic, so
-// the evaluation's results do not depend on scheduling).
+// workload trace is generated once — streamed, never materialized —
+// and fed in a single pass to all six collectors plus the NoGC and
+// Live baselines (internal/engine). Workloads run concurrently on a
+// bounded pool (each run is single-threaded and deterministic, so the
+// evaluation's results do not depend on scheduling). It is
+// RunPaperEvaluationContext without cancellation.
 func RunPaperEvaluation(opts EvalOptions) (*Evaluation, error) {
+	return RunPaperEvaluationContext(context.Background(), opts)
+}
+
+// RunPaperEvaluationContext is RunPaperEvaluation under a context:
+// cancelling ctx aborts every in-flight replay at its next event
+// boundary and returns ctx's error. A workload's hard failure
+// likewise cancels the remaining work (fail-fast), while the errors
+// of every workload that did fail are joined — a scaled-down run that
+// breaks two workloads says so in one pass.
+func RunPaperEvaluationContext(ctx context.Context, opts EvalOptions) (*Evaluation, error) {
 	// A non-nil empty profile list would "succeed" with zero runs —
 	// every Table accessor would render headers over no data, which
 	// reads like a passing evaluation. Refuse it up front; leave
@@ -89,63 +107,70 @@ func RunPaperEvaluation(opts EvalOptions) (*Evaluation, error) {
 	}
 	opts = opts.withDefaults()
 	ev := &Evaluation{Options: opts, Runs: make([]RunSet, len(opts.Profiles))}
-	errs := make([]error, len(opts.Profiles))
-	var wg sync.WaitGroup
+	jobs := make([]engine.Job, len(opts.Profiles))
 	for i, w := range opts.Profiles {
-		wg.Add(1)
-		go func(i int, w Workload) {
-			defer wg.Done()
-			rs, err := runWorkloadSet(w, opts)
-			ev.Runs[i], errs[i] = rs, err
-		}(i, w)
+		jobs[i] = func(ctx context.Context) error {
+			rs, err := runWorkloadSet(ctx, w, opts)
+			ev.Runs[i] = rs
+			return err
+		}
 	}
-	wg.Wait()
-	// Report every workload's failure, not just the first: a scaled-
-	// down run that breaks two workloads should say so in one pass.
-	if err := errors.Join(errs...); err != nil {
+	if err := engine.RunJobs(ctx, opts.Workers, jobs); err != nil {
 		return nil, err
 	}
 	return ev, nil
 }
 
-func runWorkloadSet(w Workload, opts EvalOptions) (RunSet, error) {
-	scaled := w.Scale(opts.Scale)
-	events, err := scaled.Generate()
-	if err != nil {
-		return RunSet{}, fmt.Errorf("dtbgc: generating %s: %w", w.Name, err)
-	}
-	rs := RunSet{Workload: scaled, Results: make(map[string]*Result, 8)}
+// collectorMatrix is the paper's run set over one trace: the six
+// Table-1 policies plus the NoGC and Live baselines, labelled
+// "name/collector". The trigger applies to the policy runs only (the
+// baselines never scavenge); curve recording and the probe apply to
+// every run.
+func collectorMatrix(name string, trigger, memMax, traceMax uint64, curves bool, curvePoints int, probe Probe) []SimOptions {
 	policies := []Policy{
 		FullPolicy(), FixedPolicy(1), FixedPolicy(4),
-		MemoryPolicy(opts.MemMaxBytes),
-		FeedMedPolicy(opts.TraceMaxBytes),
-		DtbFMPolicy(opts.TraceMaxBytes),
+		MemoryPolicy(memMax),
+		FeedMedPolicy(traceMax),
+		DtbFMPolicy(traceMax),
 	}
+	sims := make([]SimOptions, 0, len(policies)+2)
 	for _, p := range policies {
-		res, err := Simulate(events, SimOptions{
-			Policy:       p,
-			TriggerBytes: opts.TriggerBytes,
-			RecordCurve:  opts.RecordCurves,
-			CurvePoints:  opts.CurvePoints,
-			Probe:        opts.Probe,
-			Label:        scaled.Name + "/" + p.Name(),
-		})
-		if err != nil {
-			return rs, fmt.Errorf("dtbgc: %s under %s: %w", w.Name, p.Name(), err)
-		}
-		rs.Results[res.Collector] = res
+		sims = append(sims, SimOptions{Policy: p, TriggerBytes: trigger, Label: name + "/" + p.Name()})
 	}
-	for _, base := range []SimOptions{{NoGC: true, Label: scaled.Name + "/NoGC"}, {LiveOracle: true, Label: scaled.Name + "/Live"}} {
-		base.RecordCurve = opts.RecordCurves
-		base.CurvePoints = opts.CurvePoints
-		base.Probe = opts.Probe
-		res, err := Simulate(events, base)
-		if err != nil {
-			return rs, fmt.Errorf("dtbgc: %s baseline: %w", w.Name, err)
-		}
-		rs.Results[res.Collector] = res
+	sims = append(sims,
+		SimOptions{NoGC: true, Label: name + "/NoGC"},
+		SimOptions{LiveOracle: true, Label: name + "/Live"})
+	for i := range sims {
+		sims[i].RecordCurve = curves
+		sims[i].CurvePoints = curvePoints
+		sims[i].Probe = probe
 	}
-	return rs, nil
+	return sims
+}
+
+// replayMatrix feeds one pass of the source to the whole matrix and
+// keys the results by collector name.
+func replayMatrix(ctx context.Context, src EventSource, sims []SimOptions) (map[string]*Result, error) {
+	results, err := ReplayAll(ctx, src, sims)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*Result, len(results))
+	for _, res := range results {
+		byName[res.Collector] = res
+	}
+	return byName, nil
+}
+
+func runWorkloadSet(ctx context.Context, w Workload, opts EvalOptions) (RunSet, error) {
+	scaled := w.Scale(opts.Scale)
+	sims := collectorMatrix(scaled.Name, opts.TriggerBytes, opts.MemMaxBytes,
+		opts.TraceMaxBytes, opts.RecordCurves, opts.CurvePoints, opts.Probe)
+	results, err := replayMatrix(ctx, EventSource(scaled.GenerateTo), sims)
+	if err != nil {
+		return RunSet{}, fmt.Errorf("dtbgc: %s: %w", scaled.Name, err)
+	}
+	return RunSet{Workload: scaled, Results: results}, nil
 }
 
 // Table is a rendered experiment table.
@@ -201,6 +226,12 @@ func (ev *Evaluation) header() []string {
 
 func kbStr(bytes float64) string { return fmt.Sprintf("%.0f", bytes/1024) }
 
+// naCell is rendered where a collector's result is absent from a
+// RunSet (a hand-assembled or partially failed evaluation): an "n/a"
+// cell is honest where dereferencing a nil *Result would panic and a
+// fabricated 0 would read as a measurement.
+const naCell = "n/a"
+
 // Table2 reproduces "Mean and Maximum Memory Allocated (Kilobytes)":
 // one cell per collector×workload holding "mean/max".
 func (ev *Evaluation) Table2() *Table {
@@ -212,6 +243,10 @@ func (ev *Evaluation) Table2() *Table {
 		row := []string{name}
 		for _, rs := range ev.Runs {
 			r := rs.Results[name]
+			if r == nil {
+				row = append(row, naCell)
+				continue
+			}
 			row = append(row, kbStr(r.MemMeanBytes)+"/"+kbStr(r.MemMaxBytes))
 		}
 		t.Rows = append(t.Rows, row)
@@ -230,6 +265,10 @@ func (ev *Evaluation) Table3() *Table {
 		row := []string{name}
 		for _, rs := range ev.Runs {
 			r := rs.Results[name]
+			if r == nil {
+				row = append(row, naCell)
+				continue
+			}
 			row = append(row, fmt.Sprintf("%.0f/%.0f",
 				r.MedianPauseSeconds()*1000, r.P90PauseSeconds()*1000))
 		}
@@ -249,6 +288,10 @@ func (ev *Evaluation) Table4() *Table {
 		row := []string{name}
 		for _, rs := range ev.Runs {
 			r := rs.Results[name]
+			if r == nil {
+				row = append(row, naCell)
+				continue
+			}
 			row = append(row, fmt.Sprintf("%.0f/%.1f",
 				float64(r.TracedTotalBytes)/1024, r.OverheadPct))
 		}
@@ -282,6 +325,14 @@ func (ev *Evaluation) Table6() *Table {
 	}
 	for _, rs := range ev.Runs {
 		r := rs.Results["Full"]
+		if r == nil {
+			t.Rows = append(t.Rows, []string{
+				rs.Workload.Name,
+				fmt.Sprintf("%d", rs.Workload.SourceLines),
+				naCell, naCell, naCell, naCell,
+			})
+			continue
+		}
 		rate := 0.0
 		if r.ExecSeconds > 0 {
 			rate = float64(r.TotalAlloc) / 1024 / r.ExecSeconds
@@ -315,6 +366,9 @@ func (ev *Evaluation) Figure2(workloadName, collector string) (string, error) {
 			return "", fmt.Errorf("dtbgc: evaluation ran without RecordCurves")
 		}
 		live := rs.Results["Live"]
+		if live == nil || live.Curve == nil {
+			return "", fmt.Errorf("dtbgc: no Live baseline curve for %q in evaluation", workloadName)
+		}
 		var b strings.Builder
 		b.WriteString("allocatedKB,memKB,liveKB\n")
 		for _, p := range r.Curve.Points {
@@ -352,7 +406,11 @@ func (ev *Evaluation) Figure2Series(workloadName, collector string) (mem, live *
 		if r.Curve == nil {
 			return nil, nil, fmt.Errorf("dtbgc: evaluation ran without RecordCurves")
 		}
-		return r.Curve, rs.Results["Live"].Curve, nil
+		liveRes := rs.Results["Live"]
+		if liveRes == nil || liveRes.Curve == nil {
+			return nil, nil, fmt.Errorf("dtbgc: no Live baseline curve for %q in evaluation", workloadName)
+		}
+		return r.Curve, liveRes.Curve, nil
 	}
 	return nil, nil, fmt.Errorf("dtbgc: no workload %q in evaluation", workloadName)
 }

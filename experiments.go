@@ -1,6 +1,7 @@
 package dtbgc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -18,13 +19,30 @@ import (
 // strictly older as the budget tightens (see the monotonicity property
 // test in internal/core).
 func MemoryFloor(events []Event, trigger uint64, tolFrac float64) (uint64, error) {
+	return MemoryFloorContext(context.Background(), events, trigger, tolFrac)
+}
+
+// MemoryFloorContext is MemoryFloor under a context: each bisection
+// probe is one replay-engine pass, and cancelling ctx aborts the
+// in-flight probe at its next event boundary. The probes themselves
+// are inherently sequential — every budget choice depends on the
+// previous probe's outcome.
+func MemoryFloorContext(ctx context.Context, events []Event, trigger uint64, tolFrac float64) (uint64, error) {
 	if trigger == 0 {
 		trigger = 1 << 20
 	}
 	if tolFrac <= 0 {
 		tolFrac = 0.02
 	}
-	live, err := Simulate(events, SimOptions{LiveOracle: true})
+	src := SliceSource(events)
+	probe := func(opts SimOptions) (*Result, error) {
+		results, err := ReplayAll(ctx, src, []SimOptions{opts})
+		if err != nil {
+			return nil, err
+		}
+		return results[0], nil
+	}
+	live, err := probe(SimOptions{LiveOracle: true})
 	if err != nil {
 		return 0, err
 	}
@@ -33,7 +51,7 @@ func MemoryFloor(events []Event, trigger uint64, tolFrac float64) (uint64, error
 	}
 
 	feasible := func(budget uint64) (bool, error) {
-		res, err := Simulate(events, SimOptions{
+		res, err := probe(SimOptions{
 			Policy:       MemoryPolicy(budget),
 			TriggerBytes: trigger,
 		})

@@ -2,6 +2,7 @@ package dtbgc
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -125,5 +126,37 @@ func TestFitWorkloadFacade(t *testing.T) {
 	}
 	if ls.TotalObjects == 0 {
 		t.Fatal("no lifetime data")
+	}
+}
+
+// TestTablesRenderAbsentCollectors pins the n/a-cell behaviour: a
+// hand-assembled (or partially failed) evaluation with missing
+// results must render every table without panicking, showing "n/a"
+// where there is no measurement.
+func TestTablesRenderAbsentCollectors(t *testing.T) {
+	events := WorkloadByName("CFRAC").Scale(0.02).MustGenerate()
+	full, err := Simulate(events, SimOptions{Policy: FullPolicy(), TriggerBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &Evaluation{Runs: []RunSet{
+		{
+			Workload: WorkloadByName("CFRAC"),
+			Results:  map[string]*Result{"Full": full}, // everything else absent
+		},
+		{
+			Workload: WorkloadByName("SIS"),
+			Results:  nil, // nothing at all, not even the map
+		},
+	}}
+	for i, tab := range []fmt.Stringer{ev.Table2(), ev.Table3(), ev.Table4(), ev.Table6()} {
+		s := tab.String()
+		if !strings.Contains(s, "n/a") {
+			t.Errorf("table %d renders no n/a cells for absent collectors:\n%s", i, s)
+		}
+	}
+	// The one measured cell must still appear in Table 6's Full row.
+	if s := ev.Table6().String(); !strings.Contains(s, "CFRAC") {
+		t.Errorf("Table6 lost the measured workload row:\n%s", s)
 	}
 }

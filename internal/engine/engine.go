@@ -1,0 +1,112 @@
+// Package engine is the evaluation chassis: one generate/decode pass
+// over a trace fanned out to N independent sim.Runners, plus a bounded
+// worker pool that schedules workload jobs under context cancellation.
+//
+// The paper's entire evaluation is "one trace, many collectors"
+// (§5–6): every workload replays under six policies plus the NoGC and
+// Live baselines. Replay feeds each event exactly once to every
+// runner, so the trace is produced once per workload regardless of
+// collector count — and with a streaming Source (such as
+// workload.Profile.GenerateTo or a trace.Reader) it never materializes
+// in memory at all. RunJobs schedules those per-workload replays on a
+// bounded pool with fail-fast cancellation and deterministic result
+// assembly; every future scaling layer (policy sweeps, sharded runs,
+// learned-policy search) plugs into the same two primitives.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+// Source streams one trace in event order: it calls emit for every
+// event and stops at the first emit error, which it returns unchanged
+// (wrapped errors keep working with errors.Is).
+// workload.Profile.GenerateTo satisfies this signature directly.
+type Source func(emit func(trace.Event) error) error
+
+// SliceSource adapts an in-memory trace to a Source.
+func SliceSource(events []trace.Event) Source {
+	return func(emit func(trace.Event) error) error {
+		for _, e := range events {
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// ReaderSource adapts a streaming trace decoder to a Source: events
+// decode one at a time, so memory use is bounded by the simulated
+// heaps, not the trace length.
+func ReaderSource(rd *trace.Reader) Source {
+	return func(emit func(trace.Event) error) error {
+		for {
+			e, err := rd.Read()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// cancelCheckEvery is the number of events between context checks on
+// the replay hot path: coarse enough to cost nothing per event, fine
+// enough that cancellation lands within a sliver of a run.
+const cancelCheckEvery = 4096
+
+// Replay feeds the source's events once to one fresh runner per config
+// and returns the finished results in config order. The source runs
+// exactly once no matter how many configs there are — the single-pass
+// fan-out the evaluation harness is built on.
+//
+// Each runner is single-threaded and sees the identical event sequence
+// a solo run would, so every result (History and telemetry sequence
+// included) is bit-identical to an independent run over the same
+// trace. A runner's feed error aborts the replay labelled with that
+// collector's name; a source error aborts it unchanged; cancellation
+// of ctx is detected between events and returns ctx's error.
+func Replay(ctx context.Context, src Source, cfgs []sim.Config) ([]*sim.Result, error) {
+	runners := make([]*sim.Runner, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := sim.NewRunner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		runners[i] = r
+	}
+	n := 0
+	err := src(func(e trace.Event) error {
+		if n%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n++
+		for _, r := range runners {
+			if err := r.Feed(e); err != nil {
+				return fmt.Errorf("%s: %w", r.Collector(), err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*sim.Result, len(runners))
+	for i, r := range runners {
+		results[i] = r.Finish()
+	}
+	return results, nil
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one schedulable unit of evaluation work — typically "one
+// workload: generate its trace once, replay it under every collector".
+// A job owns its result slot, so assembly stays deterministic no
+// matter how the pool schedules.
+type Job func(ctx context.Context) error
+
+// RunJobs executes the jobs on a bounded worker pool and joins their
+// errors.
+//
+// Concurrency: at most workers jobs run at once; workers <= 0 means
+// GOMAXPROCS. Scheduling cannot influence results — each job writes
+// only its own slot and every replay is single-threaded.
+//
+// Cancellation: the first hard (non-cancellation) error cancels the
+// context handed to every other job, so in-flight replays abort at
+// their next event-boundary check — fail-fast. Every job still
+// starts, which keeps cheap validation failures visible even after a
+// cancellation: a run that breaks several workloads names all of them
+// in one pass. Cancellations induced by that fail-fast are dropped
+// from the join; cancellation of the parent ctx itself is returned as
+// the parent's error.
+func RunJobs(ctx context.Context, workers int, jobs []Job) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				err := jobs[i](cctx)
+				errs[i] = err
+				if err != nil && !isCancellation(err) {
+					cancel() // fail fast: abort the other replays
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hard := make([]error, 0, len(errs))
+	for _, err := range errs {
+		if err != nil && !isCancellation(err) {
+			hard = append(hard, err)
+		}
+	}
+	if len(hard) > 0 {
+		return errors.Join(hard...)
+	}
+	return ctx.Err()
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

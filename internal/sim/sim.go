@@ -180,6 +180,16 @@ type object struct {
 	dead  bool   // freed by the program but not yet reclaimed
 }
 
+// birthBucketShift sizes the birth-epoch buckets behind
+// LiveBytesBornAfter: 64 KB of allocation clock per bucket. Wider
+// buckets shrink the bucket array but lengthen the partial scan at
+// the boundary's own bucket; 64 KB keeps both small for paper-scale
+// runs (a 100 MB trace is ~1600 buckets).
+const birthBucketShift = 16
+
+// birthBucket maps a clock reading to its birth-epoch bucket.
+func birthBucket(t core.Time) int { return int(t.Bytes() >> birthBucketShift) }
+
 // heapModel is the simulated heap: objects ordered by birth time, with
 // incremental byte accounting. It implements core.Heap for policies.
 type heapModel struct {
@@ -187,6 +197,13 @@ type heapModel struct {
 	index map[trace.ObjectID]int
 	inUse uint64 // live + dead-but-unreclaimed bytes
 	live  uint64 // live bytes only (the oracle)
+	// liveByBirth[b] is the live bytes of objects born in clock bucket
+	// b, maintained on every alloc and free. It makes boundary queries
+	// (LiveBytesBornAfter, executed on every policy decision and for
+	// every FEEDMED advance candidate) a partial scan of one bucket
+	// plus a bucket-suffix sum instead of a tail scan over all live
+	// objects.
+	liveByBirth []uint64
 }
 
 func newHeapModel() *heapModel {
@@ -198,6 +215,27 @@ func (h *heapModel) BytesInUse() uint64 { return h.inUse }
 
 // LiveBytesBornAfter implements core.Heap.
 func (h *heapModel) LiveBytesBornAfter(t core.Time) uint64 {
+	i := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > t })
+	b := birthBucket(t)
+	// Births sharing t's bucket need individual comparison — the
+	// bucket sums only cover whole buckets. Later buckets hold only
+	// births strictly after t, so their sums apply wholesale.
+	var sum uint64
+	bucketEnd := core.TimeAt(uint64(b+1) << birthBucketShift)
+	for ; i < len(h.objs) && h.objs[i].birth < bucketEnd; i++ {
+		if !h.objs[i].dead {
+			sum += h.objs[i].size
+		}
+	}
+	for j := b + 1; j < len(h.liveByBirth); j++ {
+		sum += h.liveByBirth[j]
+	}
+	return sum
+}
+
+// liveBytesBornAfterNaive is the reference tail scan the bucket
+// accounting replaced; the equivalence test pins the two together.
+func (h *heapModel) liveBytesBornAfterNaive(t core.Time) uint64 {
 	i := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > t })
 	var sum uint64
 	for ; i < len(h.objs); i++ {
@@ -216,6 +254,11 @@ func (h *heapModel) alloc(id trace.ObjectID, size uint64, birth core.Time, addr 
 	h.objs = append(h.objs, object{id: id, birth: birth, size: size, addr: addr})
 	h.inUse += size
 	h.live += size
+	b := birthBucket(birth)
+	for len(h.liveByBirth) <= b {
+		h.liveByBirth = append(h.liveByBirth, 0)
+	}
+	h.liveByBirth[b] += size
 	return nil
 }
 
@@ -229,6 +272,7 @@ func (h *heapModel) free(id trace.ObjectID) error {
 	}
 	h.objs[i].dead = true
 	h.live -= h.objs[i].size
+	h.liveByBirth[birthBucket(h.objs[i].birth)] -= h.objs[i].size
 	return nil
 }
 
@@ -315,6 +359,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	return r, nil
 }
+
+// Collector returns the name the run's Result will carry ("Full",
+// "DtbFM", "NoGC", ...). It is available from construction, so replay
+// harnesses can label per-runner errors before Finish.
+func (r *Runner) Collector() string { return r.res.Collector }
 
 func (r *Runner) memInUse() uint64 {
 	switch r.cfg.Mode {

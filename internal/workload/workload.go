@@ -143,9 +143,31 @@ func (h *deathHeap) Pop() interface{} {
 }
 
 // Generate produces the profile's full event trace deterministically.
+// It is a thin collector over GenerateTo; replay paths that do not
+// need the slice (the evaluation engine, streaming simulation) should
+// call GenerateTo directly so paper-scale traces never materialize.
 func (p Profile) Generate() ([]trace.Event, error) {
-	if err := p.Validate(); err != nil {
+	// Rough capacity estimate: allocs + frees.
+	estObjects := int(float64(p.TotalBytes)/math.Max(p.MeanObject, 1)) + 16
+	events := make([]trace.Event, 0, 2*estObjects)
+	err := p.GenerateTo(func(e trace.Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
 		return nil, err
+	}
+	return events, nil
+}
+
+// GenerateTo streams the profile's event trace, in order, to emit —
+// one event at a time, so the trace never exists in memory at once.
+// The sequence is identical to Generate's for the same profile.
+// Generation stops at the first emit error, which is returned
+// unchanged (wrapped errors pass errors.Is through).
+func (p Profile) GenerateTo(emit func(trace.Event) error) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	r := xrand.New(p.Seed)
 	// Pre-compute class selection thresholds.
@@ -164,10 +186,6 @@ func (p Profile) Generate() ([]trace.Event, error) {
 
 	instrPerByte := p.ExecSeconds * 10e6 / float64(p.TotalBytes)
 
-	// Rough capacity estimate: allocs + frees.
-	estObjects := int(float64(p.TotalBytes)/p.MeanObject) + 16
-	events := make([]trace.Event, 0, 2*estObjects)
-
 	var (
 		clock     uint64         // bytes allocated so far
 		nextID    trace.ObjectID = 1
@@ -183,21 +201,27 @@ func (p Profile) Generate() ([]trace.Event, error) {
 		// Emit any deaths due before the next allocation.
 		for len(deaths) > 0 && deaths[0].clock <= clock {
 			d := heap.Pop(&deaths).(death)
-			events = append(events, trace.Free(d.id, instrAt(clock)))
+			if err := emit(trace.Free(d.id, instrAt(clock))); err != nil {
+				return err
+			}
 		}
 		// Phase boundaries are program quiescent points; mark them so
 		// opportunistic scheduling can key off them. The mark lands a
 		// little after the boundary, past the death jitter, so the
 		// pass-local storage is already dead when a collector reacts.
 		if nextPhase > 0 && clock >= nextPhase+16*kb {
-			events = append(events, trace.Mark("phase", instrAt(clock)))
+			if err := emit(trace.Mark("phase", instrAt(clock))); err != nil {
+				return err
+			}
 			nextPhase += p.PhaseBytes
 		}
 		size := uint64(math.Max(16, math.Min(8192, r.LogNormal(mu, sigma))))
 		id := nextID
 		nextID++
 		clock += size
-		events = append(events, trace.Alloc(id, size, instrAt(clock)))
+		if err := emit(trace.Alloc(id, size, instrAt(clock))); err != nil {
+			return err
+		}
 		// Pick the class and schedule death.
 		u := r.Float64()
 		ci := 0
@@ -221,9 +245,11 @@ func (p Profile) Generate() ([]trace.Event, error) {
 	// after the end stay live, like a real program exiting.
 	for len(deaths) > 0 && deaths[0].clock <= clock {
 		d := heap.Pop(&deaths).(death)
-		events = append(events, trace.Free(d.id, instrAt(clock)))
+		if err := emit(trace.Free(d.id, instrAt(clock))); err != nil {
+			return err
+		}
 	}
-	return events, nil
+	return nil
 }
 
 // MustGenerate is Generate for known-good built-in profiles.

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -277,5 +278,65 @@ func TestByNameAliases(t *testing.T) {
 		if p.Name != want {
 			t.Errorf("ByName(%q) = %s, want %s", in, p.Name, want)
 		}
+	}
+}
+
+// TestGenerateToMatchesGenerate pins the streaming emitter to the
+// collecting wrapper: same profile, same event sequence, event for
+// event. Every consumer of GenerateTo (the replay engine) depends on
+// this equivalence.
+func TestGenerateToMatchesGenerate(t *testing.T) {
+	for _, p := range PaperProfiles() {
+		p := p.Scale(0.01)
+		want, err := p.Generate()
+		if err != nil {
+			t.Fatalf("%s: Generate: %v", p.Name, err)
+		}
+		var got []trace.Event
+		if err := p.GenerateTo(func(e trace.Event) error {
+			got = append(got, e)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: GenerateTo: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: streamed sequence differs from collected sequence (%d vs %d events)",
+				p.Name, len(got), len(want))
+		}
+	}
+}
+
+// TestGenerateToStopsOnEmitError checks the emitter aborts at the
+// first emit failure and returns the consumer's error unchanged.
+func TestGenerateToStopsOnEmitError(t *testing.T) {
+	p := Cfrac().Scale(0.01)
+	stop := errors.New("consumer is full")
+	n := 0
+	err := p.GenerateTo(func(trace.Event) error {
+		n++
+		if n == 10 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("GenerateTo error = %v, want the emit error unchanged", err)
+	}
+	if n != 10 {
+		t.Errorf("emitter produced %d events after the error, want exactly 10 calls", n)
+	}
+}
+
+// TestGenerateToValidates checks the streaming path rejects invalid
+// profiles before emitting anything, like Generate does.
+func TestGenerateToValidates(t *testing.T) {
+	p := Profile{Name: "bad"} // fails Validate: zero TotalBytes etc.
+	emitted := 0
+	err := p.GenerateTo(func(trace.Event) error { emitted++; return nil })
+	if err == nil {
+		t.Fatal("GenerateTo accepted an invalid profile")
+	}
+	if emitted != 0 {
+		t.Errorf("GenerateTo emitted %d events from an invalid profile", emitted)
 	}
 }
