@@ -1,0 +1,57 @@
+package dtbgc
+
+// Audit facade: the invariant auditor and differential oracle of
+// internal/audit, re-exported so programs embedding the simulator can
+// hold their own runs to the paper's identities. Attach an Auditor as
+// a Probe to any run or evaluation (it is concurrency-safe and demuxes
+// runs by label), or call AuditPaperWorkload to put a workload through
+// the full differential harness — fast paths against naive references,
+// bit for bit. cmd/dtbaudit is the command-line face of the same
+// machinery.
+
+import (
+	"context"
+
+	"github.com/dtbgc/dtbgc/internal/audit"
+	"github.com/dtbgc/dtbgc/internal/sim"
+)
+
+// AuditViolation is one observed breach of a paper identity: which
+// run, which scavenge, which rule (e.g. "mem-accounting",
+// "boundary-future"), and the observed values.
+type AuditViolation = audit.Violation
+
+// Auditor is a Probe that checks every scavenge of the runs it
+// observes against the paper's per-scavenge identities — boundary in
+// [0, t_n] (and at or before t_{n-1} for the stock policies), monotone
+// scavenge times, Mem_n = S_n + reclaimed, pauses at the machine's
+// trace rate, and a final Result consistent with the event stream.
+// It observes and reports; it never influences the run.
+type Auditor = audit.Auditor
+
+// NewAuditor returns an empty Auditor ready to attach as a Probe (or
+// as EvalOptions.Probe, to audit a whole evaluation).
+func NewAuditor() *Auditor { return audit.NewAuditor() }
+
+// CombineProbes fans one run's events out to several probes in
+// argument order — e.g. a TelemetryWriter and an Auditor on the same
+// run. Nil entries are skipped; zero live probes combine to nil.
+func CombineProbes(ps ...Probe) Probe { return sim.Probes(ps...) }
+
+// AuditReport is the outcome of auditing one workload: invariant
+// violations, differential/metamorphic mismatches, and what was run.
+type AuditReport = audit.Report
+
+// AuditOptions parameterizes AuditPaperWorkload; the zero value audits
+// at paper scale with the paper's constraints.
+type AuditOptions = audit.Options
+
+// AuditPaperWorkload runs the full correctness harness over one
+// workload: every collector replayed through the fast paths under the
+// live Auditor, re-run against the naive reference implementations
+// (O(n) boundary scans, solo runs, chunked stream decoding), and
+// diffed field by field. The Report collects everything found; the
+// error covers only harness failures, not findings.
+func AuditPaperWorkload(ctx context.Context, w Workload, opts AuditOptions) (*AuditReport, error) {
+	return audit.AuditWorkload(ctx, w, opts)
+}

@@ -1,0 +1,43 @@
+package dtbgc
+
+import (
+	"context"
+	"testing"
+)
+
+// The audit facade end to end: an Auditor attached through the public
+// API must come back clean on a paper evaluation, and the combined
+// probe must not disturb it.
+func TestAuditorThroughFacade(t *testing.T) {
+	aud := NewAuditor()
+	_, err := RunPaperEvaluation(EvalOptions{
+		Scale:        0.01,
+		TriggerBytes: 64 * 1024,
+		Probe:        CombineProbes(nil, aud),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.Err(); err != nil {
+		t.Fatalf("paper evaluation violated its own invariants: %v", err)
+	}
+}
+
+func TestAuditPaperWorkloadFacade(t *testing.T) {
+	rep, err := AuditPaperWorkload(context.Background(), WorkloadByName("CFRAC"), AuditOptions{
+		Scale:        0.02,
+		TriggerBytes: 64 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("audit found problems: %v", rep.Err())
+	}
+}
+
+func TestCombineProbesNilIsFree(t *testing.T) {
+	if CombineProbes() != nil || CombineProbes(nil) != nil {
+		t.Fatal("combining no probes must yield the free nil probe")
+	}
+}

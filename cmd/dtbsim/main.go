@@ -16,9 +16,12 @@
 // trace length. Interrupting the process (Ctrl-C) cancels the replay
 // at the next event boundary.
 //
-// -telemetry streams per-scavenge JSON-lines telemetry (the schema is
-// documented in the README's Observability section) to a file, or to
-// stdout with "-". -cpuprofile and -memprofile write stock pprof
+// -audit attaches the invariant auditor (internal/audit) to the run;
+// any breach of the paper's per-scavenge identities is printed to
+// stderr and fails the run with a non-zero exit. -telemetry streams
+// per-scavenge JSON-lines telemetry (the schema is documented in the
+// README's Observability section) to a file, or to stdout with "-".
+// -cpuprofile and -memprofile write stock pprof
 // profiles of the harness itself, so its hot spots are measurable
 // with `go tool pprof`. Conflicting flags are rejected: -policy
 // cannot be combined with -baseline, -workload with -trace, and
@@ -47,6 +50,7 @@ func main() {
 	history := flag.Bool("history", false, "print the per-scavenge history as CSV instead of the summary")
 	opportunistic := flag.Bool("opportunistic", false, "also scavenge at trace marks (program quiescent points)")
 	pageFrames := flag.Int("pages", 0, "enable the VM model with this many resident 4 KB pages")
+	auditRun := flag.Bool("audit", false, "attach the invariant auditor; violations go to stderr and fail the run")
 	telemetry := flag.String("telemetry", "", "write per-scavenge JSON-lines telemetry to FILE (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the run to FILE")
@@ -117,7 +121,22 @@ func main() {
 			dst = f
 		}
 		tw = dtbgc.NewTelemetryWriter(dst)
-		opts.Probe = tw
+	}
+	var auditor *dtbgc.Auditor
+	if *auditRun {
+		auditor = dtbgc.NewAuditor()
+	}
+	if tw != nil || auditor != nil {
+		// Append only the live probes: a typed-nil *TelemetryWriter
+		// boxed into the Probe interface would not read as nil.
+		var probes []dtbgc.Probe
+		if tw != nil {
+			probes = append(probes, tw)
+		}
+		if auditor != nil {
+			probes = append(probes, auditor)
+		}
+		opts.Probe = dtbgc.CombineProbes(probes...)
 		switch {
 		case *workloadName != "":
 			opts.Label = *workloadName
@@ -165,6 +184,14 @@ func main() {
 	if tw != nil {
 		if err := tw.Err(); err != nil {
 			fail(fmt.Errorf("writing telemetry: %w", err))
+		}
+	}
+	if auditor != nil {
+		if vs := auditor.Violations(); len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Fprintln(os.Stderr, "dtbsim: audit:", v)
+			}
+			fail(fmt.Errorf("audit: %d invariant violation(s)", len(vs)))
 		}
 	}
 	if *history {

@@ -45,6 +45,7 @@ type field struct {
 var schema = map[string][]field{
 	"run_start": {
 		{"label", kindString}, {"collector", kindString},
+		{"mips", kindNumber}, {"trace_bytes_per_sec", kindNumber},
 		{"trigger_bytes", kindNumber}, {"progress_bytes", kindNumber},
 		{"opportunistic", kindBool},
 	},

@@ -58,23 +58,23 @@ func TestCheckerRejectsViolations(t *testing.T) {
 		{"garbage", "not json\n", "not a JSON object"},
 		{"unknown event", `{"event":"nope","label":""}` + "\n", "unknown event type"},
 		{"missing field", `{"event":"run_start","label":"x"}` + "\n", "missing field"},
-		{"mistyped field", `{"event":"run_start","label":"x","collector":3,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n", `"collector" is not a string`},
+		{"mistyped field", `{"event":"run_start","label":"x","collector":3,"mips":40,"trace_bytes_per_sec":2000000,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n", `"collector" is not a string`},
 		{"empty stream", "", "stream is empty"},
 		{"scavenge without decision",
-			`{"event":"run_start","label":"x","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
+			`{"event":"run_start","label":"x","collector":"Full","mips":40,"trace_bytes_per_sec":2000000,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
 				`{"event":"scavenge","label":"x","n":1,"trigger":"bytes","t":10,"tb":0,"mem_before":10,"traced":5,"reclaimed":5,"surviving":5,"live":5,"tenured_garbage":0,"pause_seconds":0.1}` + "\n",
 			"without a preceding decision"},
 		{"missing run_finish",
-			`{"event":"run_start","label":"x","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n",
+			`{"event":"run_start","label":"x","collector":"Full","mips":40,"trace_bytes_per_sec":2000000,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n",
 			"no run_finish"},
 		{"tenured garbage mismatch",
-			`{"event":"run_start","label":"x","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
+			`{"event":"run_start","label":"x","collector":"Full","mips":40,"trace_bytes_per_sec":2000000,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
 				`{"event":"decision","label":"x","n":1,"trigger":"bytes","now":10,"tb":0,"candidates":[0],"mem_before":10,"live_before":5}` + "\n" +
 				`{"event":"scavenge","label":"x","n":1,"trigger":"bytes","t":10,"tb":0,"mem_before":10,"traced":5,"reclaimed":5,"surviving":5,"live":5,"tenured_garbage":3,"pause_seconds":0.1}` + "\n" +
 				`{"event":"run_finish","label":"x","collector":"Full","collections":1,"total_alloc":10,"exec_seconds":1,"mem_mean_bytes":1,"mem_max_bytes":1,"live_mean_bytes":1,"live_max_bytes":1,"traced_total_bytes":5,"overhead_pct":1,"pause_p50_seconds":0.1,"pause_p90_seconds":0.1}` + "\n",
 			"tenured_garbage"},
 		{"collection count mismatch",
-			`{"event":"run_start","label":"x","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
+			`{"event":"run_start","label":"x","collector":"Full","mips":40,"trace_bytes_per_sec":2000000,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
 				`{"event":"run_finish","label":"x","collector":"Full","collections":2,"total_alloc":10,"exec_seconds":1,"mem_mean_bytes":1,"mem_max_bytes":1,"live_mean_bytes":1,"live_max_bytes":1,"traced_total_bytes":5,"overhead_pct":1,"pause_p50_seconds":0.1,"pause_p90_seconds":0.1}` + "\n",
 			"collections=2 but 0 scavenge"},
 	}
@@ -97,8 +97,8 @@ func TestCheckerRejectsViolations(t *testing.T) {
 
 func TestCheckerDemuxesInterleavedRuns(t *testing.T) {
 	// Two concurrent runs interleaved line-by-line must both validate.
-	a := `{"event":"run_start","label":"a","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}`
-	b := `{"event":"run_start","label":"b","collector":"Full","trigger_bytes":1,"progress_bytes":1,"opportunistic":false}`
+	a := `{"event":"run_start","label":"a","collector":"Full","mips":40,"trace_bytes_per_sec":2000000,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}`
+	b := `{"event":"run_start","label":"b","collector":"Full","mips":40,"trace_bytes_per_sec":2000000,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}`
 	af := `{"event":"run_finish","label":"a","collector":"Full","collections":0,"total_alloc":10,"exec_seconds":1,"mem_mean_bytes":1,"mem_max_bytes":1,"live_mean_bytes":1,"live_max_bytes":1,"traced_total_bytes":0,"overhead_pct":0,"pause_p50_seconds":0,"pause_p90_seconds":0}`
 	bf := `{"event":"run_finish","label":"b","collector":"Full","collections":0,"total_alloc":10,"exec_seconds":1,"mem_mean_bytes":1,"mem_max_bytes":1,"live_mean_bytes":1,"live_max_bytes":1,"traced_total_bytes":0,"overhead_pct":0,"pause_p50_seconds":0,"pause_p90_seconds":0}`
 	input := strings.Join([]string{a, b, af, bf}, "\n") + "\n"

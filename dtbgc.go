@@ -224,13 +224,17 @@ func HistoryCSV(res *Result) string {
 // ESPRESSO(2), SIS, CFRAC.
 func Workloads() []Workload { return workload.PaperProfiles() }
 
-// WorkloadByName returns the named paper workload; it panics on an
-// unknown name (the valid names are fixed at compile time — use
-// LookupWorkload for dynamic input).
+// WorkloadByName returns the named paper workload.
+//
+// Panic contract: it panics on an unknown name. It exists for
+// compile-time-constant names ("GHOST(1)", "SIS", ...), where a
+// misspelling is a programming error best caught loudly; anything
+// user- or config-derived must go through LookupWorkload, which
+// returns the error instead.
 func WorkloadByName(name string) Workload {
 	p, err := workload.ByName(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("dtbgc: WorkloadByName(%q): %v — for names not fixed at compile time use LookupWorkload", name, err))
 	}
 	return p
 }

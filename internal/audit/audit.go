@@ -1,0 +1,436 @@
+// Package audit is the repository's correctness harness: an always-on
+// invariant auditor and a differential oracle that continuously prove
+// the optimized simulation paths agree with the paper's semantics.
+//
+// The paper's contribution is a set of per-scavenge identities — the
+// threatening boundary lies in [0, t_n] and at or before t_{n-1} for
+// every Table-1 policy, scavenge times are monotone, memory accounting
+// balances (Mem_n = S_n + reclaimed bytes), pauses are traced bytes
+// over the machine's trace rate — and the fast paths (birth-epoch
+// bucket queries, single-pass fan-out replay, streamed decoding) are
+// only trustworthy while those identities keep holding. The package
+// provides three layers:
+//
+//   - Auditor, a sim.Probe that checks every telemetry event of a run
+//     against the identities and reports structured Violations instead
+//     of silently diverging;
+//   - the differential oracle (Workload, diff.go), which replays a
+//     workload through deliberately naive reference implementations —
+//     O(n) tail-scan boundary queries, solo per-collector runs instead
+//     of the fan-out, in-memory slices instead of streamed chunks —
+//     and diffs Result, History and telemetry field by field;
+//   - metamorphic and mutation self-tests (SelfTest): results must be
+//     invariant under trace re-chunking and probe attachment, and a
+//     deliberately seeded accounting skew must be caught — a checker
+//     that cannot fail is not a checker.
+//
+// cmd/dtbaudit drives all three from the command line; dtbsim -audit
+// attaches the Auditor to any single run.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/sim"
+)
+
+// Violation is one observed breach of a paper identity.
+type Violation struct {
+	Label     string // run label, "" for unlabelled solo runs
+	Collector string // policy name, "NoGC" or "Live"
+	N         int    // 1-based scavenge index, 0 for run-level findings
+	Rule      string // stable identifier of the invariant, e.g. "mem-accounting"
+	Detail    string // human-readable specifics with the observed values
+}
+
+// String renders the violation for logs and error messages.
+func (v Violation) String() string {
+	run := v.Label
+	if run == "" {
+		run = v.Collector
+	}
+	if v.N > 0 {
+		return fmt.Sprintf("%s: scavenge %d: %s: %s", run, v.N, v.Rule, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s: %s", run, v.Rule, v.Detail)
+}
+
+// Auditor is a sim.Probe that verifies the paper's per-scavenge
+// identities on every run it observes. It never influences the run —
+// it only reads the events — and it is safe for concurrent use, so a
+// whole evaluation (EvalOptions.Probe) can run under one Auditor with
+// runs demuxed by label.
+//
+// Checked identities, each with a stable Rule name:
+//
+//   - run-sequence: RunStart first, RunFinish last, no duplicates;
+//   - decision-sequence: Decision n then Scavenge n, indices 1,2,3,...;
+//   - boundary-future: TB_n <= t_n (the clamp contract);
+//   - boundary-above-prev: TB_n <= t_{n-1} for the stock Table-1
+//     policies, whose derivations all guarantee every object is traced
+//     at least once (unknown policy names skip this check);
+//   - time-monotone: t_n > t_{n-1};
+//   - mem-monotone: memory in use never shrinks between scavenges
+//     (only a scavenge reclaims), so Mem_n >= S_{n-1};
+//   - live-exceeds-mem: oracle live bytes never exceed bytes in use;
+//   - decision-scavenge-match: the scavenge outcome reports the same
+//     t, TB and Mem its decision saw;
+//   - mem-accounting: Mem_n = S_n + reclaimed_n exactly (the
+//     untenured remainder stays inside S_n);
+//   - trace-accounting: traced + reclaimed <= Mem_n;
+//   - tenured-garbage: the event's TenuredGarbage = S_n - live;
+//   - pause-rate: pause_n = traced_n / machine trace rate, bit-exact;
+//   - finish-history: the final Result's History, Pauses, Collections
+//     and TracedTotalBytes reproduce the observed event stream;
+//   - finish-stats: mean <= max for memory and live statistics, the
+//     live curve never exceeds the memory curve, and OverheadPct
+//     matches total traced bytes at the machine's rates.
+type Auditor struct {
+	mu         sync.Mutex
+	runs       map[string]*runAudit
+	order      []string // first-seen run order, for deterministic reporting
+	violations []Violation
+}
+
+// runAudit is the per-run state the checks thread through.
+type runAudit struct {
+	label     string
+	collector string
+	machine   sim.Machine
+	started   bool
+	finished  bool
+	strict    bool // collector is a stock policy: TB_n <= t_{n-1} applies
+
+	pending       *sim.Decision // decision awaiting its scavenge
+	scavenges     []sim.ScavengeEvent
+	lastClock     core.Time // latest Progress allocation clock
+	haveLastClock bool
+}
+
+// NewAuditor returns an empty Auditor ready to attach to runs.
+func NewAuditor() *Auditor {
+	return &Auditor{runs: make(map[string]*runAudit)}
+}
+
+// Violations returns every violation observed so far, sorted by run
+// (first-seen order), scavenge index and rule, so output is
+// deterministic even when concurrent runs interleave events.
+func (a *Auditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	seen := make(map[string]int, len(a.order))
+	for i, label := range a.order {
+		seen[label] = i
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if oi, oj := seen[out[i].Label], seen[out[j].Label]; oi != oj {
+			return oi < oj
+		}
+		if out[i].N != out[j].N {
+			return out[i].N < out[j].N
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// Err returns nil when every audited run was clean, or an error
+// summarizing the violations (first few spelled out).
+func (a *Auditor) Err() error {
+	vs := a.Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	const show = 5
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d violation(s)", len(vs))
+	for i, v := range vs {
+		if i == show {
+			fmt.Fprintf(&b, "; and %d more", len(vs)-show)
+			break
+		}
+		b.WriteString("; ")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// report appends a violation; callers hold a.mu.
+func (a *Auditor) report(r *runAudit, n int, rule, format string, args ...any) {
+	a.violations = append(a.violations, Violation{
+		Label:     r.label,
+		Collector: r.collector,
+		N:         n,
+		Rule:      rule,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// stockBoundedPolicy reports whether the named collector is one of the
+// Table-1 policies (or an ablation variant of one) whose derivation
+// guarantees TB_n <= t_{n-1}. The NoGC/Live baselines never scavenge;
+// unknown names are experimental policies the invariant may not bind.
+func stockBoundedPolicy(name string) bool {
+	switch {
+	case name == "Full", name == "FeedMed":
+		return true
+	case strings.HasPrefix(name, "Fixed"):
+		return true
+	case strings.HasPrefix(name, "DtbFM"), strings.HasPrefix(name, "DtbMem"):
+		return true // includes the DtbFM[...]/DtbMem[...] ablations
+	}
+	return false
+}
+
+// run returns (creating if needed) the state for a label; callers hold
+// a.mu. An event arriving before RunStart still gets a state so its
+// own checks can run; the sequencing check reports the missing start.
+func (a *Auditor) run(label string) *runAudit {
+	r := a.runs[label]
+	if r == nil {
+		r = &runAudit{label: label, machine: sim.PaperMachine()}
+		a.runs[label] = r
+		a.order = append(a.order, label)
+	}
+	return r
+}
+
+// RunStart implements sim.Probe.
+func (a *Auditor) RunStart(e sim.RunStart) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.run(e.Label)
+	if r.started {
+		a.report(r, 0, "run-sequence", "duplicate RunStart for collector %s", e.Collector)
+		// Reset for the new run so its own checks stay meaningful.
+		*r = runAudit{label: e.Label}
+	}
+	r.started = true
+	r.collector = e.Collector
+	r.strict = stockBoundedPolicy(e.Collector)
+	r.machine = e.Machine
+	if r.machine.Validate() != nil {
+		a.report(r, 0, "run-sequence", "RunStart carries unusable machine model %+v", e.Machine)
+		r.machine = sim.PaperMachine()
+	}
+}
+
+// Decision implements sim.Probe.
+func (a *Auditor) Decision(e sim.Decision) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.run(e.Label)
+	if !r.started {
+		a.report(r, e.N, "run-sequence", "Decision before RunStart")
+		r.started = true
+	}
+	if r.finished {
+		a.report(r, e.N, "run-sequence", "Decision after RunFinish")
+	}
+	if r.pending != nil {
+		a.report(r, e.N, "decision-sequence",
+			"decision %d while decision %d still awaits its scavenge", e.N, r.pending.N)
+	}
+	if want := len(r.scavenges) + 1; e.N != want {
+		a.report(r, e.N, "decision-sequence", "decision n=%d, want %d", e.N, want)
+	}
+	if e.TB > e.Now {
+		a.report(r, e.N, "boundary-future", "TB_n=%v is beyond the clock t_n=%v", e.TB, e.Now)
+	}
+	if last, ok := r.lastScavenge(); ok {
+		if r.strict && e.TB > last.T {
+			a.report(r, e.N, "boundary-above-prev",
+				"%s chose TB_n=%v beyond the previous scavenge time t_{n-1}=%v", r.collector, e.TB, last.T)
+		}
+		if e.Now <= last.T {
+			a.report(r, e.N, "time-monotone",
+				"decision at t_n=%v does not advance past t_{n-1}=%v", e.Now, last.T)
+		}
+		if e.MemBefore < last.Surviving {
+			a.report(r, e.N, "mem-monotone",
+				"Mem_n=%d below the previous survivors S_{n-1}=%d: memory shrank without a scavenge",
+				e.MemBefore, last.Surviving)
+		}
+	}
+	if e.LiveBefore > e.MemBefore {
+		a.report(r, e.N, "live-exceeds-mem",
+			"oracle live bytes %d exceed bytes in use %d", e.LiveBefore, e.MemBefore)
+	}
+	d := e
+	r.pending = &d
+}
+
+// Scavenge implements sim.Probe.
+func (a *Auditor) Scavenge(e sim.ScavengeEvent) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.run(e.Label)
+	if !r.started {
+		a.report(r, e.N, "run-sequence", "Scavenge before RunStart")
+		r.started = true
+	}
+	if r.finished {
+		a.report(r, e.N, "run-sequence", "Scavenge after RunFinish")
+	}
+	switch d := r.pending; {
+	case d == nil:
+		a.report(r, e.N, "decision-sequence", "scavenge %d without a preceding decision", e.N)
+	case d.N != e.N:
+		a.report(r, e.N, "decision-sequence", "scavenge n=%d does not match decision n=%d", e.N, d.N)
+	default:
+		if e.T != d.Now || e.TB != d.TB || e.MemBefore != d.MemBefore {
+			a.report(r, e.N, "decision-scavenge-match",
+				"outcome (t=%v tb=%v mem=%d) differs from its decision (t=%v tb=%v mem=%d)",
+				e.T, e.TB, e.MemBefore, d.Now, d.TB, d.MemBefore)
+		}
+	}
+	r.pending = nil
+	if e.TB > e.T {
+		a.report(r, e.N, "boundary-future", "TB_n=%v is beyond the scavenge time t_n=%v", e.TB, e.T)
+	}
+	if e.MemBefore != e.Surviving+e.Reclaimed {
+		a.report(r, e.N, "mem-accounting",
+			"Mem_n=%d but Surviving+Reclaimed=%d+%d=%d: %d byte(s) unaccounted",
+			e.MemBefore, e.Surviving, e.Reclaimed, e.Surviving+e.Reclaimed,
+			int64(e.MemBefore)-int64(e.Surviving+e.Reclaimed))
+	}
+	if e.Traced+e.Reclaimed > e.MemBefore {
+		a.report(r, e.N, "trace-accounting",
+			"traced %d + reclaimed %d exceed the %d bytes that were in use", e.Traced, e.Reclaimed, e.MemBefore)
+	}
+	if e.Live > e.Surviving {
+		a.report(r, e.N, "live-exceeds-mem",
+			"oracle live bytes %d exceed the surviving bytes %d", e.Live, e.Surviving)
+	} else if e.TenuredGarbage != e.Surviving-e.Live {
+		a.report(r, e.N, "tenured-garbage",
+			"TenuredGarbage=%d does not equal Surviving-Live=%d-%d=%d",
+			e.TenuredGarbage, e.Surviving, e.Live, e.Surviving-e.Live)
+	}
+	if want := r.machine.PauseSeconds(e.Traced); e.PauseSeconds != want {
+		a.report(r, e.N, "pause-rate",
+			"pause %.9gs does not equal traced/rate = %d/%.6g = %.9gs",
+			e.PauseSeconds, e.Traced, r.machine.TraceBytesPer, want)
+	}
+	r.scavenges = append(r.scavenges, e)
+}
+
+// Progress implements sim.Probe.
+func (a *Auditor) Progress(e sim.Progress) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.run(e.Label)
+	if !r.started {
+		a.report(r, 0, "run-sequence", "Progress before RunStart")
+		r.started = true
+	}
+	if e.Live > e.InUse && r.collector != "Live" {
+		a.report(r, 0, "live-exceeds-mem",
+			"progress at clock %v: oracle live bytes %d exceed bytes in use %d", e.Clock, e.Live, e.InUse)
+	}
+	if r.haveLastClock && e.Clock < r.lastClock {
+		a.report(r, 0, "time-monotone",
+			"progress clock regressed %v -> %v", r.lastClock, e.Clock)
+	}
+	r.lastClock, r.haveLastClock = e.Clock, true
+	if got, want := e.Collections, len(r.scavenges); got != want {
+		a.report(r, 0, "decision-sequence",
+			"progress reports %d collections but %d scavenge events were observed", got, want)
+	}
+}
+
+// RunFinish implements sim.Probe.
+func (a *Auditor) RunFinish(e sim.RunFinish) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.run(e.Label)
+	res := e.Result
+	if !r.started {
+		a.report(r, 0, "run-sequence", "RunFinish before RunStart")
+		r.started = true
+	}
+	if r.finished {
+		a.report(r, 0, "run-sequence", "duplicate RunFinish")
+	}
+	r.finished = true
+	if r.pending != nil {
+		a.report(r, r.pending.N, "decision-sequence", "decision %d has no matching scavenge", r.pending.N)
+	}
+	a.checkFinishHistory(r, res)
+	a.checkFinishStats(r, res)
+}
+
+// checkFinishHistory cross-checks the final Result against the event
+// stream the auditor observed; callers hold a.mu.
+func (a *Auditor) checkFinishHistory(r *runAudit, res *sim.Result) {
+	if res.Collections != len(r.scavenges) {
+		a.report(r, 0, "finish-history",
+			"Result.Collections=%d but %d scavenge events were observed", res.Collections, len(r.scavenges))
+	}
+	hist := res.History.Scavenges
+	if len(hist) != len(r.scavenges) || len(res.Pauses) != len(r.scavenges) {
+		a.report(r, 0, "finish-history",
+			"History has %d entries and Pauses %d for %d observed scavenges",
+			len(hist), len(res.Pauses), len(r.scavenges))
+	}
+	var tracedTotal uint64
+	for i, ev := range r.scavenges {
+		tracedTotal += ev.Traced
+		if i < len(hist) {
+			h := hist[i]
+			if h.N != ev.N || h.T != ev.T || h.TB != ev.TB || h.MemBefore != ev.MemBefore ||
+				h.Traced != ev.Traced || h.Reclaimed != ev.Reclaimed || h.Surviving != ev.Surviving {
+				a.report(r, ev.N, "finish-history",
+					"History entry %+v does not reproduce the observed scavenge event", h)
+			}
+		}
+		if i < len(res.Pauses) && res.Pauses[i] != ev.PauseSeconds {
+			a.report(r, ev.N, "finish-history",
+				"Pauses[%d]=%.9g differs from the observed pause %.9g", i, res.Pauses[i], ev.PauseSeconds)
+		}
+	}
+	if res.TracedTotalBytes != tracedTotal {
+		a.report(r, 0, "finish-history",
+			"TracedTotalBytes=%d but the observed scavenges traced %d", res.TracedTotalBytes, tracedTotal)
+	}
+}
+
+// checkFinishStats checks the Result's aggregate statistics for
+// internal consistency; callers hold a.mu.
+func (a *Auditor) checkFinishStats(r *runAudit, res *sim.Result) {
+	if res.MemMeanBytes > res.MemMaxBytes {
+		a.report(r, 0, "finish-stats",
+			"memory mean %.1f exceeds memory max %.1f", res.MemMeanBytes, res.MemMaxBytes)
+	}
+	if res.LiveMeanBytes > res.LiveMaxBytes {
+		a.report(r, 0, "finish-stats",
+			"live mean %.1f exceeds live max %.1f", res.LiveMeanBytes, res.LiveMaxBytes)
+	}
+	if res.LiveMaxBytes > res.MemMaxBytes {
+		a.report(r, 0, "finish-stats",
+			"live max %.1f exceeds memory max %.1f: the live floor pierced the memory curve",
+			res.LiveMaxBytes, res.MemMaxBytes)
+	}
+	if res.ExecSeconds > 0 {
+		want := 100 * r.machine.PauseSeconds(res.TracedTotalBytes) / res.ExecSeconds
+		if res.OverheadPct != want {
+			a.report(r, 0, "finish-stats",
+				"OverheadPct=%.9g does not equal 100*trace_time/exec_time=%.9g", res.OverheadPct, want)
+		}
+	}
+}
+
+// lastScavenge returns the most recent observed scavenge event.
+func (r *runAudit) lastScavenge() (sim.ScavengeEvent, bool) {
+	if len(r.scavenges) == 0 {
+		return sim.ScavengeEvent{}, false
+	}
+	return r.scavenges[len(r.scavenges)-1], true
+}
+
+var _ sim.Probe = (*Auditor)(nil)

@@ -1,0 +1,192 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+const kb = 1024
+
+// churnTrace allocates n objects of size sz, freeing each after hold
+// further allocations; every permEvery-th object survives forever.
+func churnTrace(n int, sz uint64, hold, permEvery int) []trace.Event {
+	b := trace.NewBuilder()
+	var pending []trace.ObjectID
+	for i := 0; i < n; i++ {
+		b.Advance(100)
+		id := b.Alloc(sz)
+		if permEvery > 0 && i%permEvery == 0 {
+			continue
+		}
+		pending = append(pending, id)
+		if len(pending) > hold {
+			b.Free(pending[0])
+			pending = pending[1:]
+		}
+	}
+	return b.Events()
+}
+
+// runUnderAudit runs a small policy simulation with the auditor (and
+// any extra probe) attached.
+func runUnderAudit(t *testing.T, p core.Policy, extra sim.Probe) (*sim.Result, *Auditor) {
+	t.Helper()
+	aud := NewAuditor()
+	cfg := sim.Config{
+		Mode: sim.ModePolicy, Policy: p,
+		TriggerBytes: 10 * kb,
+		Label:        "test/" + p.Name(),
+		Probe:        sim.Probes(aud, extra),
+	}
+	res, err := sim.Run(churnTrace(600, 256, 12, 40), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, aud
+}
+
+func TestAuditorCleanOnStockPolicies(t *testing.T) {
+	policies := []core.Policy{
+		core.Full{}, core.Fixed{K: 1}, core.Fixed{K: 4},
+		core.DtbMem{MemMax: 40 * kb},
+		core.FeedMed{TraceMax: 5 * kb},
+		core.DtbFM{TraceMax: 5 * kb},
+	}
+	for _, p := range policies {
+		res, aud := runUnderAudit(t, p, nil)
+		if res.Collections < 2 {
+			t.Fatalf("%s: only %d collections; trace too small to audit", p.Name(), res.Collections)
+		}
+		if err := aud.Err(); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestAuditorCleanOnBaselines(t *testing.T) {
+	for _, mode := range []sim.Mode{sim.ModeNoGC, sim.ModeLive} {
+		aud := NewAuditor()
+		cfg := sim.Config{Mode: mode, Probe: aud, Label: "test/baseline"}
+		if _, err := sim.Run(churnTrace(400, 128, 8, 0), cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := aud.Err(); err != nil {
+			t.Errorf("mode %d: %v", mode, err)
+		}
+	}
+}
+
+// badPolicy violates the boundary discipline on purpose: it returns a
+// boundary in the future, which ClampBoundary pulls back to now — a
+// boundary above t_{n-1}, so the strict check must fire if the policy
+// masquerades under a stock name.
+type badPolicy struct{ name string }
+
+func (b badPolicy) Name() string                                                   { return b.name }
+func (b badPolicy) Boundary(now core.Time, _ *core.History, _ core.Heap) core.Time { return now }
+
+func TestAuditorFlagsBoundaryAbovePrevForStockNames(t *testing.T) {
+	_, aud := runUnderAudit(t, badPolicy{name: "DtbFM"}, nil)
+	if !hasRule(aud.Violations(), "boundary-above-prev") {
+		t.Fatalf("stock-named policy with TB_n = t_n not flagged: %v", aud.Violations())
+	}
+}
+
+func TestAuditorSkipsBoundaryDisciplineForExperimentalNames(t *testing.T) {
+	_, aud := runUnderAudit(t, badPolicy{name: "Experimental"}, nil)
+	if hasRule(aud.Violations(), "boundary-above-prev") {
+		t.Fatalf("experimental policy held to the stock boundary discipline: %v", aud.Violations())
+	}
+}
+
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestViolationsSortedAndStable(t *testing.T) {
+	aud := NewAuditor()
+	// Two unannounced runs interleaved: every event stream is out of
+	// order, so violations accumulate for both labels.
+	aud.Scavenge(sim.ScavengeEvent{Label: "b", N: 1})
+	aud.Scavenge(sim.ScavengeEvent{Label: "a", N: 1})
+	vs := aud.Violations()
+	if len(vs) == 0 {
+		t.Fatal("no violations for unannounced scavenges")
+	}
+	// Sorting is by first-seen run order, and "b" arrived first.
+	if vs[0].Label != "b" {
+		t.Fatalf("want first-seen run first, got %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Label: "w/Full", N: 3, Rule: "mem-accounting", Detail: "off by 7"}
+	s := v.String()
+	for _, want := range []string{"w/Full", "scavenge 3", "mem-accounting", "off by 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestCheckHistoryCleanOnRealRun(t *testing.T) {
+	res, _ := runUnderAudit(t, core.Fixed{K: 1}, nil)
+	if vs := CheckHistory("x", &res.History); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+	if vs := CheckBoundaryDiscipline("x", &res.History); len(vs) != 0 {
+		t.Fatalf("clean history flagged by boundary discipline: %v", vs)
+	}
+}
+
+func TestCheckHistoryCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		rule   string
+		mangle func(*core.History)
+	}{
+		{"mem-accounting", func(h *core.History) { h.Scavenges[1].Surviving += 8 }},
+		{"boundary-future", func(h *core.History) { h.Scavenges[1].TB = h.Scavenges[1].T.Add(1) }},
+		{"time-monotone", func(h *core.History) { h.Scavenges[1].T = h.Scavenges[0].T }},
+		{"decision-sequence", func(h *core.History) { h.Scavenges[1].N = 7 }},
+		{"trace-accounting", func(h *core.History) { h.Scavenges[1].Traced = h.Scavenges[1].MemBefore + 1 }},
+		{"mem-monotone", func(h *core.History) {
+			// Shrink Mem_n below S_{n-1} while keeping the other
+			// identities intact, so only mem-monotone fires.
+			s := &h.Scavenges[1]
+			s.Traced, s.Reclaimed = 0, 0
+			s.MemBefore = h.Scavenges[0].Surviving - 1
+			s.Surviving = s.MemBefore
+		}},
+	}
+	for _, tc := range cases {
+		res, _ := runUnderAudit(t, core.Fixed{K: 1}, nil)
+		if len(res.History.Scavenges) < 2 || res.History.Scavenges[0].Surviving == 0 {
+			t.Fatal("trace too small for corruption cases")
+		}
+		h := res.History
+		h.Scavenges = append([]core.Scavenge(nil), res.History.Scavenges...)
+		tc.mangle(&h)
+		if !hasRule(CheckHistory("x", &h), tc.rule) {
+			t.Errorf("%s: corruption not caught: %v", tc.rule, CheckHistory("x", &h))
+		}
+	}
+}
+
+func TestCheckBoundaryDisciplineCatchesAdvance(t *testing.T) {
+	res, _ := runUnderAudit(t, core.Fixed{K: 1}, nil)
+	h := res.History
+	h.Scavenges = append([]core.Scavenge(nil), res.History.Scavenges...)
+	h.Scavenges[1].TB = h.Scavenges[1].T // above t_{n-1}
+	if !hasRule(CheckBoundaryDiscipline("x", &h), "boundary-above-prev") {
+		t.Fatal("boundary above t_{n-1} not caught")
+	}
+}

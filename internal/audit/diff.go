@@ -1,0 +1,143 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/stats"
+)
+
+// The differential oracle's comparison layer. Every comparison is
+// bit-exact: the optimized and reference paths compute the same
+// arithmetic in the same order, so their float64 results must agree to
+// the last bit — an epsilon here would hide exactly the class of
+// accounting drift the oracle exists to catch. Floats are compared via
+// their IEEE-754 bit patterns so that even a NaN smuggled into a
+// result is a visible difference rather than a self-unequal value the
+// diff would miss.
+
+// sameFloat reports bit-identity of two float64s (NaN == NaN, but
+// +0 != -0: the paths must produce the same bits, not the same value).
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// DiffHistories returns one difference string per field where the two
+// scavenge histories disagree, empty when they are identical. The
+// histories are read, never retained.
+func DiffHistories(got, want *core.History) []string {
+	var out []string
+	if len(got.Scavenges) != len(want.Scavenges) {
+		out = append(out, fmt.Sprintf("history length: got %d scavenges, want %d",
+			len(got.Scavenges), len(want.Scavenges)))
+	}
+	n := min(len(got.Scavenges), len(want.Scavenges))
+	for i := 0; i < n; i++ {
+		g, w := got.Scavenges[i], want.Scavenges[i]
+		if g != w {
+			out = append(out, fmt.Sprintf("scavenge %d: got %+v, want %+v", i+1, g, w))
+		}
+	}
+	return out
+}
+
+// DiffResults returns one difference string per field where the two
+// run results disagree, empty when they are identical. Comparison is
+// field-by-field and bit-exact; the histories, pause lists, curves and
+// the virtual-memory counters are all included.
+func DiffResults(got, want *sim.Result) []string {
+	var out []string
+	diff := func(field string, g, w any) {
+		out = append(out, fmt.Sprintf("%s: got %v, want %v", field, g, w))
+	}
+	if got.Collector != want.Collector {
+		diff("Collector", got.Collector, want.Collector)
+	}
+	ffields := []struct {
+		name string
+		g, w float64
+	}{
+		{"MemMeanBytes", got.MemMeanBytes, want.MemMeanBytes},
+		{"MemMaxBytes", got.MemMaxBytes, want.MemMaxBytes},
+		{"LiveMeanBytes", got.LiveMeanBytes, want.LiveMeanBytes},
+		{"LiveMaxBytes", got.LiveMaxBytes, want.LiveMaxBytes},
+		{"OverheadPct", got.OverheadPct, want.OverheadPct},
+		{"ExecSeconds", got.ExecSeconds, want.ExecSeconds},
+	}
+	for _, f := range ffields {
+		if !sameFloat(f.g, f.w) {
+			diff(f.name, f.g, f.w)
+		}
+	}
+	if got.TracedTotalBytes != want.TracedTotalBytes {
+		diff("TracedTotalBytes", got.TracedTotalBytes, want.TracedTotalBytes)
+	}
+	if got.Collections != want.Collections {
+		diff("Collections", got.Collections, want.Collections)
+	}
+	if got.TotalAlloc != want.TotalAlloc {
+		diff("TotalAlloc", got.TotalAlloc, want.TotalAlloc)
+	}
+	if got.PageFaults != want.PageFaults {
+		diff("PageFaults", got.PageFaults, want.PageFaults)
+	}
+	if got.PageAccesses != want.PageAccesses {
+		diff("PageAccesses", got.PageAccesses, want.PageAccesses)
+	}
+	if len(got.Pauses) != len(want.Pauses) {
+		diff("len(Pauses)", len(got.Pauses), len(want.Pauses))
+	} else {
+		for i := range got.Pauses {
+			if !sameFloat(got.Pauses[i], want.Pauses[i]) {
+				diff(fmt.Sprintf("Pauses[%d]", i), got.Pauses[i], want.Pauses[i])
+			}
+		}
+	}
+	for _, d := range DiffHistories(&got.History, &want.History) {
+		out = append(out, "History: "+d)
+	}
+	out = append(out, diffSeries("Curve", got.Curve, want.Curve)...)
+	out = append(out, diffSeries("LiveCurve", got.LiveCurve, want.LiveCurve)...)
+	return out
+}
+
+// diffSeries compares two optional sampled series point-by-point.
+func diffSeries(name string, got, want *stats.Series) []string {
+	switch {
+	case got == nil && want == nil:
+		return nil
+	case got == nil || want == nil:
+		return []string{fmt.Sprintf("%s: got %v, want %v (presence)", name, got != nil, want != nil)}
+	}
+	if len(got.Points) != len(want.Points) {
+		return []string{fmt.Sprintf("%s: got %d points, want %d", name, len(got.Points), len(want.Points))}
+	}
+	var out []string
+	for i := range got.Points {
+		g, w := got.Points[i], want.Points[i]
+		if !sameFloat(g.T, w.T) || !sameFloat(g.V, w.V) {
+			out = append(out, fmt.Sprintf("%s[%d]: got (%v,%v), want (%v,%v)", name, i, g.T, g.V, w.T, w.V))
+		}
+	}
+	return out
+}
+
+// DiffTelemetry compares two JSON-lines telemetry streams line by
+// line. A deterministic run's stream is byte-for-byte reproducible, so
+// any difference — a missing event, a reordered pair, a field that
+// diverged — is reported with its line number.
+func DiffTelemetry(got, want []string) []string {
+	var out []string
+	if len(got) != len(want) {
+		out = append(out, fmt.Sprintf("telemetry length: got %d lines, want %d", len(got), len(want)))
+	}
+	n := min(len(got), len(want))
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			out = append(out, fmt.Sprintf("telemetry line %d: got %s, want %s", i+1, got[i], want[i]))
+		}
+	}
+	return out
+}

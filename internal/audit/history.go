@@ -1,0 +1,82 @@
+package audit
+
+import (
+	"fmt"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+)
+
+// CheckHistory verifies the paper's identities on a completed scavenge
+// history, whoever produced it — the trace-driven simulator or the
+// real reachability collector (internal/gc). It reads the history and
+// never retains or mutates it. The label tags the violations (use the
+// run or collector name); pass "" when there is only one history in
+// play.
+//
+// Checks, each with the same Rule names the live Auditor uses:
+//
+//   - decision-sequence: indices are 1,2,3,... in order;
+//   - time-monotone: scavenge times strictly increase;
+//   - boundary-future: TB_n <= t_n;
+//   - mem-accounting: Mem_n = S_n + reclaimed_n;
+//   - trace-accounting: traced + reclaimed <= Mem_n;
+//   - mem-monotone: Mem_n >= S_{n-1} (memory only shrinks by
+//     scavenging).
+//
+// The stricter TB_n <= t_{n-1} discipline is policy-dependent;
+// CheckBoundaryDiscipline checks it separately.
+func CheckHistory(label string, h *core.History) []Violation {
+	var out []Violation
+	add := func(n int, rule, detail string) {
+		out = append(out, Violation{Label: label, N: n, Rule: rule, Detail: detail})
+	}
+	for i, s := range h.Scavenges {
+		if s.N != i+1 {
+			add(s.N, "decision-sequence", fmt.Sprintf("entry %d carries index n=%d", i, s.N))
+		}
+		if s.TB > s.T {
+			add(s.N, "boundary-future", fmt.Sprintf("TB_n=%v is beyond t_n=%v", s.TB, s.T))
+		}
+		if s.MemBefore != s.Surviving+s.Reclaimed {
+			add(s.N, "mem-accounting", fmt.Sprintf("Mem_n=%d but Surviving+Reclaimed=%d+%d",
+				s.MemBefore, s.Surviving, s.Reclaimed))
+		}
+		if s.Traced+s.Reclaimed > s.MemBefore {
+			add(s.N, "trace-accounting", fmt.Sprintf("traced %d + reclaimed %d exceed Mem_n=%d",
+				s.Traced, s.Reclaimed, s.MemBefore))
+		}
+		if i > 0 {
+			prev := h.Scavenges[i-1]
+			if s.T <= prev.T {
+				add(s.N, "time-monotone", fmt.Sprintf("t_n=%v does not advance past t_{n-1}=%v", s.T, prev.T))
+			}
+			if s.MemBefore < prev.Surviving {
+				add(s.N, "mem-monotone", fmt.Sprintf("Mem_n=%d below previous survivors S_{n-1}=%d",
+					s.MemBefore, prev.Surviving))
+			}
+		}
+	}
+	return out
+}
+
+// CheckBoundaryDiscipline verifies TB_n <= t_{n-1} over a history: the
+// paper's §4.1 requirement that every object is traced at least once,
+// which all the Table-1 policies guarantee by construction but an
+// experimental policy may legitimately relax. It reads the history and
+// never retains or mutates it.
+func CheckBoundaryDiscipline(label string, h *core.History) []Violation {
+	var out []Violation
+	for i, s := range h.Scavenges {
+		var prevT core.Time // t_0 = program start
+		if i > 0 {
+			prevT = h.Scavenges[i-1].T
+		}
+		if s.TB > prevT {
+			out = append(out, Violation{
+				Label: label, N: s.N, Rule: "boundary-above-prev",
+				Detail: fmt.Sprintf("TB_n=%v beyond the previous scavenge time t_{n-1}=%v", s.TB, prevT),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package audit
+
+import (
+	"fmt"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/workload"
+)
+
+// A checker that cannot fail is not a checker: the mutation layer
+// seeds deliberate accounting skew into the event stream the Auditor
+// observes and demands a violation. Each Mutation corrupts one family
+// of fields on the way into the auditor — the simulation itself is
+// untouched, only the auditor's view of it — so a silent pass proves
+// the corresponding check is blind.
+
+// Mutation names one seeded fault.
+type Mutation string
+
+const (
+	// MutSurvivingSkew inflates ScavengeEvent.Surviving, breaking the
+	// Mem_n = S_n + reclaimed identity.
+	MutSurvivingSkew Mutation = "surviving-skew"
+	// MutBoundaryFuture pushes the decision's boundary past the clock.
+	MutBoundaryFuture Mutation = "boundary-future"
+	// MutPauseSkew perturbs the reported pause away from traced/rate.
+	MutPauseSkew Mutation = "pause-skew"
+	// MutTimeRegress rewinds the decision clock to program start from
+	// the second scavenge on.
+	MutTimeRegress Mutation = "time-regress"
+	// MutFinishSkew inflates the final result's traced-byte total (on
+	// a copy — probes must never mutate the shared Result).
+	MutFinishSkew Mutation = "finish-skew"
+	// MutDropDecision swallows every Decision event, so scavenges
+	// arrive unannounced.
+	MutDropDecision Mutation = "drop-decision"
+)
+
+// Mutations lists every seeded fault, in a fixed order.
+func Mutations() []Mutation {
+	return []Mutation{
+		MutSurvivingSkew, MutBoundaryFuture, MutPauseSkew,
+		MutTimeRegress, MutFinishSkew, MutDropDecision,
+	}
+}
+
+// ParseMutation resolves a command-line mutation name.
+func ParseMutation(name string) (Mutation, error) {
+	for _, m := range Mutations() {
+		if string(m) == name {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("audit: unknown mutation %q (have %v)", name, Mutations())
+}
+
+// Mutate wraps inner so it sees the event stream with the given fault
+// seeded in. The wrapped probe is for auditing the auditor; it is not
+// concurrency-safe beyond what inner provides.
+func Mutate(kind Mutation, inner sim.Probe) sim.Probe {
+	return &mutator{kind: kind, inner: inner}
+}
+
+type mutator struct {
+	kind  Mutation
+	inner sim.Probe
+}
+
+// RunStart implements sim.Probe.
+func (m *mutator) RunStart(e sim.RunStart) { m.inner.RunStart(e) }
+
+// Decision implements sim.Probe.
+func (m *mutator) Decision(e sim.Decision) {
+	switch m.kind {
+	case MutBoundaryFuture:
+		e.TB = e.Now.Add(1)
+	case MutTimeRegress:
+		if e.N >= 2 {
+			e.Now = 0
+		}
+	case MutDropDecision:
+		return
+	}
+	m.inner.Decision(e)
+}
+
+// Scavenge implements sim.Probe.
+func (m *mutator) Scavenge(e sim.ScavengeEvent) {
+	switch m.kind {
+	case MutSurvivingSkew:
+		e.Surviving += 4096
+	case MutPauseSkew:
+		e.PauseSeconds *= 1.25
+	}
+	m.inner.Scavenge(e)
+}
+
+// Progress implements sim.Probe.
+func (m *mutator) Progress(e sim.Progress) { m.inner.Progress(e) }
+
+// RunFinish implements sim.Probe.
+func (m *mutator) RunFinish(e sim.RunFinish) {
+	if m.kind == MutFinishSkew && e.Result != nil {
+		skewed := *e.Result
+		skewed.TracedTotalBytes++
+		e.Result = &skewed
+	}
+	m.inner.RunFinish(e)
+}
+
+var _ sim.Probe = (*mutator)(nil)
+
+// MutatedRun runs one collector (DTBFM, the policy that exercises the
+// most checks) over the workload with the fault seeded into the
+// Auditor's view, returning the run's result and the violations the
+// Auditor caught. An empty kind seeds nothing — the clean control.
+//
+// The trigger is tightened so the run scavenges at least a handful of
+// times regardless of scale — time-regress needs a second scavenge to
+// regress to.
+func MutatedRun(p workload.Profile, opts Options, kind Mutation) (*sim.Result, []Violation, error) {
+	opts = opts.withDefaults()
+	scaled := p.Scale(opts.Scale)
+	trigger := opts.TriggerBytes
+	if limit := scaled.TotalBytes / 8; limit > 0 && trigger > limit {
+		trigger = limit
+	}
+	events, err := scaled.Generate()
+	if err != nil {
+		return nil, nil, fmt.Errorf("audit: generate %s: %w", scaled.Name, err)
+	}
+	aud := NewAuditor()
+	cfg := sim.Config{
+		Mode:         sim.ModePolicy,
+		Policy:       core.DtbFM{TraceMax: opts.TraceMaxBytes},
+		TriggerBytes: trigger,
+		Label:        scaled.Name + "/DtbFM",
+		Probe:        aud,
+	}
+	if kind != "" {
+		cfg.Probe = Mutate(kind, aud)
+	}
+	res, err := sim.Run(events, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("audit: %s run: %w", orControl(kind), err)
+	}
+	return res, aud.Violations(), nil
+}
+
+func orControl(kind Mutation) string {
+	if kind == "" {
+		return "control"
+	}
+	return string(kind)
+}
+
+// SelfTest proves the Auditor can fail: it runs one collector over the
+// workload cleanly (expecting zero violations), then once per Mutation
+// with the fault seeded into the auditor's view (expecting at least
+// one violation each). A nil return means every fault was caught; the
+// error names the first blind spot.
+func SelfTest(p workload.Profile, opts Options) error {
+	res, violations, err := MutatedRun(p, opts, "")
+	if err != nil {
+		return fmt.Errorf("audit: selftest: %w", err)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("audit: selftest: control run must be clean, got %v", violations)
+	}
+	if res.Collections < 2 {
+		return fmt.Errorf("audit: selftest: control run scavenged %d time(s); need >= 2 for the mutations to bite (scale the workload up)", res.Collections)
+	}
+	for _, kind := range Mutations() {
+		if _, violations, err = MutatedRun(p, opts, kind); err != nil {
+			return fmt.Errorf("audit: selftest: %w", err)
+		}
+		if len(violations) == 0 {
+			return fmt.Errorf("audit: selftest: mutation %q was not caught — the auditor is blind to it", kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package audit
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/workload"
+)
+
+func TestSelfTestCatchesEveryMutation(t *testing.T) {
+	if err := SelfTest(workload.Cfrac(), testOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachMutationTripsItsCheck(t *testing.T) {
+	// SelfTest demands *some* violation per mutation; this pins each
+	// mutation to the specific rule it is designed to trip, so a seeded
+	// fault cannot ride on an unrelated check's coattails.
+	wantRule := map[Mutation]string{
+		MutSurvivingSkew:  "mem-accounting",
+		MutBoundaryFuture: "boundary-future",
+		MutPauseSkew:      "pause-rate",
+		MutTimeRegress:    "time-monotone",
+		MutFinishSkew:     "finish-history",
+		MutDropDecision:   "decision-sequence",
+	}
+	events := churnTrace(600, 256, 12, 40)
+	for _, kind := range Mutations() {
+		t.Run(string(kind), func(t *testing.T) {
+			aud := NewAuditor()
+			cfg := sim.Config{
+				Mode: sim.ModePolicy, Policy: core.Fixed{K: 1},
+				TriggerBytes: 10 * kb,
+				Label:        "mut/" + string(kind),
+				Probe:        Mutate(kind, aud),
+			}
+			res, err := sim.Run(events, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Collections < 2 {
+				t.Fatalf("only %d collections; trace too small", res.Collections)
+			}
+			if !hasRule(aud.Violations(), wantRule[kind]) {
+				t.Fatalf("mutation did not trip %q: %v", wantRule[kind], aud.Violations())
+			}
+		})
+	}
+}
+
+func TestParseMutation(t *testing.T) {
+	for _, kind := range Mutations() {
+		got, err := ParseMutation(string(kind))
+		if err != nil || got != kind {
+			t.Fatalf("ParseMutation(%q) = %v, %v", kind, got, err)
+		}
+	}
+	if _, err := ParseMutation("bogus"); err == nil {
+		t.Fatal("unknown mutation accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package audit
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/workload"
+)
+
+// testOptions shrinks the paper workloads to test scale while keeping
+// enough collections per run for every check to bite.
+func testOptions() Options {
+	return Options{
+		Scale:         0.02,
+		TriggerBytes:  64 * kb,
+		MemMaxBytes:   200 * kb,
+		TraceMaxBytes: 8 * kb,
+		ChunkSizes:    []int{777},
+	}
+}
+
+func TestAuditWorkloadCleanOnPaperProfile(t *testing.T) {
+	rep, err := AuditWorkload(context.Background(), workload.Cfrac(), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("oracle found problems: %v", rep.Err())
+	}
+	if len(rep.Collectors) != 8 {
+		t.Fatalf("audited %d collectors, want 8: %v", len(rep.Collectors), rep.Collectors)
+	}
+	// fast replay (8) + solo references (8) + one chunk size (8).
+	if rep.Runs != 24 {
+		t.Fatalf("executed %d runs, want 24", rep.Runs)
+	}
+}
+
+func TestAuditWorkloadHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AuditWorkload(ctx, workload.Cfrac(), testOptions()); err == nil {
+		t.Fatal("cancelled audit reported success")
+	}
+}
+
+func TestReportErrSummarizes(t *testing.T) {
+	rep := &Report{Workload: "W"}
+	if rep.Err() != nil {
+		t.Fatal("clean report returned an error")
+	}
+	rep.Violations = []Violation{{Label: "W/Full", N: 1, Rule: "mem-accounting", Detail: "off"}}
+	rep.Diffs = []string{"W/Full: fast vs reference: Collections: got 1, want 2"}
+	err := rep.Err()
+	if err == nil {
+		t.Fatal("dirty report returned nil")
+	}
+	for _, want := range []string{"1 violation(s)", "1 diff(s)", "mem-accounting"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Errorf("Err() = %q, missing %q", err, want)
+		}
+	}
+}
+
+func TestChunkedReaderCapsReads(t *testing.T) {
+	cr := &chunkedReader{r: bytes.NewReader(make([]byte, 100)), n: 7}
+	buf := make([]byte, 64)
+	total := 0
+	for {
+		n, err := cr.Read(buf)
+		if n > 7 {
+			t.Fatalf("read %d bytes, cap is 7", n)
+		}
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("read %d bytes total, want 100", total)
+	}
+}
+
+func TestTelemetryLines(t *testing.T) {
+	if got := telemetryLines(bytes.NewBufferString("")); got != nil {
+		t.Fatalf("empty buffer: %v", got)
+	}
+	got := telemetryLines(bytes.NewBufferString("a\nb\n"))
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}

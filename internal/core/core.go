@@ -179,8 +179,10 @@ func (f Fixed) Boundary(_ Time, hist *History, _ Heap) Time {
 // pause-time limiter. When the previous scavenge traced more than
 // TraceMax bytes, the boundary advances (toward the present) to the
 // oldest prior scavenge time t_k >= TB_{n-1} whose threatened set fits
-// the budget; otherwise the boundary stays put. Because it never moves
-// the boundary back in time, storage tenured under pressure is never
+// the budget — the minimal advancement that restores the pause bound,
+// tenuring as little storage as the budget forces and no more;
+// otherwise the boundary stays put. Because it never moves the
+// boundary back in time, storage tenured under pressure is never
 // reclaimed — the tenured-garbage weakness DTBFM fixes.
 type FeedMed struct {
 	TraceMax uint64 // maximum bytes to trace per scavenge
@@ -201,11 +203,14 @@ func (p FeedMed) Boundary(now Time, hist *History, heap Heap) Time {
 	return feedMedAdvance(last.TB, p.TraceMax, hist, heap)
 }
 
-// feedMedAdvance implements the FEEDMED table entry: the least t_k
-// (k in [0, n)) with t_k >= TB_{n-1} whose live-born-after storage is
-// within budget. If even the youngest candidate t_{n-1} is over
-// budget, t_{n-1} is returned — the cheapest boundary that still
-// traces every object at least once.
+// feedMedAdvance implements the FEEDMED advance rule: among the prior
+// scavenge times t_k >= TB_{n-1}, return the OLDEST one whose
+// live-born-after storage fits the budget. LiveBytesBornAfter is
+// non-increasing in t, so the oldest fitting candidate is the minimal
+// advancement — Ungar & Jackson tenure only what the pause budget
+// forces. If no candidate fits (tracing just the storage born after
+// t_{n-1} already exceeds the budget), t_{n-1} is returned: the
+// cheapest boundary that still traces every object at least once.
 func feedMedAdvance(prevTB Time, traceMax uint64, hist *History, heap Heap) Time {
 	// Scavenge times are increasing, and LiveBytesBornAfter is
 	// non-increasing in t, so scan from oldest to newest and take the

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// Property tests: every policy, fed random-but-well-formed histories
+// and heaps, must respect the boundary contracts the simulators and
+// the audit subsystem rely on — TB_n in [0, now], and TB_n <= t_{n-1}
+// for the Table-1 derivations. The generator covers the degenerate
+// corners deliberately: empty histories, Traced == 0, BytesInUse == 0,
+// boundaries already at the previous scavenge time.
+
+// randHeap is a minimal Heap with a plausible live-born-after curve:
+// non-increasing in t, anchored at total live bytes for t = 0.
+type randHeap struct {
+	inUse  uint64
+	points []struct {
+		t    Time
+		live uint64
+	}
+}
+
+func (h *randHeap) BytesInUse() uint64 { return h.inUse }
+
+func (h *randHeap) LiveBytesBornAfter(t Time) uint64 {
+	// Piecewise-constant, non-increasing: the live bytes born after t
+	// is the sum of point masses with birth > t.
+	var sum uint64
+	for _, p := range h.points {
+		if p.t > t {
+			sum += p.live
+		}
+	}
+	return sum
+}
+
+// randScenario builds a consistent history + heap pair: scavenge times
+// strictly increase, every recorded TB <= t and <= previous t, and the
+// accounting identity Mem = S + reclaimed holds per entry.
+func randScenario(r *xrand.Rand) (Time, *History, *randHeap) {
+	hist := &History{}
+	heap := &randHeap{}
+	n := r.Intn(8) // 0 = empty history: the first-scavenge corner
+	var clock Time
+	var prevT Time
+	for i := 0; i < n; i++ {
+		clock = clock.Add(uint64(1 + r.Intn(1<<20)))
+		t := clock
+		var tb Time
+		switch r.Intn(4) {
+		case 0:
+			tb = 0 // full collection
+		case 1:
+			tb = prevT // FIXED1's choice
+		default:
+			if prevT > 0 {
+				tb = TimeAt(uint64(r.Int63n(int64(prevT.Bytes()) + 1)))
+			}
+		}
+		mem := uint64(r.Intn(1 << 22))
+		traced := uint64(0)
+		if mem > 0 && r.Intn(4) != 0 { // leave Traced == 0 corners in
+			traced = uint64(r.Intn(int(mem)))
+		}
+		reclaimed := uint64(0)
+		if rest := mem - traced; rest > 0 {
+			reclaimed = uint64(r.Intn(int(rest) + 1))
+		}
+		hist.Record(Scavenge{
+			T: t, TB: tb, MemBefore: mem,
+			Traced: traced, Reclaimed: reclaimed, Surviving: mem - reclaimed,
+		})
+		prevT = t
+		// A surviving cohort born at this scavenge time.
+		heap.points = append(heap.points, struct {
+			t    Time
+			live uint64
+		}{t: t, live: uint64(r.Intn(1 << 16))})
+	}
+	now := clock.Add(uint64(1 + r.Intn(1<<20)))
+	heap.inUse = uint64(r.Intn(1 << 22)) // 0 = BytesInUse() == 0 corner
+	return now, hist, heap
+}
+
+// boundedPolicies are the policies whose derivation guarantees
+// TB_n <= t_{n-1} (paper §4.1: every object traced at least once).
+func boundedPolicies() []Policy {
+	return []Policy{
+		Full{}, Fixed{K: 1}, Fixed{K: 4},
+		FeedMed{TraceMax: 50 * 1024},
+		DtbFM{TraceMax: 50 * 1024},
+		DtbMem{MemMax: 3000 * 1024},
+		DtbMem{MemMax: 0}, // over-constrained corner
+		DtbMemAblation{MemMax: 3000 * 1024, Est: LEstMidpoint},
+		DtbMemAblation{MemMax: 3000 * 1024, Est: LEstSurviving},
+		DtbMemAblation{MemMax: 3000 * 1024, Est: LEstTraced},
+		DtbFMAblation{TraceMax: 50 * 1024},
+		DtbFMAblation{TraceMax: 50 * 1024, Additive: true},
+	}
+}
+
+func TestPolicyBoundaryContracts(t *testing.T) {
+	r := xrand.New(0xB0DA57)
+	for trial := 0; trial < 3000; trial++ {
+		now, hist, heap := randScenario(r)
+		prevT := hist.TimeOfPrevious(1)
+		for _, p := range boundedPolicies() {
+			tb := p.Boundary(now, hist, heap)
+			clamped := ClampBoundary(tb, now)
+			if clamped > now {
+				t.Fatalf("trial %d: %s: clamped boundary %v beyond now %v", trial, p.Name(), clamped, now)
+			}
+			if tb > now {
+				t.Fatalf("trial %d: %s: raw boundary %v beyond now %v (hist len %d)",
+					trial, p.Name(), tb, now, hist.Len())
+			}
+			if tb > prevT {
+				t.Fatalf("trial %d: %s: boundary %v beyond previous scavenge time %v",
+					trial, p.Name(), tb, prevT)
+			}
+		}
+	}
+}
+
+func TestClampBoundaryIdempotent(t *testing.T) {
+	r := xrand.New(0xC1a3b)
+	for trial := 0; trial < 5000; trial++ {
+		now := TimeAt(r.Uint64() >> 8)
+		tb := TimeAt(r.Uint64() >> 8)
+		once := ClampBoundary(tb, now)
+		if twice := ClampBoundary(once, now); twice != once {
+			t.Fatalf("ClampBoundary not idempotent: %v -> %v -> %v (now %v)", tb, once, twice, now)
+		}
+		if once > now {
+			t.Fatalf("ClampBoundary(%v, %v) = %v beyond now", tb, now, once)
+		}
+	}
+}
+
+func TestPoliciesOnDegenerateInputs(t *testing.T) {
+	empty := &History{}
+	heap := &randHeap{}
+	for _, p := range boundedPolicies() {
+		// Empty history: the first scavenge must be full.
+		if tb := p.Boundary(TimeAt(12345), empty, heap); tb != 0 {
+			t.Errorf("%s: first scavenge boundary %v, want 0", p.Name(), tb)
+		}
+	}
+	// A history whose only scavenge traced nothing over an empty heap.
+	hist := &History{}
+	hist.Record(Scavenge{T: TimeAt(1000), TB: 0, MemBefore: 0, Traced: 0, Reclaimed: 0, Surviving: 0})
+	for _, p := range boundedPolicies() {
+		tb := p.Boundary(TimeAt(2000), hist, heap)
+		if tb > TimeAt(1000) {
+			t.Errorf("%s: boundary %v beyond t_{n-1}=1000 on the zero-traced/zero-heap corner", p.Name(), tb)
+		}
+	}
+}
+
+func TestPoliciesDoNotMutateHistory(t *testing.T) {
+	r := xrand.New(0x91)
+	now, hist, heap := randScenario(r)
+	before := append([]Scavenge(nil), hist.Scavenges...)
+	for _, p := range boundedPolicies() {
+		p.Boundary(now, hist, heap)
+	}
+	if len(hist.Scavenges) != len(before) {
+		t.Fatal("a policy changed the history length")
+	}
+	for i := range before {
+		if hist.Scavenges[i] != before[i] {
+			t.Fatalf("a policy mutated history entry %d", i)
+		}
+	}
+}

@@ -78,6 +78,15 @@ const cancelCheckEvery = 4096
 // collector's name; a source error aborts it unchanged; cancellation
 // of ctx is detected between events and returns ctx's error.
 func Replay(ctx context.Context, src Source, cfgs []sim.Config) ([]*sim.Result, error) {
+	// Validate every config before constructing any runner:
+	// construction emits the probe's RunStart, so a bad config halfway
+	// through the set would otherwise leave the earlier runners'
+	// telemetry streams opened but never finished.
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: config %d: %w", i, err)
+		}
+	}
 	runners := make([]*sim.Runner, len(cfgs))
 	for i, cfg := range cfgs {
 		r, err := sim.NewRunner(cfg)

@@ -1,0 +1,119 @@
+package gc
+
+// The invariant auditor's pure history checks applied to the
+// reachability collector: internal/audit was written against the
+// simulator's free-event oracle, but the paper identities it encodes
+// (Mem = S + reclaimed, monotone times, boundaries in the past) are
+// engine-independent, so histories produced by real tracing over a
+// linked heap must pass them too.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/audit"
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/mheap"
+	"github.com/dtbgc/dtbgc/internal/xrand"
+)
+
+// churnCollector drives a collector through a randomized linked-heap
+// workload — allocations with pointers into earlier survivors, root
+// turnover, and policy-triggered scavenges — and returns it for
+// inspection.
+func churnCollector(t *testing.T, policy core.Policy, seed uint64) *Collector {
+	t.Helper()
+	h := mheap.New()
+	c, err := New(h, Options{Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(seed)
+	const trigger = 24 * 1024
+	type rooted struct {
+		idx int
+		ref mheap.Ref
+	}
+	var roots []rooted // rooted objects are reachable, so always safe pointer targets
+	var since uint64
+	for i := 0; i < 500; i++ {
+		nptrs := r.Intn(3)
+		ref := c.Alloc(nptrs, r.Range(16, 384))
+		c.SetGlobal(fmt.Sprintf("g%d", i), ref)
+		roots = append(roots, rooted{i, ref})
+		for p := 0; p < nptrs && len(roots) > 1; p++ {
+			h.SetPtr(ref, p, roots[r.Intn(len(roots)-1)].ref)
+		}
+		// Drop roots at random so the heap churns rather than grows.
+		if r.Bool(0.45) && len(roots) > 1 {
+			k := r.Intn(len(roots) - 1) // keep the newest rooted
+			c.SetGlobal(fmt.Sprintf("g%d", roots[k].idx), mheap.Nil)
+			roots = append(roots[:k], roots[k+1:]...)
+		}
+		since += uint64(h.TotalSize(ref))
+		if since >= trigger {
+			c.Collect()
+			since = 0
+		}
+	}
+	return c
+}
+
+func TestReachabilityHistoriesPassAudit(t *testing.T) {
+	policies := []core.Policy{
+		core.Full{},
+		core.Fixed{K: 1},
+		core.Fixed{K: 4},
+		core.FeedMed{TraceMax: 16 * 1024},
+		core.DtbFM{TraceMax: 16 * 1024},
+		core.DtbMem{MemMax: 64 * 1024},
+	}
+	for _, p := range policies {
+		t.Run(p.Name(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				c := churnCollector(t, p, seed)
+				hist := c.History()
+				if hist.Len() < 2 {
+					t.Fatalf("seed %d: only %d scavenges; workload too small to audit", seed, hist.Len())
+				}
+				label := fmt.Sprintf("gc/%s/seed%d", p.Name(), seed)
+				for _, v := range audit.CheckHistory(label, hist) {
+					t.Errorf("%v", v)
+				}
+				for _, v := range audit.CheckBoundaryDiscipline(label, hist) {
+					t.Errorf("%v", v)
+				}
+			}
+		})
+	}
+}
+
+// CollectAt with an explicit boundary past the previous scavenge time
+// is legal for experiments but outside the Table 1 discipline — the
+// boundary check must flag it while the per-entry identities still
+// hold.
+func TestExplicitFutureBoundaryTripsDiscipline(t *testing.T) {
+	h := mheap.New()
+	c, err := New(h, Options{Policy: core.Full{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := c.Alloc(0, 64)
+	c.SetGlobal("keep", keep)
+	c.Collect()
+	c.Alloc(0, 64)
+	c.CollectAt(h.Clock()) // everything immune: boundary at "now"
+	hist := c.History()
+	if got := audit.CheckHistory("gc/explicit", hist); len(got) != 0 {
+		t.Fatalf("per-entry identities should still hold: %v", got)
+	}
+	vs := audit.CheckBoundaryDiscipline("gc/explicit", hist)
+	if len(vs) == 0 {
+		t.Fatal("boundary beyond t_{n-1} not flagged")
+	}
+	for _, v := range vs {
+		if v.Rule != "boundary-above-prev" {
+			t.Errorf("unexpected rule %q in %v", v.Rule, v)
+		}
+	}
+}

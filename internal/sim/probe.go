@@ -65,8 +65,13 @@ func (t TriggerReason) MarshalJSON() ([]byte, error) {
 
 // RunStart announces a run and its fixed configuration.
 type RunStart struct {
-	Label         string // Config.Label, "" when unset
-	Collector     string // policy name, "NoGC" or "Live"
+	Label     string // Config.Label, "" when unset
+	Collector string // policy name, "NoGC" or "Live"
+	// Machine is the post-default machine model (MIPS, trace rate):
+	// the constants every pause and overhead figure in the run's
+	// events is derived from, so a sink — or an auditor — can verify
+	// the arithmetic instead of assuming the paper's machine.
+	Machine       Machine
 	TriggerBytes  uint64
 	ProgressBytes uint64
 	Opportunistic bool
@@ -128,6 +133,67 @@ type RunFinish struct {
 	Label  string
 	Result *Result
 }
+
+// Probes combines several probes into one: every event is delivered
+// to each non-nil probe in argument order. Nil entries are skipped,
+// so callers can pass optional sinks unconditionally; with zero
+// non-nil probes the result is nil (the free no-probe path), and a
+// single non-nil probe is returned unwrapped.
+func Probes(ps ...Probe) Probe {
+	live := make([]Probe, 0, len(ps))
+	for _, p := range ps {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiProbe(live)
+}
+
+// multiProbe fans every event out to each member in order.
+type multiProbe []Probe
+
+// RunStart implements Probe.
+func (m multiProbe) RunStart(e RunStart) {
+	for _, p := range m {
+		p.RunStart(e)
+	}
+}
+
+// Decision implements Probe.
+func (m multiProbe) Decision(e Decision) {
+	for _, p := range m {
+		p.Decision(e)
+	}
+}
+
+// Scavenge implements Probe.
+func (m multiProbe) Scavenge(e ScavengeEvent) {
+	for _, p := range m {
+		p.Scavenge(e)
+	}
+}
+
+// Progress implements Probe.
+func (m multiProbe) Progress(e Progress) {
+	for _, p := range m {
+		p.Progress(e)
+	}
+}
+
+// RunFinish implements Probe.
+func (m multiProbe) RunFinish(e RunFinish) {
+	for _, p := range m {
+		p.RunFinish(e)
+	}
+}
+
+var _ Probe = multiProbe(nil)
 
 // maxCandidates caps the Decision candidate list so long runs emit
 // bounded events.

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"github.com/dtbgc/dtbgc/internal/core"
@@ -37,6 +38,22 @@ type Machine struct {
 // evaluation.
 func PaperMachine() Machine {
 	return Machine{MIPS: 10, TraceBytesPer: 500 * 1024}
+}
+
+// Validate reports why the machine model is unusable, or nil. Both
+// rates divide measurements (Seconds, PauseSeconds), so a zero,
+// negative or non-finite rate would silently turn every derived
+// metric into Inf or NaN; the zero Machine is exempt because
+// Config.withDefaults replaces it with PaperMachine before any
+// division happens.
+func (m Machine) Validate() error {
+	if !(m.MIPS > 0) || math.IsInf(m.MIPS, 0) {
+		return fmt.Errorf("sim: Machine.MIPS must be positive and finite, got %v", m.MIPS)
+	}
+	if !(m.TraceBytesPer > 0) || math.IsInf(m.TraceBytesPer, 0) {
+		return fmt.Errorf("sim: Machine.TraceBytesPer must be positive and finite, got %v", m.TraceBytesPer)
+	}
+	return nil
 }
 
 // Seconds converts an instruction count to wall time on this machine.
@@ -83,6 +100,15 @@ type Config struct {
 	// PageBytes defaults to 4096 when PageFrames is set.
 	PageBytes uint64
 
+	// ReferenceScan routes every boundary query (LiveBytesBornAfter)
+	// through the O(live objects) reference tail scan instead of the
+	// birth-epoch bucket accounting. The two are identical by
+	// construction — the differential oracle (internal/audit) replays
+	// one side of its comparison on this path to keep them provably
+	// so. Queries run only at policy decisions, so even the naive scan
+	// costs little; leave this off outside audits and debugging.
+	ReferenceScan bool
+
 	// Opportunistic enables Wilson & Moher-style scheduling on the
 	// "when to collect" axis the paper contrasts with its own "what
 	// to collect" contribution (§4): a Mark event in the trace — a
@@ -120,6 +146,28 @@ func (c Config) withDefaults() Config {
 		c.ProgressBytes = 4 << 20
 	}
 	return c
+}
+
+// Validate reports why the configuration cannot run, or nil. It
+// checks the post-default view of the config, so a zero Machine (to
+// be replaced by PaperMachine) is valid while a half-filled one is
+// not. NewRunner validates implicitly; replay harnesses call this to
+// reject a whole config set before any runner has emitted telemetry.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	switch c.Mode {
+	case ModePolicy:
+		if c.Policy == nil {
+			return errors.New("sim: ModePolicy requires a Policy")
+		}
+	case ModeNoGC, ModeLive:
+	default:
+		return fmt.Errorf("sim: unknown mode %d", c.Mode)
+	}
+	return nil
 }
 
 // Result reports everything the paper's tables and figures need from
@@ -204,6 +252,9 @@ type heapModel struct {
 	// plus a bucket-suffix sum instead of a tail scan over all live
 	// objects.
 	liveByBirth []uint64
+	// naive routes LiveBytesBornAfter through the reference tail scan
+	// (Config.ReferenceScan) — the audit oracle's comparison path.
+	naive bool
 }
 
 func newHeapModel() *heapModel {
@@ -215,6 +266,9 @@ func (h *heapModel) BytesInUse() uint64 { return h.inUse }
 
 // LiveBytesBornAfter implements core.Heap.
 func (h *heapModel) LiveBytesBornAfter(t core.Time) uint64 {
+	if h.naive {
+		return h.liveBytesBornAfterNaive(t)
+	}
 	i := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > t })
 	b := birthBucket(t)
 	// Births sharing t's bucket need individual comparison — the
@@ -234,7 +288,9 @@ func (h *heapModel) LiveBytesBornAfter(t core.Time) uint64 {
 }
 
 // liveBytesBornAfterNaive is the reference tail scan the bucket
-// accounting replaced; the equivalence test pins the two together.
+// accounting replaced; the equivalence test pins the two together,
+// and Config.ReferenceScan runs whole simulations on this path so the
+// audit oracle can diff the results.
 func (h *heapModel) liveBytesBornAfterNaive(t core.Time) uint64 {
 	i := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > t })
 	var sum uint64
@@ -323,11 +379,12 @@ type Runner struct {
 }
 
 // NewRunner validates the configuration and returns a Runner ready for
-// events.
+// events. The probe's RunStart fires only after validation succeeds,
+// so a rejected config never opens a telemetry stream it cannot close.
 func NewRunner(cfg Config) (*Runner, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Mode == ModePolicy && cfg.Policy == nil {
-		return nil, errors.New("sim: ModePolicy requires a Policy")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	res := &Result{}
 	switch cfg.Mode {
@@ -337,10 +394,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 		res.Collector = "NoGC"
 	case ModeLive:
 		res.Collector = "Live"
-	default:
-		return nil, fmt.Errorf("sim: unknown mode %d", cfg.Mode)
 	}
 	r := &Runner{cfg: cfg, res: res, heap: newHeapModel()}
+	r.heap.naive = cfg.ReferenceScan
 	if cfg.RecordCurve {
 		r.curve = &stats.Series{Name: res.Collector}
 		r.liveCurve = &stats.Series{Name: "Live"}
@@ -352,6 +408,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		p.RunStart(RunStart{
 			Label:         cfg.Label,
 			Collector:     res.Collector,
+			Machine:       cfg.Machine,
 			TriggerBytes:  cfg.TriggerBytes,
 			ProgressBytes: cfg.ProgressBytes,
 			Opportunistic: cfg.Opportunistic,

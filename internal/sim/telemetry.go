@@ -57,12 +57,14 @@ func (t *TelemetryWriter) emit(v any) {
 // deterministic for a deterministic run.
 
 type jsonRunStart struct {
-	Event         string `json:"event"`
-	Label         string `json:"label"`
-	Collector     string `json:"collector"`
-	TriggerBytes  uint64 `json:"trigger_bytes"`
-	ProgressBytes uint64 `json:"progress_bytes"`
-	Opportunistic bool   `json:"opportunistic"`
+	Event         string  `json:"event"`
+	Label         string  `json:"label"`
+	Collector     string  `json:"collector"`
+	MIPS          float64 `json:"mips"`
+	TraceBytesPer float64 `json:"trace_bytes_per_sec"`
+	TriggerBytes  uint64  `json:"trigger_bytes"`
+	ProgressBytes uint64  `json:"progress_bytes"`
+	Opportunistic bool    `json:"opportunistic"`
 }
 
 type jsonDecision struct {
@@ -125,6 +127,7 @@ type jsonRunFinish struct {
 func (t *TelemetryWriter) RunStart(e RunStart) {
 	t.emit(jsonRunStart{
 		Event: "run_start", Label: e.Label, Collector: e.Collector,
+		MIPS: e.Machine.MIPS, TraceBytesPer: e.Machine.TraceBytesPer,
 		TriggerBytes: e.TriggerBytes, ProgressBytes: e.ProgressBytes,
 		Opportunistic: e.Opportunistic,
 	})

@@ -253,10 +253,15 @@ func (p Profile) GenerateTo(emit func(trace.Event) error) error {
 }
 
 // MustGenerate is Generate for known-good built-in profiles.
+//
+// Panic contract: it panics when the profile fails validation or
+// generation. It exists for the built-in paper profiles and test
+// fixtures, whose validity is fixed at compile time; hand-assembled
+// or fitted profiles must use Generate and handle the error.
 func (p Profile) MustGenerate() []trace.Event {
 	events, err := p.Generate()
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("workload: MustGenerate(%s): %v — for profiles not known-good at compile time use Generate", p.Name, err))
 	}
 	return events
 }

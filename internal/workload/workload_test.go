@@ -2,6 +2,7 @@ package workload
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -338,5 +339,36 @@ func TestGenerateToValidates(t *testing.T) {
 	}
 	if emitted != 0 {
 		t.Errorf("GenerateTo emitted %d events from an invalid profile", emitted)
+	}
+}
+
+// MustGenerate's panic contract: a profile that is not known-good at
+// compile time must crash with a message naming the profile and the
+// error-returning alternative, not with a bare wrapped error.
+func TestMustGeneratePanicContract(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustGenerate on an invalid profile did not panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "broken") {
+			t.Errorf("panic %q does not name the profile", msg)
+		}
+		if !strings.Contains(msg, "use Generate") {
+			t.Errorf("panic %q does not point at Generate", msg)
+		}
+	}()
+	Profile{Name: "broken"}.MustGenerate() // zero TotalBytes fails validation
+}
+
+// And the positive side: the built-in profiles it exists for never
+// trip it.
+func TestMustGenerateTotalOverPaperProfiles(t *testing.T) {
+	for _, p := range PaperProfiles() {
+		events := p.Scale(0.002).MustGenerate()
+		if len(events) == 0 {
+			t.Fatalf("%s: MustGenerate returned no events", p.Name)
+		}
 	}
 }

@@ -1,0 +1,28 @@
+package dtbgc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The facade keeps exactly one panicking lookup (WorkloadByName, for
+// compile-time-constant names); its panic must identify the bad input
+// and point at the error-returning alternative, so the recovery from a
+// misuse is obvious from the crash alone.
+func TestWorkloadByNamePanicNamesTheAlternative(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("WorkloadByName on an unknown name did not panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, `"GHOST(3)"`) {
+			t.Errorf("panic %q does not name the bad input", msg)
+		}
+		if !strings.Contains(msg, "LookupWorkload") {
+			t.Errorf("panic %q does not point at LookupWorkload", msg)
+		}
+	}()
+	WorkloadByName("GHOST(3)")
+}
