@@ -24,7 +24,7 @@ func engineBenchMatrix() []SimOptions {
 	return collectorMatrix("GHOST(1)", 51*1024, 150*1024, 10*1024, false, 0, nil)
 }
 
-// engineBenchSnapshot is one BENCH_engine.json record.
+// engineBenchSnapshot is one BENCH_replay.json record.
 type engineBenchSnapshot struct {
 	Name                string  `json:"name"`
 	Collectors          int     `json:"collectors"`

@@ -19,12 +19,21 @@
 // GOMAXPROCS) and Ctrl-C cancels the evaluation at the next event
 // boundary. -cpuprofile/-memprofile write pprof profiles of the
 // evaluation for `go tool pprof`.
+//
+// Every output path is checked through to Close — a full disk fails
+// the command with a non-zero exit instead of leaving a silently
+// truncated trace — and profile stops run on failure paths too. The
+// trace-writing subcommands and eval take -inject SPEC to schedule
+// deterministic I/O faults (see internal/fault). Exit status: 0
+// success, 1 operational failure, 2 usage error.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,30 +44,45 @@ import (
 	"github.com/dtbgc/dtbgc/internal/apps/circuit"
 	"github.com/dtbgc/dtbgc/internal/apps/logicmin"
 	"github.com/dtbgc/dtbgc/internal/apps/psint"
+	"github.com/dtbgc/dtbgc/internal/cliio"
+	"github.com/dtbgc/dtbgc/internal/fault"
 	"github.com/dtbgc/dtbgc/internal/trace"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "dtbapps:", err)
 	}
+	os.Exit(cliio.ExitCode(err))
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		return cliio.Usagef("usage: dtbapps {ghost|espresso|sis|cfrac|eval} [flags]")
+	}
+
+	if args[0] == "eval" {
+		return runEval(args[1:], stdout, stderr)
+	}
+
 	var events []trace.Event
 	var summary string
 	var err error
-	var out string
+	var out, inject string
 
-	switch os.Args[1] {
-	case "eval":
-		runEval(os.Args[2:])
-		return
+	switch cmd, rest := args[0], args[1:]; cmd {
 	case "ghost":
-		fs := flag.NewFlagSet("ghost", flag.ExitOnError)
+		fs := newFlagSet("ghost", stderr)
 		pages := fs.Int("pages", 40, "pages to interpret")
 		seed := fs.Uint64("seed", 1, "document seed")
 		doc := fs.String("doc", "manual", "document type: manual (text-heavy) or thesis (graphics-heavy)")
 		o := fs.String("o", "", "trace output file (default stdout)")
-		fs.Parse(os.Args[2:])
-		out = *o
+		inj := fs.String("inject", "", "schedule deterministic I/O faults on the output (see internal/fault)")
+		if err := parseArgs(fs, rest); err != nil {
+			return err
+		}
+		out, inject = *o, *inj
 		var src string
 		switch *doc {
 		case "manual":
@@ -66,26 +90,27 @@ func main() {
 		case "thesis":
 			src = psint.GenerateDrawing(*pages, *seed)
 		default:
-			err = fmt.Errorf("unknown document type %q", *doc)
+			return cliio.Usagef("unknown document type %q", *doc)
 		}
-		if err == nil {
-			var res *psint.Result
-			res, err = psint.RunDocument(src)
-			if res != nil {
-				events = res.Events
-				summary = fmt.Sprintf("ghost: %d pages, %d operations, checksum %.2f", res.Pages, res.OpCount, res.Checksum)
-			}
+		var res *psint.Result
+		res, err = psint.RunDocument(src)
+		if res != nil {
+			events = res.Events
+			summary = fmt.Sprintf("ghost: %d pages, %d operations, checksum %.2f", res.Pages, res.OpCount, res.Checksum)
 		}
 	case "espresso":
-		fs := flag.NewFlagSet("espresso", flag.ExitOnError)
+		fs := newFlagSet("espresso", stderr)
 		problems := fs.Int("problems", 12, "PLA problems to minimize")
 		vars := fs.Int("vars", 9, "inputs per PLA")
 		cubes := fs.Int("cubes", 18, "ON cubes per PLA")
 		outputs := fs.Int("outputs", 1, "outputs per PLA (multi-output minimizes each independently)")
 		seed := fs.Uint64("seed", 1, "generator seed")
 		o := fs.String("o", "", "trace output file (default stdout)")
-		fs.Parse(os.Args[2:])
-		out = *o
+		inj := fs.String("inject", "", "schedule deterministic I/O faults on the output (see internal/fault)")
+		if err := parseArgs(fs, rest); err != nil {
+			return err
+		}
+		out, inject = *o, *inj
 		plas := make([]string, *problems)
 		var res *logicmin.Result
 		if *outputs <= 1 {
@@ -104,14 +129,17 @@ func main() {
 			summary = fmt.Sprintf("espresso: %d problems, %d cubes in, %d out", *problems, res.CubesIn, res.CubesOut)
 		}
 	case "sis":
-		fs := flag.NewFlagSet("sis", flag.ExitOnError)
+		fs := newFlagSet("sis", stderr)
 		gates := fs.Int("gates", 600, "gates in the synthesized circuit")
 		latches := fs.Int("latches", 16, "latches")
 		vectors := fs.Int("vectors", 1024, "random verification vectors")
 		seed := fs.Uint64("seed", 1, "circuit seed")
 		o := fs.String("o", "", "trace output file (default stdout)")
-		fs.Parse(os.Args[2:])
-		out = *o
+		inj := fs.String("inject", "", "schedule deterministic I/O faults on the output (see internal/fault)")
+		if err := parseArgs(fs, rest); err != nil {
+			return err
+		}
+		out, inject = *o, *inj
 		blif := circuit.GenerateBLIF(24, *gates, *latches, *seed)
 		var res *circuit.Result
 		res, err = circuit.Run(blif, *vectors)
@@ -120,46 +148,43 @@ func main() {
 			summary = fmt.Sprintf("sis: %d nodes, %d removed by sweep, signature %x", res.Gates, res.Removed, res.Signature)
 		}
 	case "cfrac":
-		fs := flag.NewFlagSet("cfrac", flag.ExitOnError)
+		fs := newFlagSet("cfrac", stderr)
 		n := fs.String("n", "998244359987710471", "number to factor")
 		o := fs.String("o", "", "trace output file (default stdout)")
-		fs.Parse(os.Args[2:])
-		out = *o
+		inj := fs.String("inject", "", "schedule deterministic I/O faults on the output (see internal/fault)")
+		if err := parseArgs(fs, rest); err != nil {
+			return err
+		}
+		out, inject = *o, *inj
 		var f1, f2 string
 		f1, f2, events, err = cfrac.Factor(*n, cfrac.Config{})
 		if err == nil {
 			summary = fmt.Sprintf("cfrac: %s = %s * %s", *n, f1, f2)
 		}
 	default:
-		usage()
+		return cliio.Usagef("usage: dtbapps {ghost|espresso|sis|cfrac|eval} [flags]")
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtbapps:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Fprintln(os.Stderr, summary)
+	fmt.Fprintln(stderr, summary)
 
-	dst := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dtbapps:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		dst = f
+	plan, err := injectPlan(inject)
+	if err != nil {
+		return err
 	}
-	if err := dtbgc.WriteTrace(dst, events); err != nil {
-		fmt.Fprintln(os.Stderr, "dtbapps:", err)
-		os.Exit(1)
-	}
+	return cliio.WriteTo(out, stdout, plan, func(w io.Writer) error {
+		return dtbgc.WriteTrace(w, events)
+	})
 }
 
 // runEval is the app-driven evaluation: each mini-application's
 // recorded trace replayed under all six collectors plus the
-// baselines, with optional live progress reporting.
-func runEval(args []string) {
-	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+// baselines, with optional live progress reporting. It returns through
+// a single error path so the CPU profile stops — and its file's close
+// is checked — on failures too.
+func runEval(args []string, stdout, stderr io.Writer) (err error) {
+	fs := newFlagSet("eval", stderr)
 	progress := fs.Bool("progress", false, "stream per-run progress and summaries to stderr")
 	workers := fs.Int("workers", 0, "apps evaluated concurrently (0 = GOMAXPROCS)")
 	trigger := fs.Uint64("trigger", 0, "scavenge trigger in bytes (default 64 KB)")
@@ -167,12 +192,15 @@ func runEval(args []string) {
 	traceMax := fs.Uint64("tracemax", 0, "FEEDMED/DTBFM trace budget in bytes (default 16 KB)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the evaluation to FILE")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile taken after the evaluation to FILE")
-	fs.Parse(args)
-
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "dtbapps:", err)
-		os.Exit(1)
+	inject := fs.String("inject", "", "schedule deterministic I/O faults on the outputs (see internal/fault)")
+	if err := parseArgs(fs, args); err != nil {
+		return err
 	}
+	plan, err := injectPlan(*inject)
+	if err != nil {
+		return err
+	}
+
 	opts := dtbgc.AppEvalOptions{
 		TriggerBytes:  *trigger,
 		MemMaxBytes:   *memMax,
@@ -180,47 +208,76 @@ func runEval(args []string) {
 		Workers:       *workers,
 	}
 	if *progress {
-		opts.Probe = dtbgc.NewProgressReporter(os.Stderr)
+		opts.Probe = dtbgc.NewProgressReporter(stderr)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	stopCPUProfile := func() {}
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fail(err)
+		profOut, perr := cliio.Create(*cpuprofile, nil, plan)
+		if perr != nil {
+			return perr
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
+		if perr := pprof.StartCPUProfile(profOut); perr != nil {
+			profOut.Close()
+			return perr
 		}
-		stopCPUProfile = func() {
+		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
-		}
+			if cerr := profOut.Close(); err == nil {
+				err = cerr
+			}
+		}()
 	}
 	ev, err := dtbgc.RunAppEvaluationContext(ctx, opts)
-	stopCPUProfile()
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
+		err := cliio.WriteTo(*memprofile, nil, plan, func(w io.Writer) error {
+			runtime.GC() // settle allocations so the profile shows retained heap
+			return pprof.WriteHeapProfile(w)
+		})
 		if err != nil {
-			fail(err)
+			return err
 		}
-		runtime.GC() // settle allocations so the profile shows retained heap
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fail(err)
-		}
-		f.Close()
 	}
-	fmt.Println(ev.Table2())
-	fmt.Println(ev.Table3())
-	fmt.Println(ev.Table4())
+	return cliio.WriteTo("", stdout, plan, func(w io.Writer) error {
+		fmt.Fprintln(w, ev.Table2())
+		fmt.Fprintln(w, ev.Table3())
+		fmt.Fprintln(w, ev.Table4())
+		return nil
+	})
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dtbapps {ghost|espresso|sis|cfrac|eval} [flags]")
-	os.Exit(2)
+// newFlagSet builds a subcommand flag set that reports parse problems
+// as errors (usage exit) instead of exiting past the close checks.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// parseArgs finishes a subcommand flag parse, folding flag errors into
+// the shared exit discipline.
+func parseArgs(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &cliio.UsageError{Err: err}
+	}
+	return nil
+}
+
+// injectPlan parses a subcommand's -inject value.
+func injectPlan(spec string) (*fault.Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	p, err := fault.ParseSpec(spec)
+	if err != nil {
+		return nil, &cliio.UsageError{Err: err}
+	}
+	return p, nil
 }

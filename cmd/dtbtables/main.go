@@ -11,37 +11,77 @@
 // around a minute). Workloads are evaluated concurrently on a bounded
 // pool (-workers, default GOMAXPROCS); Ctrl-C cancels the evaluation
 // at the next event boundary.
+//
+// Table output is buffered and checked through to the final flush, so
+// a write failure (full disk behind a redirect, closed pipe) fails
+// the command with a non-zero exit instead of printing a truncated
+// table that looks complete. -inject SPEC schedules deterministic
+// output faults (see internal/fault) for testing exactly that. Exit
+// status: 0 success, 1 operational failure, 2 usage error.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
 	dtbgc "github.com/dtbgc/dtbgc"
+	"github.com/dtbgc/dtbgc/internal/cliio"
+	"github.com/dtbgc/dtbgc/internal/fault"
 )
 
 func main() {
-	table := flag.Int("table", 0, "table to print (2, 3, 4, 5 or 6); 0 = all")
-	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
-	trigger := flag.Uint64("trigger", 1<<20, "scavenge trigger in bytes")
-	memMax := flag.Uint64("memmax", 3000*1024, "DTBMEM memory constraint in bytes")
-	traceMax := flag.Uint64("tracemax", 50*1024, "FEEDMED/DTBFM trace budget in bytes")
-	workers := flag.Int("workers", 0, "workloads evaluated concurrently (0 = GOMAXPROCS)")
-	compare := flag.Bool("compare", false, "print measured values beside the paper's published numbers")
-	check := flag.Bool("check", false, "verify the paper's qualitative claims (DESIGN.md §6); non-zero exit on failure")
-	apps := flag.Bool("apps", false, "evaluate over the real mini-application traces instead of the calibrated profiles")
-	progress := flag.Bool("progress", false, "stream per-run progress and summaries to stderr while the evaluation runs")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "dtbtables:", err)
+	}
+	os.Exit(cliio.ExitCode(err))
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dtbtables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "table to print (2, 3, 4, 5 or 6); 0 = all")
+	scale := fs.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
+	trigger := fs.Uint64("trigger", 1<<20, "scavenge trigger in bytes")
+	memMax := fs.Uint64("memmax", 3000*1024, "DTBMEM memory constraint in bytes")
+	traceMax := fs.Uint64("tracemax", 50*1024, "FEEDMED/DTBFM trace budget in bytes")
+	workers := fs.Int("workers", 0, "workloads evaluated concurrently (0 = GOMAXPROCS)")
+	compare := fs.Bool("compare", false, "print measured values beside the paper's published numbers")
+	check := fs.Bool("check", false, "verify the paper's qualitative claims (DESIGN.md §6); non-zero exit on failure")
+	apps := fs.Bool("apps", false, "evaluate over the real mini-application traces instead of the calibrated profiles")
+	progress := fs.Bool("progress", false, "stream per-run progress and summaries to stderr while the evaluation runs")
+	inject := fs.String("inject", "", "schedule deterministic I/O faults on the output (see internal/fault)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &cliio.UsageError{Err: err}
+	}
+	var plan *fault.Plan
+	if *inject != "" {
+		p, err := fault.ParseSpec(*inject)
+		if err != nil {
+			return &cliio.UsageError{Err: err}
+		}
+		plan = p
+	}
+	switch *table {
+	case 0, 2, 3, 4, 5, 6:
+	default:
+		return cliio.Usagef("no table %d (have 2, 3, 4, 5, 6)", *table)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	var probe dtbgc.Probe
 	if *progress {
-		probe = dtbgc.NewProgressReporter(os.Stderr)
+		probe = dtbgc.NewProgressReporter(stderr)
 	}
 	var (
 		ev  *dtbgc.Evaluation
@@ -60,53 +100,47 @@ func main() {
 		})
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtbtables:", err)
-		os.Exit(1)
+		return err
 	}
 	if *check {
 		errs := ev.ShapeCheck()
 		for _, e := range errs {
-			fmt.Fprintln(os.Stderr, "claim violated:", e)
+			fmt.Fprintln(stderr, "claim violated:", e)
 		}
 		if len(errs) > 0 {
-			os.Exit(1)
+			return fmt.Errorf("%d reproduction claim(s) violated", len(errs))
 		}
-		fmt.Println("all reproduction claims hold")
-		return
+		return cliio.WriteTo("", stdout, plan, func(w io.Writer) error {
+			fmt.Fprintln(w, "all reproduction claims hold")
+			return nil
+		})
 	}
 	if *compare {
-		for _, n := range []int{2, 3, 4} {
-			if *table != 0 && *table != n {
-				continue
+		return cliio.WriteTo("", stdout, plan, func(w io.Writer) error {
+			for _, n := range []int{2, 3, 4} {
+				if *table != 0 && *table != n {
+					continue
+				}
+				tab, err := ev.CompareTable(n)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, tab)
 			}
-			tab, err := ev.CompareTable(n)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dtbtables:", err)
-				os.Exit(1)
+			return nil
+		})
+	}
+	return cliio.WriteTo("", stdout, plan, func(w io.Writer) error {
+		for _, t := range []struct {
+			n      int
+			render func() *dtbgc.Table
+		}{
+			{2, ev.Table2}, {3, ev.Table3}, {4, ev.Table4}, {5, ev.Table5}, {6, ev.Table6},
+		} {
+			if *table == 0 || *table == t.n {
+				fmt.Fprintln(w, t.render())
 			}
-			fmt.Println(tab)
 		}
-		return
-	}
-	switch *table {
-	case 0:
-		fmt.Println(ev.Table2())
-		fmt.Println(ev.Table3())
-		fmt.Println(ev.Table4())
-		fmt.Println(ev.Table5())
-		fmt.Println(ev.Table6())
-	case 2:
-		fmt.Println(ev.Table2())
-	case 3:
-		fmt.Println(ev.Table3())
-	case 4:
-		fmt.Println(ev.Table4())
-	case 5:
-		fmt.Println(ev.Table5())
-	case 6:
-		fmt.Println(ev.Table6())
-	default:
-		fmt.Fprintf(os.Stderr, "dtbtables: no table %d (have 2, 3, 4, 5, 6)\n", *table)
-		os.Exit(2)
-	}
+		return nil
+	})
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/cliio"
+	"github.com/dtbgc/dtbgc/internal/fault"
+)
+
+// tables runs the CLI's run() and returns its streams and exit code.
+// -scale keeps the workloads tiny so a full evaluation fits in a test.
+func tables(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errs bytes.Buffer
+	err := run(args, &out, &errs)
+	return out.String(), errs.String(), cliio.ExitCode(err)
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-table", "7"},
+		{"-table", "1"},
+		{"-no-such-flag"},
+		{"-inject", "bogus@1"},
+	} {
+		if _, _, code := tables(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestTinyEvaluationPrintsTables(t *testing.T) {
+	stdout, _, code := tables(t, "-scale", "0.002")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"Table 2", "Table 3", "Table 4"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	one, _, code := tables(t, "-scale", "0.002", "-table", "2")
+	if code != 0 {
+		t.Fatalf("-table 2 exit %d", code)
+	}
+	if !strings.Contains(one, "Table 2") || strings.Contains(one, "Table 3") {
+		t.Fatalf("-table 2 printed the wrong tables:\n%s", one)
+	}
+}
+
+// TestOutputFaultsExitNonzero: a table render that cannot reach the
+// terminal intact — a write failure mid-stream or one surfacing only at
+// the final flush — must not exit 0 looking complete.
+func TestOutputFaultsExitNonzero(t *testing.T) {
+	for _, inject := range []string{"close-err", "write-err@40", "short-write@5"} {
+		var out, errs bytes.Buffer
+		err := run([]string{"-scale", "0.002", "-table", "2", "-inject", inject}, &out, &errs)
+		if code := cliio.ExitCode(err); code != 1 {
+			t.Errorf("%s: exit %d (err %v), want 1", inject, code, err)
+		}
+		if inject == "close-err" && !errors.Is(err, fault.ErrInjected) {
+			t.Errorf("close failure surfaced as %v, want the injected error", err)
+		}
+	}
+}
+
+func TestCompareRunsClean(t *testing.T) {
+	stdout, _, code := tables(t, "-scale", "0.002", "-compare", "-table", "2")
+	if code != 0 {
+		t.Fatalf("-compare exit %d", code)
+	}
+	if !strings.Contains(stdout, "paper") && !strings.Contains(stdout, "Table") {
+		t.Fatalf("comparison output unrecognised:\n%s", stdout)
+	}
+}

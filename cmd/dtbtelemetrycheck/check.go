@@ -66,6 +66,10 @@ var schema = map[string][]field{
 		{"allocated", kindNumber}, {"in_use", kindNumber},
 		{"live", kindNumber}, {"collections", kindNumber},
 	},
+	"drops": {
+		{"label", kindString}, {"corrupt_records", kindNumber},
+		{"torn_tail_records", kindNumber}, {"bytes_dropped", kindNumber},
+	},
 	"run_finish": {
 		{"label", kindString}, {"collector", kindString},
 		{"collections", kindNumber}, {"total_alloc", kindNumber},
@@ -204,6 +208,26 @@ func checkSequence(st *runState, event string, obj map[string]any, lineNo int, l
 	var problems []string
 	report := func(format string, args ...any) {
 		problems = append(problems, fmt.Sprintf("line %d: run %q: %s", lineNo, label, fmt.Sprintf(format, args...)))
+	}
+	if event == "drops" {
+		// Drops describe the input stream, not a run: they may appear
+		// before run_start, after run_finish, or under a label with no
+		// run at all. Their invariant is internal consistency: typed
+		// counts and the byte total must agree, and a stream has at
+		// most one torn tail.
+		cr := obj["corrupt_records"].(float64)
+		tt := obj["torn_tail_records"].(float64)
+		bd := obj["bytes_dropped"].(float64)
+		if cr < 0 || tt < 0 || bd < 0 {
+			report("negative drop count (corrupt=%v torn=%v bytes=%v)", cr, tt, bd)
+		}
+		if tt > 1 {
+			report("torn_tail_records=%v, a stream has at most one torn tail", tt)
+		}
+		if (bd > 0) != (cr+tt > 0) {
+			report("bytes_dropped=%v inconsistent with corrupt_records=%v + torn_tail_records=%v", bd, cr, tt)
+		}
+		return problems
 	}
 	if event != "run_start" && !st.started {
 		report("%s before run_start", event)

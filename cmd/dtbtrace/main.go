@@ -7,55 +7,103 @@
 //	dtbtrace stat trace.dtbt
 //	dtbtrace convert -from bin -to text trace.dtbt > trace.txt
 //	dtbtrace validate trace.dtbt
+//	dtbtrace window -from 0 -to 500000 -o window.dtbt trace.dtbt
+//
+// Every output path is checked through to Close — a full disk fails
+// the command with a non-zero exit instead of leaving a silently
+// truncated file. The file-writing subcommands take -inject SPEC to
+// schedule deterministic I/O faults (see internal/fault) for testing
+// exactly that. Exit status: 0 success, 1 operational failure, 2
+// usage error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	dtbgc "github.com/dtbgc/dtbgc"
+	"github.com/dtbgc/dtbgc/internal/cliio"
+	"github.com/dtbgc/dtbgc/internal/fault"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	var err error
-	switch os.Args[1] {
-	case "gen":
-		err = cmdGen(os.Args[2:])
-	case "stat":
-		err = cmdStat(os.Args[2:])
-	case "convert":
-		err = cmdConvert(os.Args[2:])
-	case "validate":
-		err = cmdValidate(os.Args[2:])
-	case "forward":
-		err = cmdForward(os.Args[2:])
-	case "window":
-		err = cmdWindow(os.Args[2:])
-	case "lifetimes":
-		err = cmdLifetimes(os.Args[2:])
-	default:
-		usage()
-	}
-	if err != nil {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "dtbtrace:", err)
-		os.Exit(1)
+	}
+	os.Exit(cliio.ExitCode(err))
+}
+
+// run dispatches the subcommands; every path returns through here so
+// deferred close checks always fire and the exit code is uniform.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		return usageErr()
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "gen":
+		return cmdGen(rest, stdout, stderr)
+	case "stat":
+		return cmdStat(rest, stdout)
+	case "convert":
+		return cmdConvert(rest, stdout, stderr)
+	case "validate":
+		return cmdValidate(rest, stdout)
+	case "forward":
+		return cmdForward(rest, stdout)
+	case "window":
+		return cmdWindow(rest, stdout, stderr)
+	case "lifetimes":
+		return cmdLifetimes(rest, stdout)
+	default:
+		return usageErr()
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dtbtrace {gen|stat|convert|validate|forward|window|lifetimes} ...")
-	os.Exit(2)
+func usageErr() error {
+	return cliio.Usagef("usage: dtbtrace {gen|stat|convert|validate|forward|window|lifetimes} ...")
+}
+
+// newFlagSet builds a subcommand flag set that reports parse problems
+// as errors (usage exit) instead of exiting past the close checks.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// parseArgs finishes a subcommand flag parse, folding flag errors into
+// the shared exit discipline.
+func parseArgs(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &cliio.UsageError{Err: err}
+	}
+	return nil
+}
+
+// injectPlan parses a subcommand's -inject value.
+func injectPlan(spec string) (*fault.Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	p, err := fault.ParseSpec(spec)
+	if err != nil {
+		return nil, &cliio.UsageError{Err: err}
+	}
+	return p, nil
 }
 
 // cmdLifetimes prints the trace's object demographics and survival
 // function — the data the workload profiles are calibrated from.
-func cmdLifetimes(args []string) error {
+func cmdLifetimes(args []string, stdout io.Writer) error {
 	if len(args) != 1 {
-		return fmt.Errorf("lifetimes needs exactly one trace file")
+		return cliio.Usagef("lifetimes needs exactly one trace file")
 	}
 	events, err := readTraceFile(args[0])
 	if err != nil {
@@ -65,39 +113,46 @@ func cmdLifetimes(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("objects:        %d (mean %.0f bytes)\n", ls.TotalObjects, ls.MeanObjectBytes)
-	fmt.Printf("total bytes:    %d\n", ls.TotalBytes)
-	fmt.Printf("permanent:      %.1f%% of bytes never die\n", ls.PermanentFraction()*100)
-	fmt.Println("survival S(age) over observed deaths (age in KB of subsequent allocation):")
-	for _, ageKB := range []uint64{1, 4, 16, 64, 256, 1024, 4096} {
-		fmt.Printf("  S(%5d KB) = %.3f\n", ageKB, ls.SurvivalAt(ageKB*1024))
-	}
 	fitted, err := dtbgc.FitWorkload(events, "fitted")
 	if err != nil {
 		return err
 	}
-	fmt.Println("fitted profile classes:")
-	for _, c := range fitted.Classes {
-		if c.Permanent {
-			fmt.Printf("  %.1f%% permanent\n", c.Fraction*100)
-		} else {
-			fmt.Printf("  %.1f%% exponential, mean life %.0f KB\n", c.Fraction*100, c.MeanLife/1024)
+	return cliio.WriteTo("", stdout, nil, func(w io.Writer) error {
+		fmt.Fprintf(w, "objects:        %d (mean %.0f bytes)\n", ls.TotalObjects, ls.MeanObjectBytes)
+		fmt.Fprintf(w, "total bytes:    %d\n", ls.TotalBytes)
+		fmt.Fprintf(w, "permanent:      %.1f%% of bytes never die\n", ls.PermanentFraction()*100)
+		fmt.Fprintln(w, "survival S(age) over observed deaths (age in KB of subsequent allocation):")
+		for _, ageKB := range []uint64{1, 4, 16, 64, 256, 1024, 4096} {
+			fmt.Fprintf(w, "  S(%5d KB) = %.3f\n", ageKB, ls.SurvivalAt(ageKB*1024))
 		}
-	}
-	return nil
+		fmt.Fprintln(w, "fitted profile classes:")
+		for _, c := range fitted.Classes {
+			if c.Permanent {
+				fmt.Fprintf(w, "  %.1f%% permanent\n", c.Fraction*100)
+			} else {
+				fmt.Fprintf(w, "  %.1f%% exponential, mean life %.0f KB\n", c.Fraction*100, c.MeanLife/1024)
+			}
+		}
+		return nil
+	})
 }
 
 // cmdWindow writes the sub-trace covering an instruction interval.
-func cmdWindow(args []string) error {
-	fs := flag.NewFlagSet("window", flag.ExitOnError)
+func cmdWindow(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("window", stderr)
 	from := fs.Uint64("from", 0, "window start (instructions)")
 	to := fs.Uint64("to", ^uint64(0), "window end (instructions)")
 	out := fs.String("o", "", "output file (default stdout)")
-	if err := fs.Parse(args); err != nil {
+	inject := fs.String("inject", "", "schedule deterministic I/O faults on the output (see internal/fault)")
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("window needs exactly one trace file")
+		return cliio.Usagef("window needs exactly one trace file")
+	}
+	plan, err := injectPlan(*inject)
+	if err != nil {
+		return err
 	}
 	events, err := readTraceFile(fs.Arg(0))
 	if err != nil {
@@ -107,45 +162,45 @@ func cmdWindow(args []string) error {
 	if err != nil {
 		return err
 	}
-	dst := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		dst = f
-	}
-	return dtbgc.WriteTrace(dst, windowed)
+	return cliio.WriteTo(*out, stdout, plan, func(w io.Writer) error {
+		return dtbgc.WriteTrace(w, windowed)
+	})
 }
 
 // cmdForward reports the §4.2 observable: how many pointer stores are
 // forward in time (and so must be remembered by the DTB collector).
-func cmdForward(args []string) error {
+func cmdForward(args []string, stdout io.Writer) error {
 	if len(args) != 1 {
-		return fmt.Errorf("forward needs exactly one trace file")
+		return cliio.Usagef("forward needs exactly one trace file")
 	}
 	events, err := readTraceFile(args[0])
 	if err != nil {
 		return err
 	}
-	fs, err := dtbgc.MeasureForwardPointers(events)
+	fwd, err := dtbgc.MeasureForwardPointers(events)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pointer stores: %d (%d nil)\n", fs.Stores, fs.NilStore)
-	fmt.Printf("forward:        %d (%.1f%% of non-nil)\n", fs.Forward, fs.ForwardFraction()*100)
-	fmt.Printf("backward:       %d\n", fs.Backward)
-	return nil
+	return cliio.WriteTo("", stdout, nil, func(w io.Writer) error {
+		fmt.Fprintf(w, "pointer stores: %d (%d nil)\n", fwd.Stores, fwd.NilStore)
+		fmt.Fprintf(w, "forward:        %d (%.1f%% of non-nil)\n", fwd.Forward, fwd.ForwardFraction()*100)
+		fmt.Fprintf(w, "backward:       %d\n", fwd.Backward)
+		return nil
+	})
 }
 
-func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+func cmdGen(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("gen", stderr)
 	workloadName := fs.String("workload", "CFRAC", "paper workload name")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	out := fs.String("o", "", "output file (default stdout)")
 	text := fs.Bool("text", false, "write the text format instead of binary")
-	if err := fs.Parse(args); err != nil {
+	inject := fs.String("inject", "", "schedule deterministic I/O faults on the output (see internal/fault)")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	plan, err := injectPlan(*inject)
+	if err != nil {
 		return err
 	}
 	w, err := dtbgc.LookupWorkload(*workloadName)
@@ -156,19 +211,12 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	dst := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+	return cliio.WriteTo(*out, stdout, plan, func(dst io.Writer) error {
+		if *text {
+			return dtbgc.WriteTraceText(dst, events)
 		}
-		defer f.Close()
-		dst = f
-	}
-	if *text {
-		return dtbgc.WriteTraceText(dst, events)
-	}
-	return dtbgc.WriteTrace(dst, events)
+		return dtbgc.WriteTrace(dst, events)
+	})
 }
 
 func readTraceFile(path string) ([]dtbgc.Event, error) {
@@ -180,9 +228,9 @@ func readTraceFile(path string) ([]dtbgc.Event, error) {
 	return dtbgc.ReadTrace(f)
 }
 
-func cmdStat(args []string) error {
+func cmdStat(args []string, stdout io.Writer) error {
 	if len(args) != 1 {
-		return fmt.Errorf("stat needs exactly one trace file")
+		return cliio.Usagef("stat needs exactly one trace file")
 	}
 	events, err := readTraceFile(args[0])
 	if err != nil {
@@ -192,22 +240,29 @@ func cmdStat(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("events:        %d\n", len(events))
-	fmt.Printf("total alloc:   %.0f KB\n", float64(res.TotalAlloc)/1024)
-	fmt.Printf("exec time:     %.2f s (10 MIPS model)\n", res.ExecSeconds)
-	fmt.Printf("live mean/max: %.0f / %.0f KB\n", res.LiveMeanBytes/1024, res.LiveMaxBytes/1024)
-	return nil
+	return cliio.WriteTo("", stdout, nil, func(w io.Writer) error {
+		fmt.Fprintf(w, "events:        %d\n", len(events))
+		fmt.Fprintf(w, "total alloc:   %.0f KB\n", float64(res.TotalAlloc)/1024)
+		fmt.Fprintf(w, "exec time:     %.2f s (10 MIPS model)\n", res.ExecSeconds)
+		fmt.Fprintf(w, "live mean/max: %.0f / %.0f KB\n", res.LiveMeanBytes/1024, res.LiveMaxBytes/1024)
+		return nil
+	})
 }
 
-func cmdConvert(args []string) error {
-	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+func cmdConvert(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("convert", stderr)
 	from := fs.String("from", "bin", "input format: bin or text")
 	to := fs.String("to", "text", "output format: bin or text")
-	if err := fs.Parse(args); err != nil {
+	inject := fs.String("inject", "", "schedule deterministic I/O faults on the output (see internal/fault)")
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("convert needs exactly one trace file")
+		return cliio.Usagef("convert needs exactly one trace file")
+	}
+	plan, err := injectPlan(*inject)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -221,24 +276,27 @@ func cmdConvert(args []string) error {
 	case "text":
 		events, err = dtbgc.ReadTraceText(f)
 	default:
-		return fmt.Errorf("unknown input format %q", *from)
+		return cliio.Usagef("unknown input format %q", *from)
 	}
 	if err != nil {
 		return err
 	}
 	switch *to {
-	case "bin":
-		return dtbgc.WriteTrace(os.Stdout, events)
-	case "text":
-		return dtbgc.WriteTraceText(os.Stdout, events)
+	case "bin", "text":
 	default:
-		return fmt.Errorf("unknown output format %q", *to)
+		return cliio.Usagef("unknown output format %q", *to)
 	}
+	return cliio.WriteTo("", stdout, plan, func(w io.Writer) error {
+		if *to == "bin" {
+			return dtbgc.WriteTrace(w, events)
+		}
+		return dtbgc.WriteTraceText(w, events)
+	})
 }
 
-func cmdValidate(args []string) error {
+func cmdValidate(args []string, stdout io.Writer) error {
 	if len(args) != 1 {
-		return fmt.Errorf("validate needs exactly one trace file")
+		return cliio.Usagef("validate needs exactly one trace file")
 	}
 	events, err := readTraceFile(args[0])
 	if err != nil {
@@ -247,6 +305,8 @@ func cmdValidate(args []string) error {
 	if err := dtbgc.ValidateTrace(events); err != nil {
 		return err
 	}
-	fmt.Printf("ok: %d events\n", len(events))
-	return nil
+	return cliio.WriteTo("", stdout, nil, func(w io.Writer) error {
+		fmt.Fprintf(w, "ok: %d events\n", len(events))
+		return nil
+	})
 }

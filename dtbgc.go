@@ -180,6 +180,24 @@ func SliceSource(events []Event) EventSource { return engine.SliceSource(events)
 // heaps.
 func StreamSource(r io.Reader) EventSource { return engine.ReaderSource(trace.NewReader(r)) }
 
+// DropStats is the recovery decoder's accounting of what a damaged
+// trace lost: typed drop counts plus the exact bytes skipped. The zero
+// value means the stream decoded completely.
+type DropStats = trace.DropStats
+
+// RecoveringSource adapts a possibly damaged binary trace stream to an
+// EventSource using the recovery decoder: corrupt records are resynced
+// past and a torn file tail is absorbed instead of failing the replay.
+// Nothing is dropped silently — the second return value reports the
+// exact accounting, final once the source has been consumed — and the
+// caller is expected to surface it (TelemetryWriter.Drops,
+// Auditor.NoteDrops). The strict StreamSource remains the default for
+// data whose integrity matters.
+func RecoveringSource(r io.Reader) (EventSource, func() DropStats) {
+	rr := trace.NewRecoveringReader(r)
+	return engine.EventReaderSource(rr), rr.Drops
+}
+
 // ReplayAll is the single-pass fan-out at the heart of the evaluation
 // harness: the source's events are produced exactly once and fed to
 // one independent runner per option set, whose results return in
@@ -193,6 +211,26 @@ func ReplayAll(ctx context.Context, src EventSource, opts []SimOptions) ([]*Resu
 		cfgs[i] = o.config()
 	}
 	return engine.Replay(ctx, src, cfgs)
+}
+
+// Checkpoint captures a consistent interrupted replay, resumable via
+// its Resume method with a reopened source. See ReplayAllResumable.
+type Checkpoint = engine.Checkpoint
+
+// ReplayAllResumable is ReplayAll with checkpoint/resume: when the
+// replay aborts between events — a source read error, a context
+// cancellation — the returned Checkpoint can continue it from a
+// reopened source replaying the same stream (the already-processed
+// prefix is decoded and discarded, never re-fed). The resumed run's
+// results and telemetry are bit-identical to an uninterrupted run.
+// Errors that abort mid-event (a runner rejecting an event) return a
+// nil checkpoint: there is nothing consistent to resume.
+func ReplayAllResumable(ctx context.Context, src EventSource, opts []SimOptions) ([]*Result, *Checkpoint, error) {
+	cfgs := make([]sim.Config, len(opts))
+	for i, o := range opts {
+		cfgs[i] = o.config()
+	}
+	return engine.ReplayResumable(ctx, src, cfgs)
 }
 
 // HistoryCSV renders a result's per-scavenge history — time,

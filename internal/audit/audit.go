@@ -36,6 +36,7 @@ import (
 
 	"github.com/dtbgc/dtbgc/internal/core"
 	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/trace"
 )
 
 // Violation is one observed breach of a paper identity.
@@ -363,6 +364,36 @@ func (a *Auditor) RunFinish(e sim.RunFinish) {
 	}
 	a.checkFinishHistory(r, res)
 	a.checkFinishStats(r, res)
+}
+
+// NoteDrops feeds the recovery decoder's drop accounting for a stream
+// into the audit under the rule "drop-accounting". The accounting
+// contract is what makes recovery trustworthy: typed counts and the
+// byte total must agree (bytes were dropped exactly when a corrupt
+// span or torn tail was recorded), and a single stream has at most one
+// torn tail. The zero DropStats — a stream that decoded completely —
+// is always clean.
+//
+// NoteDrops is not part of sim.Probe: drops belong to the input
+// stream, not to any collector's run, so the replay harness reports
+// them once per damaged source alongside the runs it fed.
+func (a *Auditor) NoteDrops(label string, d trace.DropStats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.run(label)
+	if d.CorruptRecords < 0 || d.TornTail < 0 {
+		a.report(r, 0, "drop-accounting",
+			"negative drop counts: corrupt=%d torn=%d", d.CorruptRecords, d.TornTail)
+	}
+	if d.TornTail > 1 {
+		a.report(r, 0, "drop-accounting",
+			"torn tail recorded %d times; a stream ends at most once", d.TornTail)
+	}
+	if (d.BytesDropped > 0) != d.Any() {
+		a.report(r, 0, "drop-accounting",
+			"%d byte(s) dropped inconsistent with corrupt=%d torn=%d: every drop must be typed and every type must cost bytes",
+			d.BytesDropped, d.CorruptRecords, d.TornTail)
+	}
 }
 
 // checkFinishHistory cross-checks the final Result against the event

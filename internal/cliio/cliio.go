@@ -1,0 +1,148 @@
+// Package cliio is the shared command-line I/O discipline for the cmd/
+// tools: checked output streams and uniform exit codes.
+//
+// The bug class this package exists to kill: a tool that writes its
+// output through `defer f.Close()` exits 0 on a full disk, leaving a
+// silently truncated file. Close is where buffered-write failures
+// (ENOSPC at the final flush) surface, so an unchecked Close converts
+// an I/O failure into a plausible-looking partial output. Every output
+// stream here is an Output: writes are buffered, Close flushes and
+// verifies every layer, and the error lands in the tool's exit code.
+//
+// The exit discipline, shared by every tool:
+//
+//	0  success — including a recovered run whose drops are accounted
+//	1  operational failure (I/O error, failed run, audit violation)
+//	2  usage error (bad flags or arguments)
+//
+// Outputs compose with internal/fault: passing a non-nil plan wraps
+// the stream with the plan's write-side faults, which is how the CLI
+// tests prove the Close checks actually fire.
+package cliio
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/dtbgc/dtbgc/internal/fault"
+)
+
+// UsageError marks a command-line mistake, exiting 2 where an
+// operational failure exits 1 — so scripts can tell "you invoked me
+// wrong" from "I tried and failed".
+type UsageError struct{ Err error }
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// ExitCode maps a run's error to the shared exit discipline: nil is 0,
+// a UsageError is 2, flag.ErrHelp (the user asked for -h) is 0, and
+// anything else is 1.
+func ExitCode(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		var ue *UsageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
+	}
+}
+
+// CloseChecked closes c and folds a close failure into *errp unless an
+// earlier error is already there — the deferred-close shape that does
+// not eat ENOSPC:
+//
+//	defer cliio.CloseChecked(path, f, &err)
+func CloseChecked(name string, c io.Closer, errp *error) {
+	if err := c.Close(); err != nil && *errp == nil {
+		*errp = fmt.Errorf("close %s: %w", name, err)
+	}
+}
+
+// Output is one checked output stream. Writes are buffered (and
+// fault-wrapped when a plan is given); Close flushes and verifies
+// every layer, so no byte is silently lost between the tool and the
+// file system. A write error is sticky in the buffer and resurfaces at
+// Close even if intermediate Fprintf results were ignored.
+type Output struct {
+	name string
+	bw   *bufio.Writer
+	fw   *fault.Writer
+	f    *os.File // nil when writing to a caller-owned stream
+}
+
+// Create opens a checked output: a file at path, or the fallback
+// stream (typically os.Stdout) when path is "" or "-". A nil plan
+// injects nothing.
+func Create(path string, fallback io.Writer, plan *fault.Plan) (*Output, error) {
+	o := &Output{name: path}
+	if path == "" || path == "-" {
+		if fallback == nil {
+			return nil, fmt.Errorf("cliio: no output path and no fallback stream")
+		}
+		o.name = "stdout"
+		o.fw = plan.Writer(fallback)
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		o.f = f
+		o.fw = plan.Writer(f)
+	}
+	o.bw = bufio.NewWriter(o.fw)
+	return o, nil
+}
+
+// Name returns the stream's display name ("stdout" or the path).
+func (o *Output) Name() string { return o.name }
+
+// Write implements io.Writer.
+func (o *Output) Write(p []byte) (int, error) { return o.bw.Write(p) }
+
+// Close flushes the buffer and closes every layer, returning the first
+// failure: a sticky buffered-write error, an injected close fault, or
+// the file's own Close (where ENOSPC surfaces for deferred writeback).
+func (o *Output) Close() (err error) {
+	if o.f != nil {
+		defer CloseChecked(o.name, o.f, &err)
+	}
+	if ferr := o.bw.Flush(); ferr != nil {
+		return fmt.Errorf("write %s: %w", o.name, ferr)
+	}
+	if cerr := o.fw.Close(); cerr != nil {
+		return fmt.Errorf("close %s: %w", o.name, cerr)
+	}
+	return nil
+}
+
+// WriteTo runs fn against a checked output at path (or fallback for ""
+// and "-") and returns the first error from fn, the flush, or the
+// closes. It is the one-shot shape for "produce this file" commands.
+func WriteTo(path string, fallback io.Writer, plan *fault.Plan, fn func(io.Writer) error) (err error) {
+	o, err := Create(path, fallback, plan)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := o.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if err := fn(o); err != nil {
+		return fmt.Errorf("%s: %w", o.Name(), err)
+	}
+	return nil
+}

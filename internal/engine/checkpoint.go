@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/dtbgc/dtbgc/internal/sim"
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+// Checkpoint/resume for Replay: when a replay aborts between events —
+// a source read error, a context cancellation — the runners are still
+// consistent (every runner has processed exactly the events before the
+// abort point), so the replay can continue from a reopened source
+// instead of starting over. The resumed run's results and telemetry
+// are bit-identical to an uninterrupted run: the runners are the same
+// objects carrying the same state, and the skipped prefix is decoded
+// but never re-fed.
+//
+// A checkpoint is in-memory only — sim.Runner state (heap model, probe
+// chain, RNG position) is live program state, not a serializable
+// snapshot — so resume serves the retry-in-process case: transient
+// fault, reopen, continue. A runner Feed error is *not* resumable: it
+// aborts mid-event, with earlier runners in the fan-out having seen an
+// event later ones have not.
+
+// Checkpoint captures a consistent interrupted replay: every runner
+// has processed exactly Events() events. Resume continues it.
+type Checkpoint struct {
+	runners []*sim.Runner
+	events  int
+}
+
+// Events returns the number of events every runner had processed when
+// the replay was interrupted.
+func (c *Checkpoint) Events() int { return c.events }
+
+// feedError marks a runner Feed failure, which aborts mid-event and is
+// therefore not resumable; source and context errors, which land
+// between events, are.
+type feedError struct{ err error }
+
+func (e *feedError) Error() string { return e.err.Error() }
+func (e *feedError) Unwrap() error { return e.err }
+
+// ReplayResumable is Replay returning a Checkpoint alongside a
+// resumable error: source failures and context cancellation yield a
+// non-nil checkpoint from which Resume continues; config and runner
+// feed errors yield a nil checkpoint (nothing consistent to resume).
+// On success the checkpoint is nil and the results are exactly
+// Replay's.
+func ReplayResumable(ctx context.Context, src Source, cfgs []sim.Config) ([]*sim.Result, *Checkpoint, error) {
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("engine: config %d: %w", i, err)
+		}
+	}
+	runners := make([]*sim.Runner, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := sim.NewRunner(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		runners[i] = r
+	}
+	return replayFrom(ctx, src, runners, 0)
+}
+
+// Resume continues the interrupted replay from a reopened source. The
+// source must replay the same stream from the beginning: the first
+// Events() events are decoded and discarded (the runners already
+// processed them), and feeding resumes at the interruption point. A
+// source that ends before reaching the checkpoint is an error. Resume
+// can itself be interrupted and resumed again.
+//
+// The checkpoint owns its runners: after a successful Resume they are
+// finished and the checkpoint must not be resumed again.
+func (c *Checkpoint) Resume(ctx context.Context, src Source) ([]*sim.Result, *Checkpoint, error) {
+	return replayFrom(ctx, src, c.runners, c.events)
+}
+
+// replayFrom is the shared replay core: decode events from src,
+// discard the first skip (already processed), fan out the rest to the
+// runners, and classify any abort as resumable or not.
+func replayFrom(ctx context.Context, src Source, runners []*sim.Runner, skip int) ([]*sim.Result, *Checkpoint, error) {
+	n := 0
+	err := src(func(e trace.Event) error {
+		if n%cancelCheckEvery == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		if n < skip {
+			n++
+			return nil
+		}
+		for _, r := range runners {
+			if ferr := r.Feed(e); ferr != nil {
+				return &feedError{fmt.Errorf("%s: %w", r.Collector(), ferr)}
+			}
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		var fe *feedError
+		if errors.As(err, &fe) {
+			return nil, nil, fe.err
+		}
+		if n < skip {
+			return nil, nil, fmt.Errorf("engine: resume: source failed %d event(s) before the checkpoint at %d: %w", skip-n, skip, err)
+		}
+		return nil, &Checkpoint{runners: runners, events: n}, err
+	}
+	if n < skip {
+		return nil, nil, fmt.Errorf("engine: resume: source delivered %d event(s), checkpoint expects at least %d", n, skip)
+	}
+	results := make([]*sim.Result, len(runners))
+	for i, r := range runners {
+		results[i] = r.Finish()
+	}
+	return results, nil, nil
+}

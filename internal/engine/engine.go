@@ -16,7 +16,6 @@ package engine
 
 import (
 	"context"
-	"fmt"
 	"io"
 
 	"github.com/dtbgc/dtbgc/internal/sim"
@@ -41,10 +40,17 @@ func SliceSource(events []trace.Event) Source {
 	}
 }
 
-// ReaderSource adapts a streaming trace decoder to a Source: events
+// EventReader is the pull-style decoder shape: Read returns the next
+// event or io.EOF at a clean end. Both trace.Reader and
+// trace.RecoveringReader satisfy it.
+type EventReader interface {
+	Read() (trace.Event, error)
+}
+
+// EventReaderSource adapts any pull-style decoder to a Source: events
 // decode one at a time, so memory use is bounded by the simulated
 // heaps, not the trace length.
-func ReaderSource(rd *trace.Reader) Source {
+func EventReaderSource(rd EventReader) Source {
 	return func(emit func(trace.Event) error) error {
 		for {
 			e, err := rd.Read()
@@ -59,6 +65,11 @@ func ReaderSource(rd *trace.Reader) Source {
 			}
 		}
 	}
+}
+
+// ReaderSource adapts the strict trace decoder to a Source.
+func ReaderSource(rd *trace.Reader) Source {
+	return EventReaderSource(rd)
 }
 
 // cancelCheckEvery is the number of events between context checks on
@@ -78,44 +89,13 @@ const cancelCheckEvery = 4096
 // collector's name; a source error aborts it unchanged; cancellation
 // of ctx is detected between events and returns ctx's error.
 func Replay(ctx context.Context, src Source, cfgs []sim.Config) ([]*sim.Result, error) {
-	// Validate every config before constructing any runner:
-	// construction emits the probe's RunStart, so a bad config halfway
-	// through the set would otherwise leave the earlier runners'
-	// telemetry streams opened but never finished.
-	for i, cfg := range cfgs {
-		if err := cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("engine: config %d: %w", i, err)
-		}
-	}
-	runners := make([]*sim.Runner, len(cfgs))
-	for i, cfg := range cfgs {
-		r, err := sim.NewRunner(cfg)
-		if err != nil {
-			return nil, err
-		}
-		runners[i] = r
-	}
-	n := 0
-	err := src(func(e trace.Event) error {
-		if n%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		n++
-		for _, r := range runners {
-			if err := r.Feed(e); err != nil {
-				return fmt.Errorf("%s: %w", r.Collector(), err)
-			}
-		}
-		return nil
-	})
+	// Config validation happens before constructing any runner (see
+	// ReplayResumable): construction emits the probe's RunStart, so a
+	// bad config halfway through the set would otherwise leave the
+	// earlier runners' telemetry streams opened but never finished.
+	results, _, err := ReplayResumable(ctx, src, cfgs)
 	if err != nil {
 		return nil, err
-	}
-	results := make([]*sim.Result, len(runners))
-	for i, r := range runners {
-		results[i] = r.Finish()
 	}
 	return results, nil
 }

@@ -1,0 +1,44 @@
+package fault
+
+import "io"
+
+// Reader injects the plan's read-side faults (ReadErr, Truncate) into
+// an io.Reader at exact byte offsets. Reads short of the next
+// scheduled offset pass through; the read that would cross it is
+// capped so the fault fires at precisely its offset.
+type Reader struct {
+	r    io.Reader
+	plan *Plan
+	off  uint64 // bytes delivered so far
+}
+
+// Reader wraps r with the plan's read-side faults. A nil plan (or a
+// plan with no read-side faults left) passes r through unchanged.
+func (p *Plan) Reader(r io.Reader) io.Reader {
+	if p == nil {
+		return r
+	}
+	return &Reader{r: r, plan: p}
+}
+
+// Read implements io.Reader.
+func (f *Reader) Read(b []byte) (int, error) {
+	next := f.plan.next(ReadErr, Truncate)
+	if next != nil {
+		if f.off >= next.Offset {
+			f.plan.fire(next)
+			if next.Kind == Truncate {
+				// The torn tail: the stream just ends, with nothing to
+				// distinguish it from a clean EOF at this layer.
+				return 0, io.EOF
+			}
+			return 0, injected(next.Fault)
+		}
+		if max := next.Offset - f.off; uint64(len(b)) > max {
+			b = b[:max]
+		}
+	}
+	n, err := f.r.Read(b)
+	f.off += uint64(n)
+	return n, err
+}

@@ -1,0 +1,36 @@
+package fault
+
+import "github.com/dtbgc/dtbgc/internal/trace"
+
+// EventStream is the event-source signature shared with
+// engine.Source: emit every event in order, stop at the first emit
+// error. It is redeclared here (identical underlying type, so values
+// convert freely) to keep this package free of an engine dependency.
+type EventStream = func(emit func(trace.Event) error) error
+
+// Source wraps an event source with the plan's event-indexed faults:
+// SourceErr fails the stream after its event offset, and Cancel
+// invokes cancel there instead — modelling an interrupt storm, with
+// the stream itself continuing until the consumer's next context
+// check aborts it. A nil cancel is allowed when no Cancel fault is
+// scheduled.
+func (p *Plan) Source(src EventStream, cancel func()) EventStream {
+	if p == nil {
+		return src
+	}
+	return func(emit func(trace.Event) error) error {
+		n := uint64(0)
+		return src(func(e trace.Event) error {
+			if f := p.next(SourceErr, Cancel); f != nil && n >= f.Offset {
+				p.fire(f)
+				if f.Kind == Cancel {
+					cancel()
+				} else {
+					return injected(f.Fault)
+				}
+			}
+			n++
+			return emit(e)
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package fault
+
+import "io"
+
+// Writer injects the plan's write-side faults (WriteErr, CloseErr,
+// ShortWrite) into an io.Writer. Close applies only the injected
+// close fault — it never closes the underlying writer, whose ownership
+// stays with the caller — so checked-close call sites can wrap any
+// writer without double-close concerns.
+type Writer struct {
+	w    io.Writer
+	plan *Plan
+	off  uint64 // bytes accepted so far
+}
+
+// Writer wraps w with the plan's write-side faults. A nil plan yields
+// a pass-through wrapper whose Close is a no-op, so call sites can
+// thread an optional plan unconditionally.
+func (p *Plan) Writer(w io.Writer) *Writer {
+	return &Writer{w: w, plan: p}
+}
+
+// Write implements io.Writer.
+func (f *Writer) Write(b []byte) (int, error) {
+	if f.plan == nil {
+		return f.w.Write(b)
+	}
+	if sw := f.plan.next(ShortWrite); sw != nil && uint64(len(b)) > sw.Offset {
+		// A contract-violating writer: accept a prefix, report no
+		// error. bufio must turn this into io.ErrShortWrite.
+		n, err := f.w.Write(b[:sw.Offset])
+		f.off += uint64(n)
+		return n, err
+	}
+	if we := f.plan.next(WriteErr); we != nil && f.off+uint64(len(b)) > we.Offset {
+		f.plan.fire(we)
+		// ENOSPC mid-buffer: the prefix up to the offset lands, the
+		// rest does not, and the error says so.
+		n := 0
+		if we.Offset > f.off {
+			var err error
+			n, err = f.w.Write(b[:we.Offset-f.off])
+			f.off += uint64(n)
+			if err != nil {
+				return n, err
+			}
+		}
+		return n, injected(we.Fault)
+	}
+	n, err := f.w.Write(b)
+	f.off += uint64(n)
+	return n, err
+}
+
+// Close implements io.Closer: it fires a scheduled CloseErr and
+// otherwise does nothing (the underlying writer is not closed).
+func (f *Writer) Close() error {
+	if ce := f.plan.next(CloseErr); ce != nil {
+		f.plan.fire(ce)
+		return injected(ce.Fault)
+	}
+	return nil
+}

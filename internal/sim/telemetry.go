@@ -8,6 +8,7 @@ import (
 
 	"github.com/dtbgc/dtbgc/internal/core"
 	"github.com/dtbgc/dtbgc/internal/stats"
+	"github.com/dtbgc/dtbgc/internal/trace"
 )
 
 // TelemetryWriter is the machine-consumption Probe: it writes one JSON
@@ -106,6 +107,14 @@ type jsonProgress struct {
 	Collections int       `json:"collections"`
 }
 
+type jsonDrops struct {
+	Event          string `json:"event"`
+	Label          string `json:"label"`
+	CorruptRecords int    `json:"corrupt_records"`
+	TornTail       int    `json:"torn_tail_records"`
+	BytesDropped   uint64 `json:"bytes_dropped"`
+}
+
 type jsonRunFinish struct {
 	Event            string  `json:"event"`
 	Label            string  `json:"label"`
@@ -173,6 +182,24 @@ func (t *TelemetryWriter) RunFinish(e RunFinish) {
 		OverheadPct:     r.OverheadPct,
 		PauseP50Seconds: stats.Percentile(r.Pauses, 50),
 		PauseP90Seconds: stats.Percentile(r.Pauses, 90),
+	})
+}
+
+// Drops records recovery-mode trace damage in the telemetry stream: a
+// "drops" line carrying the trace.DropStats accounting for the named
+// run (or trace). It is not part of the Probe interface — drops are a
+// property of the input stream, not of any one collector's run — so
+// the replay harness calls it once per damaged source, after the runs
+// it fed. Nothing is written when d is empty: an absent "drops" line
+// means the stream decoded completely.
+func (t *TelemetryWriter) Drops(label string, d trace.DropStats) {
+	if !d.Any() {
+		return
+	}
+	t.emit(jsonDrops{
+		Event: "drops", Label: label,
+		CorruptRecords: d.CorruptRecords, TornTail: d.TornTail,
+		BytesDropped: d.BytesDropped,
 	})
 }
 

@@ -61,3 +61,73 @@ func FuzzReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRecoveringReader: recovery must terminate on any input (resync
+// advances at least one byte per attempt), keep its drop accounting
+// exact, and salvage only well-formed traces.
+func FuzzRecoveringReader(f *testing.F) {
+	good := func(events []Event) []byte {
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, events); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	clean := good([]Event{Alloc(1, 64, 0), PtrWrite(1, 0, 2, 3), Mark("m", 5), Free(1, 9)})
+	f.Add(clean)
+	f.Add(clean[:len(clean)-2])                      // torn tail
+	f.Add(append(clean[:8], clean[10:]...))          // bytes cut mid-stream
+	f.Add(append(good(nil), 0xFF, 0xFF, 0x01, 0x02)) // garbage body
+	f.Add([]byte("DTBT\x01"))                        // header only
+	f.Add([]byte("garbage"))                         // damaged header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rr := NewRecoveringReader(bytes.NewReader(data))
+		events, err := rr.ReadAll()
+		if err != nil {
+			// Only the strict header check may fail on an in-memory
+			// stream; content damage must always be recovered past.
+			if len(data) >= len(binaryMagic) && bytes.Equal(data[:len(binaryMagic)], binaryMagic) {
+				t.Fatalf("recovery failed on a well-headed stream: %v", err)
+			}
+			return
+		}
+		drops := rr.Drops()
+		// The accounting invariants the audit layer relies on.
+		if (drops.BytesDropped > 0) != drops.Any() {
+			t.Fatalf("inconsistent accounting: %+v", drops)
+		}
+		if drops.TornTail > 1 {
+			t.Fatalf("stream ended %d times: %+v", drops.TornTail, drops)
+		}
+		if body := uint64(len(data) - len(binaryMagic)); drops.BytesDropped > body {
+			t.Fatalf("dropped %d bytes from a %d-byte body", drops.BytesDropped, body)
+		}
+		if rr.Events() != len(events) {
+			t.Fatalf("Events()=%d but %d events decoded", rr.Events(), len(events))
+		}
+		// The clock is monotone even across resync gaps.
+		for i := 1; i < len(events); i++ {
+			if events[i].Instr < events[i-1].Instr {
+				t.Fatalf("clock regressed at %d: %d -> %d", i, events[i-1].Instr, events[i].Instr)
+			}
+		}
+		// Whatever was salvaged re-encodes canonically: encode once,
+		// strict-decode, and get the identical events back.
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, events); err != nil {
+			t.Fatalf("recovered events failed to re-encode: %v", err)
+		}
+		again, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+		if err != nil {
+			t.Fatalf("re-encoded stream failed strict decode: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("re-encode changed event count %d -> %d", len(events), len(again))
+		}
+		for i := range again {
+			if again[i] != events[i] {
+				t.Fatalf("re-encode changed event %d: %+v -> %+v", i, events[i], again[i])
+			}
+		}
+	})
+}
