@@ -219,6 +219,7 @@ func runEval(args []string, stdout, stderr io.Writer) (err error) {
 			return perr
 		}
 		if perr := pprof.StartCPUProfile(profOut); perr != nil {
+			//dtbvet:ignore errsink -- cleanup after StartCPUProfile failed: perr wins and nothing was written yet
 			profOut.Close()
 			return perr
 		}

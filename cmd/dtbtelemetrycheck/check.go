@@ -265,7 +265,9 @@ func checkSequence(st *runState, event string, obj map[string]any, lineNo int, l
 		}
 		surviving := obj["surviving"].(float64)
 		live := obj["live"].(float64)
-		if tg := obj["tenured_garbage"].(float64); tg != surviving-live {
+		// The counts are integers riding in JSON float64s; compare them
+		// as integers rather than with float ==.
+		if tg := obj["tenured_garbage"].(float64); int64(tg) != int64(surviving)-int64(live) {
 			report("tenured_garbage=%v does not equal surviving-live=%v", tg, surviving-live)
 		}
 		if pause := obj["pause_seconds"].(float64); pause < 0 {

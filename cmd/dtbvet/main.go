@@ -1,19 +1,31 @@
 // Command dtbvet runs the project's static-analysis suite
-// (internal/analysis) over the module: four analyzers enforcing the
+// (internal/analysis) over the module: eight analyzers enforcing the
 // allocation-clock unit discipline, boundary-policy purity,
-// simulation determinism, and trace-event-switch exhaustiveness —
-// invariants the reproduction depends on but the Go compiler cannot
-// see.
+// simulation determinism, trace-event-switch exhaustiveness, the
+// cliio error-sink discipline (tests and examples included), float
+// bit-exactness, the //dtbvet:hotpath allocation contract, and
+// goroutine join/cancellation hygiene in the fan-out code — invariants
+// the reproduction depends on but the Go compiler cannot see.
 //
 // Usage:
 //
-//	dtbvet ./...            # analyze the whole module (the CI gate)
-//	dtbvet -list            # describe the analyzers
-//	dtbvet -only determinism ./...
+//	dtbvet ./...                  # analyze the whole module (the CI gate)
+//	dtbvet -list                  # describe the analyzers
+//	dtbvet -only errsink ./...    # run a subset
+//	dtbvet -json ./...            # machine-readable report on stdout
+//	dtbvet -selftest              # mutation check: every analyzer must fire on its fixture
+//	dtbvet -writebaseline ./...   # re-record the accepted-findings baseline
+//
+// Findings are compared against the committed baseline
+// (dtbvet_baseline.json at the module root, override with -baseline):
+// new findings fail the build, and so do baseline entries that no
+// longer fire — drift must be resolved by deleting the entry or
+// deliberately re-recording.
 //
 // Exit status is 0 when the module is clean, 1 when diagnostics were
 // reported, 2 on a load or usage error. Intentional exceptions are
-// annotated at the offending line with `//dtbvet:ignore <reason>`.
+// annotated at the offending line with a scoped, reasoned
+// `//dtbvet:ignore <analyzer>[,analyzer...] -- <reason>`.
 package main
 
 import (
@@ -26,15 +38,46 @@ import (
 	"github.com/dtbgc/dtbgc/internal/analysis"
 )
 
+// defaultBaseline is the committed ledger of accepted findings,
+// relative to the module root.
+const defaultBaseline = "dtbvet_baseline.json"
+
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "write the findings as JSON on stdout")
+	baselinePath := flag.String("baseline", "", "baseline file (default: <module>/"+defaultBaseline+")")
+	writeBaseline := flag.Bool("writebaseline", false, "re-record the baseline from the current findings and exit")
+	selftest := flag.Bool("selftest", false, "run the mutation self-test: every analyzer must fire on its fixture")
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			scope := ""
+			if a.Tests {
+				scope = " [runs on tests]"
+			}
+			sev := a.Severity
+			if sev == "" {
+				sev = analysis.SeverityError
+			}
+			fmt.Printf("%-14s %-8s %s%s\n", a.Name, sev, a.Doc, scope)
 		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtbvet:", err)
+		os.Exit(2)
+	}
+
+	if *selftest {
+		if err := analysis.SelfTest(root); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbvet:", err)
+			os.Exit(1)
+		}
+		fmt.Println("dtbvet: selftest ok: every analyzer fires on its mutant fixture and stays silent on the clean corpus")
 		return
 	}
 
@@ -64,29 +107,49 @@ func main() {
 		}
 	}
 
-	root, err := findModuleRoot()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtbvet:", err)
-		os.Exit(2)
-	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtbvet:", err)
 		os.Exit(2)
 	}
-	pkgs, err := loader.LoadModule()
+	pkgs, err := loader.LoadModuleWithTests()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtbvet:", err)
 		os.Exit(2)
 	}
 
 	diags := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		rel := d
-		if r, err := relTo(root, d.Pos.Filename); err == nil {
-			rel.Pos.Filename = r
+
+	path := *baselinePath
+	if path == "" {
+		path = filepath.Join(root, defaultBaseline)
+	}
+	if *writeBaseline {
+		if err := analysis.WriteBaseline(path, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbvet:", err)
+			os.Exit(2)
 		}
-		fmt.Println(rel)
+		fmt.Printf("dtbvet: recorded %d finding(s) in %s\n", len(diags), path)
+		return
+	}
+	baseline, err := analysis.LoadBaseline(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtbvet:", err)
+		os.Exit(2)
+	}
+	diags = baseline.Apply(root, diags)
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			rel := d
+			rel.Pos.Filename = analysis.RelPath(root, d.Pos.Filename)
+			fmt.Println(rel)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dtbvet: %d problem(s) in %d package(s) analyzed\n", len(diags), len(pkgs))
@@ -111,8 +174,4 @@ func findModuleRoot() (string, error) {
 		}
 		dir = parent
 	}
-}
-
-func relTo(root, path string) (string, error) {
-	return filepath.Rel(root, path)
 }

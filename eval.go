@@ -49,7 +49,7 @@ type EvalOptions struct {
 }
 
 func (o EvalOptions) withDefaults() EvalOptions {
-	if o.Scale == 0 {
+	if o.Scale == 0 { //dtbvet:ignore floatexact -- exact zero is the unset-option sentinel; no arithmetic feeds it
 		o.Scale = 1
 	}
 	if o.TriggerBytes == 0 {

@@ -94,7 +94,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
+	// The telemetry stream is WRITTEN through f, so its Close error is
+	// where a failed final flush surfaces — a bare deferred Close would
+	// exit 0 on a truncated file.
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+	}()
 	tw := dtbgc.NewTelemetryWriter(f)
 
 	res, err := dtbgc.Simulate(events, dtbgc.SimOptions{

@@ -1,7 +1,9 @@
 // Package analysis is the project's static-analysis suite: a small,
-// stdlib-only framework (go/ast + go/types; no external modules) and
-// four project-specific analyzers enforcing invariants the Go type
-// system cannot express but the reproduction depends on:
+// stdlib-only framework (go/ast + go/types; no external modules), a
+// dataflow layer (per-function use-def chains and a package-level
+// call-graph approximation — see dataflow.go), and eight
+// project-specific analyzers enforcing invariants the Go type system
+// cannot express but the reproduction depends on:
 //
 //   - allocclock: core.Time is an allocation-clock reading, not a byte
 //     count; raw integer conversions between the two outside
@@ -17,14 +19,35 @@
 //   - eventswitch: every switch over trace.Kind must be exhaustive or
 //     carry a default, so a new event kind cannot be silently dropped
 //     by a codec, simulator or analysis.
+//   - errsink: a discarded error from Close/Flush/Write-shaped sinks
+//     (including their module-local wrappers, found through the call
+//     graph) silently converts I/O failure into truncated output —
+//     the exact bug class internal/cliio exists to kill. Runs on test
+//     files and examples too.
+//   - floatexact: the differential oracle's bit-identity contract
+//     (math.Float64bits) makes ==/!=/switch/map-keying on floating
+//     types a trap; every such site must be rewritten or carry a
+//     reasoned ignore.
+//   - hotalloc: functions marked //dtbvet:hotpath must not allocate
+//     per call — escaping composite literals, capacity-less append
+//     growth, escaping closures, interface boxing and fmt calls are
+//     flagged.
+//   - leakcheck: goroutines in internal/engine and internal/sim must
+//     carry a join (WaitGroup.Done) or cancellation (ctx.Done) path,
+//     and channel sends there must be select-guarded.
 //
-// Intentional exceptions are annotated in the source with
+// Intentional exceptions are annotated in the source with a scoped,
+// reasoned directive naming the analyzer(s) being silenced:
 //
-//	//dtbvet:ignore <reason>
+//	//dtbvet:ignore <analyzer>[,analyzer...] -- <reason>
 //
-// on, or on the line above, the reported line. The reason is
-// mandatory; a bare directive is itself reported. cmd/dtbvet is the
-// command-line driver.
+// on, or on the line above, the reported line. The analyzer name and
+// the reason are both mandatory; a bare or unscoped directive, an
+// unknown analyzer name, and a directive that no longer suppresses
+// anything (a stale suppression outliving its pass) are themselves
+// reported. cmd/dtbvet is the command-line driver; it adds JSON
+// output, a committed findings baseline with drift detection, and a
+// mutation-style self-test.
 package analysis
 
 import (
@@ -36,22 +59,45 @@ import (
 	"strings"
 )
 
+// Severity ranks a diagnostic. Every severity gates the build (dtbvet
+// exits non-zero); the level exists so machine consumers (-json) can
+// rank work, not so warnings can be ignored.
+type Severity string
+
+const (
+	// SeverityError marks a correctness contract violation.
+	SeverityError Severity = "error"
+	// SeverityWarning marks a performance-discipline violation
+	// (hotalloc): wrong for the hot path, not wrong in general.
+	SeverityWarning Severity = "warning"
+)
+
 // Analyzer is one named check.
 type Analyzer struct {
-	Name string // short lower-case identifier, e.g. "allocclock"
-	Doc  string // one-line description of the invariant it guards
-	Run  func(*Pass)
+	Name     string   // short lower-case identifier, e.g. "allocclock"
+	Doc      string   // one-line description of the invariant it guards
+	Severity Severity // default severity for its diagnostics
+	Tests    bool     // whether the analyzer also runs on test-file packages
+	Run      func(*Pass)
 }
 
 // All returns the full suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{AllocClock, PolicyPurity, Determinism, EventSwitch}
+	return []*Analyzer{
+		AllocClock, PolicyPurity, Determinism, EventSwitch,
+		ErrSink, FloatExact, HotAlloc, LeakCheck,
+	}
 }
+
+// metaAnalyzer names the framework's own diagnostics (directive
+// misuse, baseline drift). They cannot be suppressed.
+const metaAnalyzer = "dtbvet"
 
 // Diagnostic is one reported violation.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	Severity Severity
 	Message  string
 }
 
@@ -63,6 +109,7 @@ func (d Diagnostic) String() string {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Unit     *Unit // shared across the whole load (call graph, sinks)
 
 	diags   *[]Diagnostic
 	ignores map[string]map[int]*ignoreDirective
@@ -74,60 +121,122 @@ func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
 // TypesInfo returns the package's type-checker results.
 func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 
-// Reportf records a diagnostic at pos unless an ignore directive
-// covers that line.
+// Reportf records a diagnostic at pos (at the analyzer's default
+// severity) unless an ignore directive scoped to this analyzer covers
+// that line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	if d := p.ignoreFor(position); d != nil {
 		d.used = true
 		return
 	}
+	sev := p.Analyzer.Severity
+	if sev == "" {
+		sev = SeverityError
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
+		Severity: sev,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
+// ignoreFor returns the directive covering pos and scoped to this
+// pass's analyzer, or nil. A directive only suppresses the analyzers
+// it names.
 func (p *Pass) ignoreFor(pos token.Position) *ignoreDirective {
 	lines := p.ignores[pos.Filename]
-	if d := lines[pos.Line]; d != nil {
-		return d
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d := lines[line]; d != nil && d.covers(p.Analyzer.Name) {
+			return d
+		}
 	}
-	return lines[pos.Line-1]
+	return nil
 }
 
 // ignoreDirective is one //dtbvet:ignore comment.
 type ignoreDirective struct {
-	pos    token.Position
-	reason string
-	used   bool
+	pos       token.Position
+	analyzers []string // the passes it silences
+	reason    string
+	malformed string // non-empty: the parse/validation problem to report
+	used      bool
 }
 
-const ignorePrefix = "dtbvet:ignore"
+func (d *ignoreDirective) covers(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	ignorePrefix  = "dtbvet:ignore"
+	hotpathPrefix = "dtbvet:hotpath"
+	reasonSep     = "--"
+)
+
+// parseIgnore parses the text after "dtbvet:ignore". The format is
+//
+//	<analyzer>[,analyzer...] -- <reason>
+//
+// and both halves are mandatory: an unscoped suppression cannot be
+// retired when its pass changes, and an unexplained one cannot be
+// audited. known maps valid analyzer names.
+func parseIgnore(text string, known map[string]bool) ignoreDirective {
+	names, reason, found := strings.Cut(text, reasonSep)
+	if !found {
+		return ignoreDirective{malformed: fmt.Sprintf(
+			"//dtbvet:ignore needs an analyzer scope and a reason: //dtbvet:ignore <analyzer> %s <reason>", reasonSep)}
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		return ignoreDirective{malformed: "//dtbvet:ignore directive needs a reason"}
+	}
+	var d ignoreDirective
+	d.reason = reason
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] || name == metaAnalyzer {
+			return ignoreDirective{malformed: fmt.Sprintf(
+				"//dtbvet:ignore names unknown analyzer %q (run dtbvet -list)", name)}
+		}
+		d.analyzers = append(d.analyzers, name)
+	}
+	if len(d.analyzers) == 0 {
+		return ignoreDirective{malformed: fmt.Sprintf(
+			"//dtbvet:ignore needs at least one analyzer name before %q", reasonSep)}
+	}
+	return d
+}
 
 // collectIgnores indexes every //dtbvet:ignore directive by file and
 // line so Reportf can consult them in O(1).
-func collectIgnores(pkg *Package) map[string]map[int]*ignoreDirective {
+func collectIgnores(pkg *Package, known map[string]bool) map[string]map[int]*ignoreDirective {
 	out := make(map[string]map[int]*ignoreDirective)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, ignorePrefix) {
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				byLine := out[pos.Filename]
+				d := parseIgnore(strings.TrimSpace(rest), known)
+				d.pos = pkg.Fset.Position(c.Pos())
+				byLine := out[d.pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int]*ignoreDirective)
-					out[pos.Filename] = byLine
+					out[d.pos.Filename] = byLine
 				}
-				byLine[pos.Line] = &ignoreDirective{
-					pos:    pos,
-					reason: strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix)),
-				}
+				byLine[d.pos.Line] = &d
 			}
 		}
 	}
@@ -135,27 +244,67 @@ func collectIgnores(pkg *Package) map[string]map[int]*ignoreDirective {
 }
 
 // RunAnalyzers applies each analyzer to each package and returns every
-// diagnostic, sorted by position. Directives without a reason are
-// reported too: an exception nobody can explain is not an exception.
+// diagnostic, sorted by position. Directive misuse is reported too: a
+// malformed or unscoped directive, and a directive whose named
+// analyzers all ran without it suppressing anything — an exception
+// that outlived its pass is not an exception, it is drift.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(All())+1)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	known[metaAnalyzer] = true
+
+	unit := NewUnit(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
+		ignores := collectIgnores(pkg, known)
+		ran := make(map[string]bool)
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags, ignores: ignores})
+			if pkg.IsTest && !a.Tests {
+				continue
+			}
+			ran[a.Name] = true
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Unit: unit, diags: &diags, ignores: ignores})
 		}
-		for _, byLine := range ignores { //dtbvet:ignore diagnostics are sorted below before emission
-			for _, d := range byLine { //dtbvet:ignore diagnostics are sorted below before emission
-				if d.reason == "" {
+		for _, byLine := range ignores { //dtbvet:ignore determinism -- diagnostics are sorted below before emission
+			for _, d := range byLine { //dtbvet:ignore determinism -- diagnostics are sorted below before emission
+				switch {
+				case d.malformed != "":
 					diags = append(diags, Diagnostic{
-						Pos:      d.pos,
-						Analyzer: "dtbvet",
-						Message:  "//dtbvet:ignore directive needs a reason",
+						Pos: d.pos, Analyzer: metaAnalyzer, Severity: SeverityError,
+						Message: d.malformed,
+					})
+				case !d.used && allRan(d.analyzers, ran):
+					diags = append(diags, Diagnostic{
+						Pos: d.pos, Analyzer: metaAnalyzer, Severity: SeverityError,
+						Message: fmt.Sprintf("stale //dtbvet:ignore: %s reported nothing here — the suppression outlived its pass, remove it",
+							strings.Join(d.analyzers, ",")),
 					})
 				}
 			}
 		}
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// allRan reports whether every named analyzer was actually run on the
+// package — a suppression is only provably stale when its pass had
+// the chance to fire (think dtbvet -only subsets, or test-only
+// analyzers on shipped code).
+func allRan(names []string, ran map[string]bool) bool {
+	for _, n := range names {
+		if !ran[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer —
+// the stable order every output mode and the baseline rely on.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -167,9 +316,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
 }
 
 // --- shared type-matching helpers ---

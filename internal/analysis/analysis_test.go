@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"bytes"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -149,17 +151,253 @@ func TestEventSwitchNegative(t *testing.T) {
 	}
 }
 
-// TestBareDirectiveReported: an ignore directive without a reason
-// suppresses the underlying diagnostic but is itself reported.
+// TestBareDirectiveReported: an unscoped ignore directive suppresses
+// NOTHING (a suppression that cannot be retired is drift), so both the
+// underlying diagnostic and the directive itself are reported.
 func TestBareDirectiveReported(t *testing.T) {
 	pkg := loadFixture(t, "baredirective")
 	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism})
-	if len(diags) != 1 {
-		t.Fatalf("want exactly the directive diagnostic, got %v", diags)
+	if len(diags) != 2 {
+		t.Fatalf("want the map-range diagnostic plus the directive diagnostic, got %v", diags)
 	}
-	d := diags[0]
-	if d.Analyzer != "dtbvet" || !strings.Contains(d.Message, "needs a reason") {
-		t.Fatalf("unexpected diagnostic: %s", d)
+	var sawDirective, sawRange bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "dtbvet":
+			sawDirective = strings.Contains(d.Message, "needs an analyzer scope and a reason")
+		case "determinism":
+			sawRange = true
+		}
+	}
+	if !sawDirective || !sawRange {
+		t.Fatalf("missing expected diagnostics: %v", diags)
+	}
+}
+
+func TestErrSinkPositive(t *testing.T) {
+	if diags := checkFixture(t, "errsinkbad", ErrSink); len(diags) == 0 {
+		t.Fatal("errsink reported nothing on the bad fixture")
+	}
+}
+
+func TestErrSinkNegative(t *testing.T) {
+	if diags := checkFixture(t, "errsinkgood", ErrSink); len(diags) != 0 {
+		t.Fatalf("errsink flagged the clean fixture: %v", diags)
+	}
+}
+
+func TestFloatExactPositive(t *testing.T) {
+	if diags := checkFixture(t, "floatexactbad", FloatExact); len(diags) == 0 {
+		t.Fatal("floatexact reported nothing on the bad fixture")
+	}
+}
+
+func TestFloatExactNegative(t *testing.T) {
+	if diags := checkFixture(t, "floatexactgood", FloatExact); len(diags) != 0 {
+		t.Fatalf("floatexact flagged the clean fixture: %v", diags)
+	}
+}
+
+func TestHotAllocPositive(t *testing.T) {
+	diags := checkFixture(t, "hotallocbad", HotAlloc)
+	if len(diags) == 0 {
+		t.Fatal("hotalloc reported nothing on the bad fixture")
+	}
+	for _, d := range diags {
+		if d.Severity != SeverityWarning {
+			t.Errorf("hotalloc diagnostic has severity %q, want warning: %s", d.Severity, d)
+		}
+	}
+}
+
+func TestHotAllocNegative(t *testing.T) {
+	if diags := checkFixture(t, "hotallocgood", HotAlloc); len(diags) != 0 {
+		t.Fatalf("hotalloc flagged the clean fixture: %v", diags)
+	}
+}
+
+func TestLeakCheckPositive(t *testing.T) {
+	if diags := checkFixture(t, "leakbad/internal/engine", LeakCheck); len(diags) == 0 {
+		t.Fatal("leakcheck reported nothing on the bad fixture")
+	}
+}
+
+func TestLeakCheckNegative(t *testing.T) {
+	if diags := checkFixture(t, "leakgood/internal/engine", LeakCheck); len(diags) != 0 {
+		t.Fatalf("leakcheck flagged the clean fixture: %v", diags)
+	}
+}
+
+// TestLeakCheckScoped: the same leaky code outside internal/engine and
+// internal/sim is not leakcheck's business.
+func TestLeakCheckScoped(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "leakbad", "internal", "engine")
+	pkg, err := fixtureLoader(t).LoadDir(dir, "fixture/leakbad/unscoped")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{LeakCheck}); len(diags) != 0 {
+		t.Fatalf("leakcheck fired outside its package scope: %v", diags)
+	}
+}
+
+// TestSelfTest runs the same mutation check as dtbvet -selftest: every
+// analyzer must be able to fire.
+func TestSelfTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks every fixture; skipped in -short mode")
+	}
+	if err := SelfTest(filepath.Join("..", "..")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseIgnore pins the directive grammar: scoped names plus a
+// mandatory reason, with every malformed shape reported.
+func TestParseIgnore(t *testing.T) {
+	known := map[string]bool{"errsink": true, "floatexact": true, metaAnalyzer: true}
+	for _, tc := range []struct {
+		text      string
+		analyzers []string
+		malformed string
+	}{
+		{"errsink -- read-only handle", []string{"errsink"}, ""},
+		{"errsink,floatexact -- both intentional", []string{"errsink", "floatexact"}, ""},
+		{"", nil, "needs an analyzer scope and a reason"},
+		{"some free-text reason", nil, "needs an analyzer scope and a reason"},
+		{"errsink --", nil, "needs a reason"},
+		{"nonsense -- reason", nil, "unknown analyzer"},
+		{"dtbvet -- reason", nil, "unknown analyzer"}, // the meta name is not suppressible
+		{"-- reason", nil, "at least one analyzer name"},
+	} {
+		d := parseIgnore(tc.text, known)
+		if tc.malformed != "" {
+			if !strings.Contains(d.malformed, tc.malformed) {
+				t.Errorf("parseIgnore(%q).malformed = %q, want containing %q", tc.text, d.malformed, tc.malformed)
+			}
+			continue
+		}
+		if d.malformed != "" {
+			t.Errorf("parseIgnore(%q) unexpectedly malformed: %s", tc.text, d.malformed)
+			continue
+		}
+		if len(d.analyzers) != len(tc.analyzers) {
+			t.Errorf("parseIgnore(%q).analyzers = %v, want %v", tc.text, d.analyzers, tc.analyzers)
+			continue
+		}
+		for i := range d.analyzers {
+			if d.analyzers[i] != tc.analyzers[i] {
+				t.Errorf("parseIgnore(%q).analyzers = %v, want %v", tc.text, d.analyzers, tc.analyzers)
+			}
+		}
+	}
+}
+
+// TestBaselineRoundTrip pins the ledger semantics: covered findings
+// are filtered, new findings pass through, and stale entries surface
+// as drift.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	mk := func(file, analyzer, msg string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: filepath.Join(root, file), Line: 7},
+			Analyzer: analyzer, Severity: SeverityError, Message: msg,
+		}
+	}
+	recorded := []Diagnostic{
+		mk("a/a.go", "errsink", "close discarded"),
+		mk("b/b.go", "floatexact", "== on float64"),
+	}
+	path := filepath.Join(root, "baseline.json")
+	if err := WriteBaseline(path, root, recorded); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+
+	// Same findings: fully covered, nothing reported.
+	if out := b.Apply(root, recorded); len(out) != 0 {
+		t.Fatalf("recorded findings not covered by their own baseline: %v", out)
+	}
+
+	// One covered, one new, one baseline entry gone stale.
+	now := []Diagnostic{
+		mk("a/a.go", "errsink", "close discarded"),
+		mk("c/c.go", "leakcheck", "orphan goroutine"),
+	}
+	out := b.Apply(root, now)
+	if len(out) != 2 {
+		t.Fatalf("want the new finding plus one drift diagnostic, got %v", out)
+	}
+	var sawNew, sawDrift bool
+	for _, d := range out {
+		if d.Analyzer == "leakcheck" {
+			sawNew = true
+		}
+		if d.Analyzer == metaAnalyzer && strings.Contains(d.Message, "baseline drift") &&
+			strings.Contains(d.Message, "b/b.go") {
+			sawDrift = true
+		}
+	}
+	if !sawNew || !sawDrift {
+		t.Fatalf("missing expected outputs: %v", out)
+	}
+
+	// A missing baseline file is an empty baseline.
+	empty, err := LoadBaseline(filepath.Join(root, "nope.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline(missing): %v", err)
+	}
+	if out := empty.Apply(root, now); len(out) != len(now) {
+		t.Fatalf("empty baseline should pass findings through, got %v", out)
+	}
+}
+
+// TestWriteJSONGolden pins the -json contract byte for byte.
+func TestWriteJSONGolden(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("mod")
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "gc", "gc.go"), Line: 358, Column: 11},
+			Analyzer: "hotalloc", Severity: SeverityWarning,
+			Message: "hotpath CollectAt appends to dead, which never has capacity",
+		},
+		{
+			Pos:      token.Position{Filename: filepath.Join(root, "sim.go"), Line: 136, Column: 15},
+			Analyzer: "floatexact", Severity: SeverityError,
+			Message: "== on Machine compares floating-point data (via MIPS)",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want := `{
+  "diagnostics": [
+    {
+      "file": "internal/gc/gc.go",
+      "line": 358,
+      "column": 11,
+      "analyzer": "hotalloc",
+      "severity": "warning",
+      "message": "hotpath CollectAt appends to dead, which never has capacity"
+    },
+    {
+      "file": "sim.go",
+      "line": 136,
+      "column": 15,
+      "analyzer": "floatexact",
+      "severity": "error",
+      "message": "== on Machine compares floating-point data (via MIPS)"
+    }
+  ],
+  "count": 2
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("WriteJSON output drifted:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 
@@ -169,17 +407,33 @@ func TestModuleClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
 	}
-	pkgs, err := fixtureLoader(t).LoadModule()
+	pkgs, err := fixtureLoader(t).LoadModuleWithTests()
 	if err != nil {
-		t.Fatalf("LoadModule: %v", err)
+		t.Fatalf("LoadModuleWithTests: %v", err)
 	}
 	if len(pkgs) < 10 {
-		t.Fatalf("LoadModule found only %d packages; the walk is broken", len(pkgs))
+		t.Fatalf("LoadModuleWithTests found only %d packages; the walk is broken", len(pkgs))
 	}
-	if diags := RunAnalyzers(pkgs, All()); len(diags) != 0 {
-		for _, d := range diags {
-			t.Errorf("%s", d)
+	var tests int
+	for _, pkg := range pkgs {
+		if pkg.IsTest {
+			tests++
 		}
+	}
+	if tests == 0 {
+		t.Fatal("LoadModuleWithTests loaded no test packages; the test walk is broken")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := LoadBaseline(filepath.Join(root, "dtbvet_baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	diags := baseline.Apply(root, RunAnalyzers(pkgs, All()))
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }
 

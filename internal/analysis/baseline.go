@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The baseline is the committed ledger of accepted findings: dtbvet
+// fails on anything NOT in it, and — the half most tools skip — on
+// anything in it that no longer fires. A stale baseline entry is
+// drift: either the finding was fixed (delete the entry so it cannot
+// regress silently) or the pass changed shape (re-record deliberately
+// with -writebaseline). Matching is a multiset over (analyzer,
+// module-relative file, message): line numbers churn with every edit
+// above a finding, so they identify entries poorly and are kept only
+// as a comment-grade hint.
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative, forward slashes
+	Line     int    `json:"line"` // hint only; not used for matching
+	Message  string `json:"message"`
+}
+
+// Baseline is the decoded baseline file.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error: the zero state is "nothing is accepted".
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline records diags as the new accepted set, module-relative
+// to root, sorted for a stable diff.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	b := &Baseline{Entries: make([]BaselineEntry, 0, len(diags))}
+	for _, d := range diags {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     RelPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Line != c.Line {
+			return a.Line < c.Line
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply splits diags against the baseline: the returned slice holds
+// the findings NOT covered by a baseline entry, plus one dtbvet-level
+// drift diagnostic per baseline entry that matched nothing. Matching
+// is a multiset: two identical findings need two entries.
+func (b *Baseline) Apply(root string, diags []Diagnostic) []Diagnostic {
+	type key struct{ analyzer, file, message string }
+	budget := make(map[key]int)
+	hint := make(map[key]BaselineEntry)
+	for _, e := range b.Entries {
+		k := key{e.Analyzer, e.File, e.Message}
+		budget[k]++
+		hint[k] = e
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := key{d.Analyzer, RelPath(root, d.Pos.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	for k, n := range budget { //dtbvet:ignore determinism -- drift diagnostics are sorted before emission
+		for ; n > 0; n-- {
+			e := hint[k]
+			out = append(out, Diagnostic{
+				Analyzer: metaAnalyzer,
+				Severity: SeverityError,
+				Message: fmt.Sprintf("baseline drift: %s no longer reports %q at %s — the finding was fixed or the pass changed; remove the entry (or re-run -writebaseline deliberately)",
+					e.Analyzer, e.Message, e.File),
+			})
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// RelPath renders path module-relative with forward slashes, or
+// returns it unchanged when it lies outside root.
+func RelPath(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink guards the internal/cliio exit discipline everywhere,
+// including tests and examples: the error result of a Close/Flush/
+// Write-shaped sink — or of any module function that (transitively)
+// wraps one, found through the unit's call graph — must not be
+// discarded. Close is where buffered-write failures surface (ENOSPC
+// at the final flush), so a discarded sink error converts an I/O
+// failure into a plausible-looking truncated file with exit status 0;
+// this is the exact bug class PR 5 fixed in all four CLIs, now
+// enforced at vet time. Flagged shapes:
+//
+//   - a sink call as a bare statement:           f.Close()
+//   - a deferred sink call:                      defer f.Close()
+//   - a sink call in a goroutine statement:      go f.Close()
+//   - explicit discard of the error:             _ = f.Close()
+//   - the error bound to a variable that the use-def chains prove is
+//     never read:                                err := f.Close(); return nil
+//
+// Fix with the cliio helpers (CloseChecked folds a deferred close
+// into the return error; Output owns the flush-and-verify shape) or,
+// for genuinely best-effort sites (read-only files, cleanup after an
+// earlier failure), a scoped //dtbvet:ignore errsink -- <reason>.
+var ErrSink = &Analyzer{
+	Name:     "errsink",
+	Doc:      "errors from Close/Flush/Write sinks and their wrappers must be checked (the silent-truncation bug class)",
+	Severity: SeverityError,
+	Tests:    true,
+	Run:      runErrSink,
+}
+
+func runErrSink(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var flow *FuncFlow // lazily built; most functions call no sinks
+			results := namedResultObjs(info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.ExprStmt:
+					if call, why := sinkCall(pass, info, v.X); call != nil {
+						pass.Reportf(call.Pos(), "result of %s is discarded (%s): a failed close/flush loses buffered output — check it or fold it into the return error (cliio.CloseChecked)",
+							calleeLabel(info, call), why)
+					}
+				case *ast.DeferStmt:
+					if call, why := sinkCall(pass, info, v.Call); call != nil {
+						pass.Reportf(call.Pos(), "deferred %s discards its error (%s): this is the exit-0-on-ENOSPC shape — use defer cliio.CloseChecked(name, c, &err) instead",
+							calleeLabel(info, call), why)
+					}
+				case *ast.GoStmt:
+					if call, why := sinkCall(pass, info, v.Call); call != nil {
+						pass.Reportf(call.Pos(), "go %s discards its error (%s): nothing can observe the failure", calleeLabel(info, call), why)
+					}
+				case *ast.AssignStmt:
+					if flow == nil {
+						flow = BuildFlow(info, fd.Body)
+					}
+					checkSinkAssign(pass, info, flow, results, v)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// sinkCall reports e as a call to a sink (per the unit's
+// classification), returning the call and the reason, or nil.
+func sinkCall(pass *Pass, info *types.Info, e ast.Expr) (*ast.CallExpr, string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil, ""
+	}
+	if why := pass.Unit.SinkReason(fn); why != "" {
+		return call, why
+	}
+	return nil, ""
+}
+
+// checkSinkAssign flags assignments where a sink call's error result
+// lands in the blank identifier or in a variable the function never
+// reads.
+func checkSinkAssign(pass *Pass, info *types.Info, flow *FuncFlow, results map[types.Object]bool, as *ast.AssignStmt) {
+	// Only the single-call RHS shapes bind a sink's results to
+	// identifiable places: err := c.Close() and n, err := w.Write(p).
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, why := sinkCall(pass, info, as.Rhs[0])
+	if call == nil {
+		return
+	}
+	// The error is the last result, so it binds to the last LHS.
+	errLHS := as.Lhs[len(as.Lhs)-1]
+	id, ok := errLHS.(*ast.Ident)
+	if !ok {
+		return // stored through a selector/index: visible to the caller's own logic
+	}
+	if id.Name == "_" {
+		pass.Reportf(as.Pos(), "error of %s is explicitly discarded (%s): if this site is genuinely best-effort, say why with //dtbvet:ignore errsink -- <reason>",
+			calleeLabel(info, call), why)
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil || !isErrorType(obj.Type()) {
+		return
+	}
+	if results[obj] {
+		return // a named result is read by every return, bare ones included
+	}
+	if !flow.IsRead(obj) {
+		pass.Reportf(as.Pos(), "error of %s is bound to %s but never read (%s): the check was lost, not written", calleeLabel(info, call), id.Name, why)
+	}
+}
+
+// namedResultObjs collects the objects of fd's named results, which a
+// bare return reads without any identifier the use-def chains could
+// see.
+func namedResultObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Results == nil {
+		return out
+	}
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// calleeLabel renders the called function for a diagnostic:
+// "(*os.File).Close" or "cliio.WriteTo".
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.FullName()
+	}
+	return "sink"
+}

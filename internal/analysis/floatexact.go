@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatExact guards the audit oracle's bit-identity contract: the
+// differential oracle (internal/audit) compares results with
+// math.Float64bits because == on float64 is NOT bit-exact — NaN
+// compares unequal to itself and -0 compares equal to +0, so a
+// checker built on == can silently bless a divergent replay. Every
+// ==/!= whose operands carry floating-point data (directly, or inside
+// a comparable struct or array), every switch over a floating tag,
+// and every map keyed by a floating type is flagged. The sanctioned
+// form is comparing math.Float64bits values (uint64s — invisible to
+// this pass by construction); sites where IEEE semantics are the
+// point carry a //dtbvet:ignore floatexact -- <reason>.
+var FloatExact = &Analyzer{
+	Name:     "floatexact",
+	Doc:      "no ==/!=/switch/map-keying on floating types outside sanctioned math.Float64bits sites",
+	Severity: SeverityError,
+	Run:      runFloatExact,
+}
+
+func runFloatExact(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{v.X, v.Y} {
+					t := info.TypeOf(side)
+					if path := floatPath(t, ""); path != "" {
+						pass.Reportf(v.OpPos, "%s on %s compares floating-point data%s, which is not bit-exact (NaN != NaN, -0 == +0): compare math.Float64bits values instead",
+							v.Op, typeLabel(t), path)
+						break // one report per comparison
+					}
+				}
+			case *ast.SwitchStmt:
+				if v.Tag == nil {
+					return true
+				}
+				t := info.TypeOf(v.Tag)
+				if path := floatPath(t, ""); path != "" {
+					pass.Reportf(v.Switch, "switch over %s matches floating-point data%s by ==, which is not bit-exact: switch over math.Float64bits values or use if/else with explicit tolerances",
+						typeLabel(t), path)
+				}
+			case *ast.MapType:
+				tv, ok := info.Types[v]
+				if !ok {
+					return true
+				}
+				m, ok := tv.Type.Underlying().(*types.Map)
+				if !ok {
+					return true
+				}
+				if path := floatPath(m.Key(), ""); path != "" {
+					pass.Reportf(v.Pos(), "map keyed by %s hashes floating-point data%s: NaN keys are unretrievable and -0/+0 collide — key by math.Float64bits instead",
+						typeLabel(m.Key()), path)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// floatPath reports where inside t floating-point data hides: "" for
+// none, " directly" for a float type itself, or " (via field X)" for
+// a struct/array member. Named types are followed through their
+// underlying type; interfaces and pointers stop the walk (pointer
+// identity is exact).
+func floatPath(t types.Type, via string) string {
+	if t == nil {
+		return ""
+	}
+	return floatPathSeen(t, via, make(map[types.Type]bool))
+}
+
+func floatPathSeen(t types.Type, via string, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsFloat != 0 || u.Info()&types.IsComplex != 0 {
+			if via == "" {
+				return " directly"
+			}
+			return " (via " + via + ")"
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			field := u.Field(i)
+			inner := field.Name()
+			if via != "" {
+				inner = via + "." + inner
+			}
+			if path := floatPathSeen(field.Type(), inner, seen); path != "" {
+				return path
+			}
+		}
+	case *types.Array:
+		inner := "element"
+		if via != "" {
+			inner = via + " element"
+		}
+		return floatPathSeen(u.Elem(), inner, seen)
+	}
+	return ""
+}

@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces the allocation discipline on functions marked with
+// a //dtbvet:hotpath directive: the engine fan-out inner loop, the gc
+// mark/scavenge paths, and the mheap object table are called once per
+// event or once per object, so a single per-call allocation there
+// multiplies into the allocs/op column of BENCH_replay.json. Inside a
+// marked function the pass flags the shapes that the Go compiler
+// reliably heap-allocates or that grow amortized garbage:
+//
+//   - &T{...} composite-literal addresses, and slice/map literals
+//     (fresh backing store per call)
+//   - append to a local slice whose every binding the use-def chains
+//     can see lacks capacity (var s []T / s := []T{} /
+//     s := make([]T, 0)) — appends to fields and parameters are the
+//     amortized-accumulator pattern and are exempt
+//   - closures that capture enclosing locals and escape (launched by
+//     go/defer or stored outside the function); plain call arguments
+//     such as sort.Search comparators stay on the stack and are exempt
+//   - concrete values boxed into interface parameters (the probe/any
+//     argument shape)
+//   - fmt calls (Sprintf and friends allocate regardless of arguments)
+//
+// Sites on cold abort paths (feeding a return or a panic) are exempt:
+// errors are constructed once per failure, not once per call. The
+// directive itself is checked — one not attached to a function
+// declaration is reported, so annotations cannot silently detach.
+var HotAlloc = &Analyzer{
+	Name:     "hotalloc",
+	Doc:      "no per-call heap allocation in //dtbvet:hotpath functions (composite literals, capacity-less append, escaping closures, interface boxing, fmt)",
+	Severity: SeverityWarning,
+	Run:      runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		hot, strays := hotpathDecls(pass, f)
+		for _, pos := range strays {
+			pass.Reportf(pos, "//%s directive is not attached to a function declaration: move it into the function's doc comment", hotpathPrefix)
+		}
+		if len(hot) == 0 {
+			continue
+		}
+		parents := BuildParents(f)
+		for _, fd := range hot {
+			checkHotFunc(pass, info, parents, fd)
+		}
+	}
+}
+
+// hotpathDecls returns the functions of f marked //dtbvet:hotpath and
+// the positions of hotpath directives attached to nothing.
+func hotpathDecls(pass *Pass, f *ast.File) ([]*ast.FuncDecl, []token.Pos) {
+	marked := make(map[*ast.CommentGroup]bool)
+	var hot []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		if hasHotpathDirective(fd.Doc) {
+			marked[fd.Doc] = true
+			hot = append(hot, fd)
+		}
+	}
+	var strays []token.Pos
+	for _, cg := range f.Comments {
+		if marked[cg] || !hasHotpathDirective(cg) {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), hotpathPrefix) {
+				strays = append(strays, c.Pos())
+			}
+		}
+	}
+	return hot, strays
+}
+
+func hasHotpathDirective(cg *ast.CommentGroup) bool {
+	for _, c := range cg.List {
+		if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), hotpathPrefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, info *types.Info, parents Parents, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	name := fd.Name.Name
+	flow := BuildFlow(info, fd.Body)
+	scope := funcScope(info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return true
+			}
+			if _, isLit := ast.Unparen(v.X).(*ast.CompositeLit); !isLit {
+				return true
+			}
+			if parents.onColdPath(info, v) {
+				return true
+			}
+			pass.Reportf(v.Pos(), "hotpath %s heap-allocates a %s per call: hoist it to a reusable field or pass by value", name, typeLabel(info.TypeOf(v.X)))
+		case *ast.CompositeLit:
+			// A slice or map literal allocates its backing store even
+			// when used by value. Struct/array values may stay on the
+			// stack, so only reference-backed literals are flagged.
+			t := info.TypeOf(v)
+			if t == nil || parents.onColdPath(info, v) {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				if u, isAddr := parents[v].(*ast.UnaryExpr); isAddr && u.Op == token.AND {
+					return true // the &T{...} case above already reports it
+				}
+				pass.Reportf(v.Pos(), "hotpath %s allocates a fresh %s per call: hoist the backing store to a reusable field", name, typeLabel(t))
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, info, parents, flow, name, v)
+		case *ast.FuncLit:
+			checkHotClosure(pass, info, parents, scope, name, v)
+			return false // the closure body runs elsewhere; do not scan it as hot
+		}
+		return true
+	})
+}
+
+// checkHotCall handles the call-shaped allocation sources: fmt calls,
+// capacity-less append growth, and interface boxing of arguments.
+func checkHotCall(pass *Pass, info *types.Info, parents Parents, flow *FuncFlow, name string, call *ast.CallExpr) {
+	if parents.onColdPath(info, call) {
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "hotpath %s calls fmt.%s, which allocates on every call: format off the hot path or use strconv", name, fn.Name())
+		return // the boxing of its ...any arguments is implied by the fmt report
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if b.Name() == "append" {
+				checkHotAppend(pass, info, flow, name, call)
+			}
+			return
+		}
+	}
+	checkHotBoxing(pass, info, name, call)
+}
+
+// checkHotAppend flags append to a local slice none of whose visible
+// bindings carry capacity: every such append risks a grow-and-copy
+// cycle per call. Fields and parameters are exempt (the accumulator
+// may be preallocated by the owner), as is any local with at least one
+// binding this pass cannot prove capacity-less (a call result, a slice
+// expression, a 3-arg make).
+func checkHotAppend(pass *Pass, info *types.Info, flow *FuncFlow, name string, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.Uses[base]
+	if obj == nil {
+		obj = info.Defs[base]
+	}
+	if obj == nil || !flow.IsLocalDef(obj) {
+		return
+	}
+	for _, def := range flow.Defs(obj) {
+		if !capacityLessDef(info, def) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "hotpath %s appends to %s, which never has capacity: preallocate with make(%s, 0, n) or reuse a field", name, base.Name, typeLabel(obj.Type()))
+}
+
+// capacityLessDef reports whether def is a binding the pass can prove
+// starts with zero capacity: no binding at all (var s []T, or the
+// append's own result), nil, an empty composite literal, or a make
+// with a constant-zero length and no capacity argument.
+func capacityLessDef(info *types.Info, def ast.Expr) bool {
+	if def == nil {
+		return true
+	}
+	def = ast.Unparen(def)
+	switch v := def.(type) {
+	case *ast.Ident:
+		return v.Name == "nil"
+	case *ast.CompositeLit:
+		return len(v.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := v.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, isBuiltin := info.Uses[id].(*types.Builtin)
+		if !isBuiltin {
+			return false
+		}
+		switch b.Name() {
+		case "append":
+			// s = append(s, x): growth of the same accumulator, not a
+			// fresh capacity source.
+			return true
+		case "make":
+			if len(v.Args) >= 3 {
+				return false // explicit capacity
+			}
+			if len(v.Args) == 2 {
+				tv, ok := info.Types[v.Args[1]]
+				return ok && tv.Value != nil && tv.Value.String() == "0"
+			}
+			return true // make(map[...]...) etc.
+		}
+		return false
+	}
+	return false
+}
+
+// checkHotBoxing flags concrete non-pointer arguments passed to
+// interface parameters: each boxing allocates (or at best copies into
+// an escape-prone eface). Nil, interfaces, pointers, and conversions
+// written explicitly by the caller are exempt.
+func checkHotBoxing(pass *Pass, info *types.Info, name string, call *ast.CallExpr) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (i == sig.Params().Len()-1 && !sig.Variadic()):
+			param = sig.Params().At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			slice, isSlice := last.Underlying().(*types.Slice)
+			if !isSlice {
+				continue
+			}
+			param = slice.Elem()
+		default:
+			continue
+		}
+		if !types.IsInterface(param.Underlying()) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if basic, isBasic := at.(*types.Basic); isBasic && basic.Info()&types.IsUntyped != 0 {
+			if basic.Kind() == types.UntypedNil {
+				continue
+			}
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit in the eface word, no allocation
+		}
+		pass.Reportf(arg.Pos(), "hotpath %s boxes %s into %s per call: accept a concrete type or pass a pointer", name, typeLabel(at), typeLabel(param))
+	}
+}
+
+// checkHotClosure flags closures that capture enclosing locals and
+// escape the statement they appear in: go/defer launches and stores
+// outside the function force the captured frame to the heap. A closure
+// passed as a plain call argument (the sort.Search comparator shape)
+// does not escape and is exempt, as is one capturing nothing.
+func checkHotClosure(pass *Pass, info *types.Info, parents Parents, scope *types.Scope, name string, lit *ast.FuncLit) {
+	captured := capturedLocal(info, scope, lit)
+	if captured == "" {
+		return
+	}
+	switch parent := parents[lit].(type) {
+	case *ast.CallExpr:
+		// A call argument (or an immediately-invoked closure) stays on
+		// the stack unless the callee leaks it — beyond this pass.
+		grand := parents[parent]
+		if _, isGo := grand.(*ast.GoStmt); isGo {
+			pass.Reportf(lit.Pos(), "hotpath %s launches a goroutine closure capturing %s per call: the captured frame escapes — hoist the launch out of the hot path", name, captured)
+		}
+		if _, isDefer := grand.(*ast.DeferStmt); isDefer {
+			pass.Reportf(lit.Pos(), "hotpath %s defers a closure capturing %s per call: the captured frame escapes — use a method value or hoist the defer", name, captured)
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != lit || i >= len(parent.Lhs) {
+				continue
+			}
+			if dest, isIdent := parent.Lhs[i].(*ast.Ident); isIdent {
+				obj := info.Defs[dest]
+				if obj == nil {
+					obj = info.Uses[dest]
+				}
+				if declaredIn(obj, scope) {
+					return // stored in a local: stays in the frame
+				}
+			}
+			pass.Reportf(lit.Pos(), "hotpath %s stores a closure capturing %s outside the function: the captured frame escapes per call", name, captured)
+		}
+	}
+}
+
+// capturedLocal names one local of the enclosing function that lit
+// captures, or "" if it captures none.
+func capturedLocal(info *types.Info, scope *types.Scope, lit *ast.FuncLit) string {
+	litScope := info.Scopes[lit.Type]
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !declaredIn(obj, scope) {
+			return true
+		}
+		if declaredIn(obj, litScope) {
+			return true // the closure's own local
+		}
+		captured = obj.Name()
+		return false
+	})
+	return captured
+}

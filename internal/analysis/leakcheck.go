@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LeakCheck guards the concurrency discipline of the fan-out engine
+// and the simulator (internal/engine, internal/sim): every goroutine
+// those packages launch must have a join or a cancellation path, and
+// every channel send inside a launched goroutine must be able to give
+// up. A worker that can neither finish nor be told to stop outlives
+// its replay — the leak shows up as monotonically growing goroutine
+// counts under the fault-injection harness, long after the run that
+// spawned it returned.
+//
+// A goroutine body passes when it contains a call to a method named
+// Done — (*sync.WaitGroup).Done marks a join, <-ctx.Done() marks a
+// cancellation receive — or a receive from a done/stop/quit-named
+// channel. A send inside a goroutine passes when it sits in a select
+// with a default clause or a cancellation case. Bodies the call graph
+// cannot resolve (function values) are skipped, not flagged.
+var LeakCheck = &Analyzer{
+	Name:     "leakcheck",
+	Doc:      "goroutines in internal/engine and internal/sim need a join or cancellation path; their sends need a select-on-done escape",
+	Severity: SeverityError,
+	Run:      runLeakCheck,
+}
+
+// leakScopes are the package-path suffixes the pass applies to: the
+// pool/fan-out code where an orphaned worker outlives the replay.
+var leakScopes = []string{"internal/engine", "internal/sim"}
+
+func runLeakCheck(pass *Pass) {
+	inScope := false
+	for _, suffix := range leakScopes {
+		if hasPathSuffix(pass.Pkg.PkgPath, suffix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		parents := BuildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, launched := goroutineBody(pass, info, g)
+			if body == nil {
+				return true // function value: unresolvable, not provably a leak
+			}
+			if !hasJoinOrCancel(info, body) {
+				pass.Reportf(g.Pos(), "goroutine %s has no join or cancellation path (no WaitGroup.Done, no ctx.Done receive): it can outlive the replay that launched it", launched)
+			}
+			if lit, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+				checkGoroutineSends(pass, info, parents, lit)
+			}
+			return true
+		})
+	}
+}
+
+// goroutineBody resolves the body the go statement runs: the function
+// literal itself, or the declaration of a directly-named callee found
+// through the unit's call graph. A nil body means unresolvable.
+func goroutineBody(pass *Pass, info *types.Info, g *ast.GoStmt) (*ast.BlockStmt, string) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, "closure"
+	}
+	fn := calleeFunc(info, g.Call)
+	if fn == nil {
+		return nil, ""
+	}
+	if decl := pass.Unit.CallGraph().Decl(fn); decl != nil {
+		return decl.Body, fn.Name()
+	}
+	return nil, ""
+}
+
+// hasJoinOrCancel reports whether body contains a join or cancellation
+// marker: a call to a method named Done (WaitGroup.Done joins,
+// ctx.Done() is the cancellation channel), or a receive from a
+// done/stop/quit-named channel.
+func hasJoinOrCancel(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if isCancelReceive(info, v) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCancelReceive reports whether e is a receive from a channel whose
+// name marks it as a stop signal.
+func isCancelReceive(info *types.Info, e *ast.UnaryExpr) bool {
+	if e.Op.String() != "<-" {
+		return false
+	}
+	name := ""
+	switch v := ast.Unparen(e.X).(type) {
+	case *ast.Ident:
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			name = sel.Sel.Name
+		}
+	}
+	name = strings.ToLower(name)
+	for _, marker := range []string{"done", "stop", "quit", "cancel"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGoroutineSends flags channel sends inside a launched closure
+// that are not wrapped in a select able to give up: a worker blocked
+// forever on a full results channel is the pool-shutdown deadlock.
+func checkGoroutineSends(pass *Pass, info *types.Info, parents Parents, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if !sendGuarded(info, parents, lit, send) {
+			pass.Reportf(send.Pos(), "goroutine sends on %s without a select-on-done escape: if the receiver is gone, this send blocks forever — wrap it in select { case ch <- v: case <-done: }",
+				typeLabel(info.TypeOf(send.Chan)))
+		}
+		return true
+	})
+}
+
+// sendGuarded reports whether the send sits in a select statement that
+// can abandon it: one with a default clause or a cancellation-receive
+// case. The climb stops at the goroutine's own function literal.
+func sendGuarded(info *types.Info, parents Parents, lit *ast.FuncLit, send *ast.SendStmt) bool {
+	for cur := parents[ast.Node(send)]; cur != nil; cur = parents[cur] {
+		if cur == ast.Node(lit) {
+			return false
+		}
+		sel, ok := cur.(*ast.SelectStmt)
+		if !ok {
+			continue
+		}
+		for _, clause := range sel.Body.List {
+			comm, isComm := clause.(*ast.CommClause)
+			if !isComm {
+				continue
+			}
+			if comm.Comm == nil {
+				return true // default clause: the send cannot block
+			}
+			if commIsCancelReceive(info, comm.Comm) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commIsCancelReceive reports whether a select comm clause receives
+// from a cancellation channel.
+func commIsCancelReceive(info *types.Info, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch v := comm.(type) {
+	case *ast.ExprStmt:
+		recv = v.X
+	case *ast.AssignStmt:
+		if len(v.Rhs) == 1 {
+			recv = v.Rhs[0]
+		}
+	}
+	if recv == nil {
+		return false
+	}
+	u, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	// A receive from a method named Done is ctx.Done()-shaped even when
+	// the channel itself is unnamed.
+	if call, isCall := ast.Unparen(u.X).(*ast.CallExpr); isCall {
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	return isCancelReceive(info, u)
+}

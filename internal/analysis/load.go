@@ -14,6 +14,11 @@ import (
 )
 
 // Package is one parsed and type-checked package of the module.
+//
+// A test variant (IsTest) exposes only the _test.go files through
+// Files — analyzers report on test code without re-reporting the
+// shipped files — while Info and Types cover the whole augmented
+// package, so test code that touches shipped declarations resolves.
 type Package struct {
 	PkgPath string
 	Dir     string
@@ -21,6 +26,7 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+	IsTest  bool
 }
 
 // Loader parses and type-checks module packages with no tooling
@@ -127,6 +133,94 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 	return pkgs, nil
 }
 
+// LoadModuleWithTests loads every package in the module plus, for each
+// directory that has _test.go files, its test variants: the in-package
+// variant (base files re-checked together with the test files, Files
+// restricted to the test files) and the external _test package. This
+// is what lets errsink enforce the cliio discipline on tests and
+// examples, not just shipped code.
+func (l *Loader) LoadModuleWithTests() ([]*Package, error) {
+	base, err := l.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(base))
+	for _, pkg := range base {
+		out = append(out, pkg)
+		tests, err := l.loadTestVariants(pkg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tests...)
+	}
+	return out, nil
+}
+
+// loadTestVariants parses the _test.go files next to base and
+// type-checks up to two test packages: the augmented in-package
+// variant and the external <name>_test package. Directories without
+// test files yield nothing.
+func (l *Loader) loadTestVariants(base *Package) ([]*Package, error) {
+	key := base.PkgPath + " [test]"
+	if pkg, ok := l.loaded[key]; ok {
+		if pkg == nil {
+			return nil, nil
+		}
+		ext, hasExt := l.loaded[base.PkgPath+" [xtest]"]
+		if hasExt {
+			return []*Package{pkg, ext}, nil
+		}
+		return []*Package{pkg}, nil
+	}
+
+	ents, err := os.ReadDir(base.Dir)
+	if err != nil {
+		return nil, err
+	}
+	baseName := base.Types.Name()
+	var inPkg, external []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(base.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if f.Name.Name == baseName+"_test" {
+			external = append(external, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+
+	var out []*Package
+	if len(inPkg) > 0 {
+		// Re-check the base files together with the test files so test
+		// code sees unexported declarations; report only on the tests.
+		pkg, err := l.check(base.PkgPath, append(append([]*ast.File{}, base.Files...), inPkg...))
+		if err != nil {
+			return nil, err
+		}
+		tv := &Package{PkgPath: base.PkgPath, Dir: base.Dir, Fset: l.fset, Files: inPkg, Types: pkg.Types, Info: pkg.Info, IsTest: true}
+		l.loaded[key] = tv
+		out = append(out, tv)
+	} else {
+		l.loaded[key] = nil
+	}
+	if len(external) > 0 {
+		pkg, err := l.check(base.PkgPath+"_test", external)
+		if err != nil {
+			return nil, err
+		}
+		xv := &Package{PkgPath: base.PkgPath + "_test", Dir: base.Dir, Fset: l.fset, Files: external, Types: pkg.Types, Info: pkg.Info, IsTest: true}
+		l.loaded[base.PkgPath+" [xtest]"] = xv
+		out = append(out, xv)
+	}
+	return out, nil
+}
+
 // LoadDir parses and type-checks the single package in dir under the
 // given import path. Test files are excluded: the suite guards
 // shipped code paths.
@@ -162,6 +256,17 @@ func (l *Loader) LoadDir(dir, ipath string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
 
+	pkg, err := l.check(ipath, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	l.loaded[ipath] = pkg
+	return pkg, nil
+}
+
+// check type-checks one file set under the given import path.
+func (l *Loader) check(ipath string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -175,9 +280,7 @@ func (l *Loader) LoadDir(dir, ipath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", ipath, err)
 	}
-	pkg := &Package{PkgPath: ipath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
-	l.loaded[ipath] = pkg
-	return pkg, nil
+	return &Package{PkgPath: ipath, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // Import implements types.Importer for the type-checker's benefit:

@@ -23,7 +23,7 @@ func Budget(d time.Duration) float64 {
 // Keys returns map keys in sorted order.
 func Keys(m map[string]int) []string {
 	out := make([]string, 0, len(m))
-	for k := range m { //dtbvet:ignore keys are sorted before the slice is returned
+	for k := range m { //dtbvet:ignore determinism -- keys are sorted before the slice is returned
 		out = append(out, k)
 	}
 	sort.Strings(out)

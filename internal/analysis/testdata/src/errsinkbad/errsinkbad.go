@@ -1,0 +1,33 @@
+// Package errsinkbad is the errsink mutant: every shape of discarded
+// sink error the analyzer exists to catch.
+package errsinkbad
+
+import "os"
+
+func bareStatement(f *os.File) {
+	f.Close() // want: result of (*os.File).Close is discarded
+}
+
+func deferred(f *os.File) error {
+	defer f.Close() // want: deferred (*os.File).Close discards its error
+	_, err := f.Write([]byte("payload"))
+	return err
+}
+
+func inGoroutine(f *os.File) {
+	go f.Close() // want: go (*os.File).Close discards its error
+}
+
+func blanked(f *os.File) {
+	_ = f.Close() // want: explicitly discarded
+}
+
+// shutdown wraps Close, so the call-graph fixpoint classifies it as a
+// sink too: discarding ITS error at any depth loses the same failure.
+type store struct{ f *os.File }
+
+func (s store) shutdown() error { return s.f.Close() }
+
+func dropWrapper(s store) {
+	s.shutdown() // want: result of (fixture/errsinkbad.store).shutdown is discarded
+}

@@ -1,0 +1,40 @@
+// Package errsinkgood is the errsink clean corpus: every sanctioned
+// way of handling a sink error.
+package errsinkgood
+
+import (
+	"bytes"
+	"os"
+)
+
+func checked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func namedResult(f *os.File) (err error) {
+	err = f.Close() // a bare return reads the named result
+	return
+}
+
+func foldInto(f *os.File) (err error) {
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write([]byte("payload"))
+	return
+}
+
+func bestEffort(f *os.File) {
+	_ = f.Close() //dtbvet:ignore errsink -- read-only handle: close failure cannot lose data
+}
+
+func neverFailing() string {
+	var b bytes.Buffer
+	b.WriteString("bytes.Buffer writes are documented to never fail")
+	return b.String()
+}

@@ -1,0 +1,26 @@
+// Package floatexactbad is the floatexact mutant: exact comparison,
+// switching and map-keying on floating-point data.
+package floatexactbad
+
+type sample struct {
+	Label string
+	V     float64
+}
+
+func directEq(a, b float64) bool {
+	return a == b // want: == on float64 compares floating-point data directly
+}
+
+func structNeq(a, b sample) bool {
+	return a != b // want: (via V)
+}
+
+func switched(x float64) int {
+	switch x { // want: switch over float64 matches floating-point data
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+var byValue map[float64]int // want: map keyed by float64

@@ -1,0 +1,23 @@
+// Package floatexactgood is the floatexact clean corpus: the
+// sanctioned bit-exact forms and a reasoned IEEE exception.
+package floatexactgood
+
+import "math"
+
+func bitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func keyedByBits(samples []float64) map[uint64]int {
+	counts := make(map[uint64]int)
+	for _, s := range samples {
+		counts[math.Float64bits(s)]++
+	}
+	return counts
+}
+
+func intEqual(a, b int) bool { return a == b }
+
+func isNaN(x float64) bool {
+	return x != x //dtbvet:ignore floatexact -- deliberate NaN self-test: the IEEE inequality IS the check
+}

@@ -1,0 +1,47 @@
+// Package hotallocbad is the hotalloc mutant: every per-call
+// allocation shape inside //dtbvet:hotpath functions.
+package hotallocbad
+
+import "fmt"
+
+type table struct {
+	rows []int
+}
+
+//dtbvet:hotpath fixture inner loop
+func (t *table) step(n int) {
+	var local []int
+	local = append(local, n) // want: appends to local, which never has capacity
+	t.rows = append(t.rows, local...)
+
+	scratch := []int{n} // want: allocates a fresh []int per call
+	t.rows = append(t.rows, scratch...)
+
+	p := &table{} // want: heap-allocates a table per call
+	t.rows = append(t.rows, len(p.rows))
+
+	fmt.Sprintln(n) // want: calls fmt.Sprintln, which allocates on every call
+}
+
+func probe(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+//dtbvet:hotpath fixture probe fan-out
+func emit(x int) int {
+	hits := probe(x) // want: boxes int into any
+	return hits + 1
+}
+
+//dtbvet:hotpath fixture goroutine launch
+func launch(n int) {
+	go func() { // want: launches a goroutine closure capturing n
+		_ = n
+	}()
+}
+
+//dtbvet:hotpath stray marker below is attached to a variable, not a function // want: not attached to a function declaration
+var strayTarget = 0

@@ -1,0 +1,49 @@
+// Package hotallocgood is the hotalloc clean corpus: the sanctioned
+// hot-path shapes — preallocated append, amortized field
+// accumulators, comparator closures, and cold-path error
+// construction.
+package hotallocgood
+
+import (
+	"fmt"
+	"sort"
+)
+
+//dtbvet:hotpath fixture preallocated fill
+func fill(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+type acc struct {
+	buf []int
+}
+
+//dtbvet:hotpath fixture amortized accumulator
+func (a *acc) push(v int) {
+	a.buf = append(a.buf, v)
+}
+
+//dtbvet:hotpath fixture comparator closure stays on the stack
+func find(xs []int, v int) int {
+	return sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+}
+
+//dtbvet:hotpath fixture cold-path error construction
+func checkRange(v, n int) error {
+	if v >= n {
+		return fmt.Errorf("value %d out of range [0,%d)", v, n)
+	}
+	return nil
+}
+
+// unmarkedAllocates is NOT a hotpath: the same shapes are fine here.
+func unmarkedAllocates(n int) []int {
+	var out []int
+	out = append(out, n)
+	fmt.Sprintln(n)
+	return out
+}

@@ -1,0 +1,24 @@
+// Package enginefix is the leakcheck mutant, loaded under an
+// internal/engine import path so the pass applies: goroutines with no
+// join or cancellation path and unguarded channel sends.
+package enginefix
+
+func fanOut(work []int, results chan int) {
+	for range work {
+		go func() { // want: no join or cancellation path
+			results <- 1 // want: without a select-on-done escape
+		}()
+	}
+}
+
+func runNamed() {
+	go orphan() // want: goroutine orphan has no join or cancellation path
+}
+
+func orphan() {
+	sum := 0
+	for i := 0; i < 1<<20; i++ {
+		sum += i
+	}
+	_ = sum
+}

@@ -1,0 +1,37 @@
+// Package enginefix is the leakcheck clean corpus: joined workers,
+// cancellation receives, select-guarded sends, and the unresolvable
+// function-value launch the pass deliberately skips.
+package enginefix
+
+import "sync"
+
+func fanOut(work []int, results chan int, done chan struct{}) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case results <- 1:
+			case <-done:
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func watcher(stop chan struct{}, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+func launchValue(f func()) {
+	go f() // a function value: unresolvable, skipped rather than flagged
+}

@@ -102,7 +102,7 @@ func (n *Network) nodeName(r mheap.Ref) string {
 func (n *Network) Free() {
 	h := n.heap()
 	names := make([]string, 0, len(n.nodes))
-	for name := range n.nodes { //dtbvet:ignore keys are sorted before any heap event is emitted
+	for name := range n.nodes { //dtbvet:ignore determinism -- keys are sorted before any heap event is emitted
 		names = append(names, name)
 	}
 	sort.Strings(names)

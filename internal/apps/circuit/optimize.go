@@ -58,7 +58,7 @@ func OptimizeBLIF(a mlib.Allocator, src string) (string, int, error) {
 	}
 	// Deterministic iteration: traces must be reproducible.
 	names := make([]string, 0, len(n.nodes))
-	for name := range n.nodes { //dtbvet:ignore keys are sorted on the next line
+	for name := range n.nodes { //dtbvet:ignore determinism -- keys are sorted on the next line
 		names = append(names, name)
 	}
 	sort.Strings(names)

@@ -68,7 +68,7 @@ func builtinOps() map[string]func(*Interp) error {
 			if err != nil {
 				return err
 			}
-			if bothInt && v == math.Trunc(v) {
+			if bothInt && v == math.Trunc(v) { //dtbvet:ignore floatexact -- PostScript int/real coercion: the exact integral test IS the language rule
 				ip.push(ip.newInt(int64(v)))
 			} else {
 				ip.push(ip.newReal(v))
@@ -88,7 +88,7 @@ func builtinOps() map[string]func(*Interp) error {
 		if err != nil {
 			return err
 		}
-		if b == 0 {
+		if b == 0 { //dtbvet:ignore floatexact -- PostScript undefinedresult fires on exact zero divisors only
 			return fmt.Errorf("psint: undefinedresult: div by 0")
 		}
 		ip.push(ip.newReal(a / b))
@@ -422,11 +422,11 @@ func builtinOps() map[string]func(*Interp) error {
 		if err != nil {
 			return err
 		}
-		if inc == 0 {
+		if inc == 0 { //dtbvet:ignore floatexact -- PostScript rangecheck fires on an exactly-zero increment only
 			return fmt.Errorf("psint: rangecheck: for with zero increment")
 		}
 		for v := init; (inc > 0 && v <= limit) || (inc < 0 && v >= limit); v += inc {
-			if v == math.Trunc(v) {
+			if v == math.Trunc(v) { //dtbvet:ignore floatexact -- PostScript int/real coercion: the exact integral test IS the language rule
 				ip.push(ip.newInt(int64(v)))
 			} else {
 				ip.push(ip.newReal(v))

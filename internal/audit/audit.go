@@ -30,6 +30,7 @@ package audit
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -313,7 +314,10 @@ func (a *Auditor) Scavenge(e sim.ScavengeEvent) {
 			"TenuredGarbage=%d does not equal Surviving-Live=%d-%d=%d",
 			e.TenuredGarbage, e.Surviving, e.Live, e.Surviving-e.Live)
 	}
-	if want := r.machine.PauseSeconds(e.Traced); e.PauseSeconds != want {
+	// Bit identity, not ==: a NaN pause must compare equal to the
+	// recomputed NaN (== would report a phantom divergence) and a -0/+0
+	// split must be caught (== would bless it).
+	if want := r.machine.PauseSeconds(e.Traced); math.Float64bits(e.PauseSeconds) != math.Float64bits(want) {
 		a.report(r, e.N, "pause-rate",
 			"pause %.9gs does not equal traced/rate = %d/%.6g = %.9gs",
 			e.PauseSeconds, e.Traced, r.machine.TraceBytesPer, want)
@@ -420,7 +424,7 @@ func (a *Auditor) checkFinishHistory(r *runAudit, res *sim.Result) {
 					"History entry %+v does not reproduce the observed scavenge event", h)
 			}
 		}
-		if i < len(res.Pauses) && res.Pauses[i] != ev.PauseSeconds {
+		if i < len(res.Pauses) && math.Float64bits(res.Pauses[i]) != math.Float64bits(ev.PauseSeconds) {
 			a.report(r, ev.N, "finish-history",
 				"Pauses[%d]=%.9g differs from the observed pause %.9g", i, res.Pauses[i], ev.PauseSeconds)
 		}
@@ -449,7 +453,7 @@ func (a *Auditor) checkFinishStats(r *runAudit, res *sim.Result) {
 	}
 	if res.ExecSeconds > 0 {
 		want := 100 * r.machine.PauseSeconds(res.TracedTotalBytes) / res.ExecSeconds
-		if res.OverheadPct != want {
+		if math.Float64bits(res.OverheadPct) != math.Float64bits(want) {
 			a.report(r, 0, "finish-stats",
 				"OverheadPct=%.9g does not equal 100*trace_time/exec_time=%.9g", res.OverheadPct, want)
 		}

@@ -34,7 +34,7 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Scale == 0 {
+	if o.Scale == 0 { //dtbvet:ignore floatexact -- exact zero is the unset-option sentinel; no arithmetic feeds it
 		o.Scale = 1
 	}
 	if o.TriggerBytes == 0 {

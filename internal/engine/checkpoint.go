@@ -83,6 +83,8 @@ func (c *Checkpoint) Resume(ctx context.Context, src Source) ([]*sim.Result, *Ch
 // replayFrom is the shared replay core: decode events from src,
 // discard the first skip (already processed), fan out the rest to the
 // runners, and classify any abort as resumable or not.
+//
+//dtbvet:hotpath the engine fan-out inner loop: one closure call per event
 func replayFrom(ctx context.Context, src Source, runners []*sim.Runner, skip int) ([]*sim.Result, *Checkpoint, error) {
 	n := 0
 	err := src(func(e trace.Event) error {

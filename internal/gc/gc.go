@@ -64,6 +64,17 @@ type Collector struct {
 	lastScavenge core.Time
 	barrierSkips uint64
 
+	// Scratch buffers reused across collections: the mark stack, the
+	// sweep list, the visited set and the root snapshot grow to the
+	// heap's high-water mark once and then stop allocating per call
+	// (the //dtbvet:hotpath contract, pinned by
+	// TestCollectAtSteadyStateAllocs).
+	grayScratch    []mheap.Ref
+	deadScratch    []mheap.Ref
+	visitedScratch map[mheap.Ref]bool
+	nameScratch    []string
+	rootScratch    []mheap.Ref
+
 	// Accumulated metrics.
 	tracedTotal    uint64
 	reclaimedTotal uint64
@@ -122,6 +133,8 @@ func New(h *mheap.Heap, opts Options) (*Collector, error) {
 // writeBarrier records forward-in-time pointer stores: the remembered
 // set must contain every location where an older object points at a
 // younger one.
+//
+//dtbvet:hotpath fires on every pointer store the mutator makes
 func (c *Collector) writeBarrier(src mheap.Ref, field int, _, target mheap.Ref) {
 	c.barrierHits++
 	loc := ptrLoc{src, field}
@@ -199,17 +212,19 @@ func (c *Collector) SetGlobal(name string, r mheap.Ref) {
 func (c *Collector) Global(name string) mheap.Ref { return c.globals[name] }
 
 // globalRoots returns the global references in name order, so marking
-// visits roots in the same order every run.
+// visits roots in the same order every run. The returned slice aliases
+// a scratch buffer valid until the next call.
 func (c *Collector) globalRoots() []mheap.Ref {
-	names := make([]string, 0, len(c.globals))
-	for name := range c.globals { //dtbvet:ignore keys are sorted before use
+	names := c.nameScratch[:0]
+	for name := range c.globals { //dtbvet:ignore determinism -- keys are sorted before use
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	refs := make([]mheap.Ref, len(names))
-	for i, name := range names {
-		refs[i] = c.globals[name]
+	refs := c.rootScratch[:0]
+	for _, name := range names {
+		refs = append(refs, c.globals[name])
 	}
+	c.nameScratch, c.rootScratch = names, refs
 	return refs
 }
 
@@ -255,6 +270,8 @@ func (c *Collector) Collect() core.Scavenge {
 
 // CollectAt runs one scavenge with an explicit threatening boundary,
 // bypassing the policy (used by tests and the Figure 1 example).
+//
+//dtbvet:hotpath the mark/sweep walk: one call per collection, touches every live object
 func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 	now := c.heap.Clock()
 	memBefore := c.heap.BytesInUse()
@@ -287,8 +304,14 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 	threatened := func(r mheap.Ref) bool { return c.heap.Birth(r) > tb }
 
 	// Gray set: threatened program roots...
-	var gray []mheap.Ref
-	visited := make(map[mheap.Ref]bool)
+	gray := c.grayScratch[:0]
+	visited := c.visitedScratch
+	if visited == nil {
+		visited = make(map[mheap.Ref]bool)
+		c.visitedScratch = visited
+	} else {
+		clear(visited)
+	}
 	addGray := func(r mheap.Ref) {
 		if r != mheap.Nil && !visited[r] && c.heap.Contains(r) && threatened(r) {
 			visited[r] = true
@@ -304,7 +327,7 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 	// ...plus remembered locations crossing the boundary. Entries
 	// whose source has been reclaimed, or which no longer hold a
 	// forward-in-time pointer, are pruned as we go.
-	for loc := range c.remembered { //dtbvet:ignore pruning and gray-set insertion are order-insensitive (sets and sums only)
+	for loc := range c.remembered { //dtbvet:ignore determinism -- pruning and gray-set insertion are order-insensitive (sets and sums only)
 		if !c.heap.Contains(loc.src) {
 			delete(c.remembered, loc)
 			continue
@@ -349,7 +372,7 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 	if last, ok := c.hist.Last(); ok {
 		prevTB, hasPrev = last.TB, true
 	}
-	var dead []mheap.Ref
+	dead := c.deadScratch[:0]
 	var untenured uint64
 	for _, r := range c.heap.Refs() {
 		if threatened(r) && !visited[r] {
@@ -360,6 +383,7 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 		}
 	}
 	reclaimed := c.heap.Reclaim(dead)
+	c.grayScratch, c.deadScratch = gray[:0], dead[:0]
 	c.untenuredLast = untenured
 	c.untenuredTotal += untenured
 	if len(c.remembered) > c.rememberedPeak {

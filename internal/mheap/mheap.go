@@ -146,6 +146,8 @@ func max(a, b int) int {
 // Alloc creates an object with nptrs pointer slots (initialized to
 // Nil) and dataBytes bytes of raw data (zeroed), returning its Ref.
 // It panics on negative arguments — always a program bug.
+//
+//dtbvet:hotpath one call per object the mutator allocates
 func (h *Heap) Alloc(nptrs, dataBytes int) Ref {
 	if nptrs < 0 || dataBytes < 0 {
 		panic("mheap: negative allocation request")
@@ -191,6 +193,8 @@ func (h *Heap) lookup(r Ref) entry {
 // Free explicitly deallocates an object (malloc/free style). Freeing
 // Nil is a no-op, matching free(NULL); freeing an unknown or
 // already-freed object panics.
+//
+//dtbvet:hotpath one call per object the mutator frees
 func (h *Heap) Free(r Ref) {
 	if r == Nil {
 		return
@@ -257,12 +261,16 @@ func (h *Heap) ptrOff(r Ref, i int) uint64 {
 }
 
 // Ptr reads pointer slot i of object r.
+//
+//dtbvet:hotpath one call per pointer slot the collector traces
 func (h *Heap) Ptr(r Ref, i int) Ref {
 	return Ref(binary.LittleEndian.Uint64(h.space[h.ptrOff(r, i):]))
 }
 
 // SetPtr stores target into pointer slot i of object r, firing the
 // write barrier and the trace recorder. target must be Nil or live.
+//
+//dtbvet:hotpath one call per pointer store the mutator makes
 func (h *Heap) SetPtr(r Ref, i int, target Ref) {
 	if target != Nil && !h.Contains(target) {
 		panic(fmt.Sprintf("mheap: store of dangling reference %d", target))
@@ -294,7 +302,7 @@ func (h *Heap) Data(r Ref) []byte {
 // first), the order the threatening boundary partitions.
 func (h *Heap) Refs() []Ref {
 	refs := make([]Ref, 0, len(h.objects))
-	for r := range h.objects { //dtbvet:ignore refs are sorted by birth time below
+	for r := range h.objects { //dtbvet:ignore determinism -- refs are sorted by birth time below
 		refs = append(refs, r)
 	}
 	sort.Slice(refs, func(i, j int) bool {
@@ -312,7 +320,7 @@ func (h *Heap) Refs() []Ref {
 // "live" means not yet freed or reclaimed).
 func (h *Heap) LiveBytesBornAfter(t core.Time) uint64 {
 	var sum uint64
-	for r, e := range h.objects { //dtbvet:ignore order-insensitive sum of live bytes
+	for r, e := range h.objects { //dtbvet:ignore determinism -- order-insensitive sum of live bytes
 		if e.birth > t {
 			sum += uint64(h.TotalSize(r))
 		}
@@ -353,7 +361,7 @@ func (h *Heap) Fragmentation() float64 {
 		return 0
 	}
 	var used uint64
-	for _, e := range h.objects { //dtbvet:ignore order-insensitive sum of block sizes
+	for _, e := range h.objects { //dtbvet:ignore determinism -- order-insensitive sum of block sizes
 		used += uint64(e.total)
 	}
 	return 1 - float64(used)/float64(h.next)
@@ -365,7 +373,7 @@ func (h *Heap) Fragmentation() float64 {
 func (h *Heap) CheckIntegrity() error {
 	var sum uint64
 	seen := make(map[uint64]Ref)
-	for r, e := range h.objects { //dtbvet:ignore diagnostic-only: which of several invariant breaks is reported first may vary
+	for r, e := range h.objects { //dtbvet:ignore determinism -- diagnostic-only: which of several invariant breaks is reported first may vary
 		if e.addr+uint64(e.total) > h.next {
 			return fmt.Errorf("mheap: object %d extends past bump pointer", r)
 		}
@@ -392,7 +400,7 @@ func (h *Heap) CheckIntegrity() error {
 	if sum != h.inUseBytes {
 		return fmt.Errorf("mheap: inUseBytes %d != recomputed %d", h.inUseBytes, sum)
 	}
-	for class, list := range h.freeLists { //dtbvet:ignore diagnostic-only: which aliasing free block is reported first may vary
+	for class, list := range h.freeLists { //dtbvet:ignore determinism -- diagnostic-only: which aliasing free block is reported first may vary
 		for _, addr := range list {
 			if owner, live := seen[addr]; live {
 				return fmt.Errorf("mheap: free block %d (class %d) aliases live object %d", addr, class, owner)

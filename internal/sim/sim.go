@@ -40,6 +40,14 @@ func PaperMachine() Machine {
 	return Machine{MIPS: 10, TraceBytesPer: 500 * 1024}
 }
 
+// isZero reports whether the machine model was left unset. The bit
+// test (not ==) keeps the sentinel exact: struct equality on float
+// fields would also match -0 and miss nothing here today, but the
+// module-wide rule is that float equality goes through Float64bits.
+func (m Machine) isZero() bool {
+	return math.Float64bits(m.MIPS) == 0 && math.Float64bits(m.TraceBytesPer) == 0
+}
+
 // Validate reports why the machine model is unusable, or nil. Both
 // rates divide measurements (Seconds, PauseSeconds), so a zero,
 // negative or non-finite rate would silently turn every derived
@@ -133,7 +141,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Machine == (Machine{}) {
+	if c.Machine.isZero() {
 		c.Machine = PaperMachine()
 	}
 	if c.TriggerBytes == 0 {
@@ -265,6 +273,8 @@ func newHeapModel() *heapModel {
 func (h *heapModel) BytesInUse() uint64 { return h.inUse }
 
 // LiveBytesBornAfter implements core.Heap.
+//
+//dtbvet:hotpath consulted by every policy Boundary() call during replay
 func (h *heapModel) LiveBytesBornAfter(t core.Time) uint64 {
 	if h.naive {
 		return h.liveBytesBornAfterNaive(t)
@@ -302,6 +312,7 @@ func (h *heapModel) liveBytesBornAfterNaive(t core.Time) uint64 {
 	return sum
 }
 
+//dtbvet:hotpath one call per allocation event in the trace
 func (h *heapModel) alloc(id trace.ObjectID, size uint64, birth core.Time, addr uint64) error {
 	if _, dup := h.index[id]; dup {
 		return fmt.Errorf("sim: duplicate allocation of object %d", id)
@@ -318,6 +329,7 @@ func (h *heapModel) alloc(id trace.ObjectID, size uint64, birth core.Time, addr 
 	return nil
 }
 
+//dtbvet:hotpath one call per free event in the trace
 func (h *heapModel) free(id trace.ObjectID) error {
 	i, ok := h.index[id]
 	if !ok {
@@ -335,6 +347,8 @@ func (h *heapModel) free(id trace.ObjectID) error {
 // scavenge collects with the given boundary: every dead object born
 // after tb is reclaimed, every live object born after tb is traced.
 // It returns the bytes traced and reclaimed.
+//
+//dtbvet:hotpath walks the whole object table on every collection
 func (h *heapModel) scavenge(tb core.Time) (traced, reclaimed uint64) {
 	start := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > tb })
 	w := start
@@ -444,6 +458,8 @@ func (r *Runner) sample(instr uint64) {
 }
 
 // Feed processes one event. Events must arrive in trace order.
+//
+//dtbvet:hotpath the per-event dispatch of every replay
 func (r *Runner) Feed(e trace.Event) error {
 	if r.finished {
 		return errors.New("sim: Feed after Finish")
@@ -518,6 +534,7 @@ func (r *Runner) Feed(e trace.Event) error {
 	return nil
 }
 
+//dtbvet:hotpath one call per simulated collection
 func (r *Runner) scavenge(reason TriggerReason) {
 	heap, cfg, res := r.heap, r.cfg, r.res
 	memBefore := heap.inUse

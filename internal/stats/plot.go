@@ -34,10 +34,10 @@ func AsciiPlot(series []*Series, width, height int, yDiv float64) string {
 			vMax = math.Max(vMax, p.V)
 		}
 	}
-	if first || tMax == tMin {
+	if first || tMax == tMin { //dtbvet:ignore floatexact -- zero-width axis check: only exact coincidence makes the plot undrawable
 		return "(no data)\n"
 	}
-	if vMax == 0 {
+	if vMax == 0 { //dtbvet:ignore floatexact -- exact-zero scale guard before dividing by vMax
 		vMax = 1
 	}
 

@@ -187,7 +187,7 @@ func (w *Weighted) Finish(t float64) {
 
 // Mean returns the time-weighted mean, or 0 if no interval has elapsed.
 func (w *Weighted) Mean() float64 {
-	if w.weightSum == 0 {
+	if w.weightSum == 0 { //dtbvet:ignore floatexact -- exact-zero guard before dividing by the weight sum
 		return 0
 	}
 	return w.valueSum / w.weightSum

@@ -143,7 +143,7 @@ func MeasureLifetimes(events []Event) (*LifetimeStats, error) {
 			return nil, fmt.Errorf("trace: event %d: unknown kind %d", i, e.Kind)
 		}
 	}
-	for _, b := range births { //dtbvet:ignore order-insensitive sum of surviving bytes
+	for _, b := range births { //dtbvet:ignore determinism -- order-insensitive sum of surviving bytes
 		ls.PermanentBytes += b.size
 	}
 	if ls.TotalObjects > 0 {

@@ -259,7 +259,7 @@ func (b *Builder) Live(id ObjectID) bool { return b.live[id] }
 // produce identical traces run to run.
 func (b *Builder) LiveIDs() []ObjectID {
 	ids := make([]ObjectID, 0, len(b.live))
-	for id := range b.live { //dtbvet:ignore keys are sorted before the slice is returned
+	for id := range b.live { //dtbvet:ignore determinism -- keys are sorted before the slice is returned
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })

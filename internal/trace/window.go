@@ -53,7 +53,7 @@ func Window(events []Event, from, to uint64) ([]Event, error) {
 
 	// Synthetic allocations for the survivors, oldest first.
 	survivors := make([]preObj, 0, len(pre))
-	for _, o := range pre { //dtbvet:ignore survivors are sorted by allocation order below
+	for _, o := range pre { //dtbvet:ignore determinism -- survivors are sorted by allocation order below
 		survivors = append(survivors, o)
 	}
 	sort.Slice(survivors, func(a, b int) bool { return survivors[a].order < survivors[b].order })

@@ -179,7 +179,7 @@ func (p Profile) GenerateTo(emit func(trace.Event) error) error {
 	}
 	// Log-normal size parameters so that E[size] = MeanObject.
 	sigma := p.SigmaObject
-	if sigma == 0 {
+	if sigma == 0 { //dtbvet:ignore floatexact -- exact zero is the unset-parameter sentinel; no arithmetic feeds it
 		sigma = 0.8
 	}
 	mu := math.Log(p.MeanObject) - sigma*sigma/2
