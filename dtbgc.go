@@ -203,14 +203,45 @@ func RecoveringSource(r io.Reader) (EventSource, func() DropStats) {
 // one independent runner per option set, whose results return in
 // option order. Every result — History and telemetry sequence
 // included — is bit-identical to a solo Simulate over the same trace;
-// only the trace production work is shared. Cancelling ctx aborts the
-// replay at the next event boundary with ctx's error.
+// only the trace production and per-event bookkeeping work is shared.
+// Events are delivered in batches internally; cancelling ctx aborts
+// the replay at the next batch boundary (at most a few thousand
+// events) with ctx's error.
 func ReplayAll(ctx context.Context, src EventSource, opts []SimOptions) ([]*Result, error) {
 	cfgs := make([]sim.Config, len(opts))
 	for i, o := range opts {
 		cfgs[i] = o.config()
 	}
 	return engine.Replay(ctx, src, cfgs)
+}
+
+// BatchEventSource streams one trace as event batches to an emit
+// callback — the batch-native form of EventSource the replay engine
+// actually runs on. Emitted slices are only valid during the emit
+// call. ReplayAll wraps any EventSource into batches automatically;
+// sources that can produce batches natively (SliceBatchSource,
+// StreamBatchSource) skip that buffering.
+type BatchEventSource = engine.BatchSource
+
+// SliceBatchSource adapts an in-memory trace to a BatchEventSource,
+// emitting zero-copy subslices.
+func SliceBatchSource(events []Event) BatchEventSource { return engine.SliceBatchSource(events) }
+
+// StreamBatchSource adapts a binary trace stream (as written by
+// WriteTrace) to a BatchEventSource, decoding a whole batch per
+// reader call into a reused buffer; memory stays bounded by the batch
+// size and the simulated heaps.
+func StreamBatchSource(r io.Reader) BatchEventSource {
+	return engine.ReaderBatchSource(trace.NewReader(r))
+}
+
+// ReplayAllBatches is ReplayAll over a batch-native source.
+func ReplayAllBatches(ctx context.Context, src BatchEventSource, opts []SimOptions) ([]*Result, error) {
+	cfgs := make([]sim.Config, len(opts))
+	for i, o := range opts {
+		cfgs[i] = o.config()
+	}
+	return engine.ReplayBatches(ctx, src, cfgs)
 }
 
 // Checkpoint captures a consistent interrupted replay, resumable via

@@ -10,7 +10,7 @@ import (
 )
 
 // Checkpoint/resume for Replay: when a replay aborts between events —
-// a source read error, a context cancellation — the runners are still
+// a source read error, a context cancellation — the fleet is still
 // consistent (every runner has processed exactly the events before the
 // abort point), so the replay can continue from a reopened source
 // instead of starting over. The resumed run's results and telemetry
@@ -18,27 +18,30 @@ import (
 // objects carrying the same state, and the skipped prefix is decoded
 // but never re-fed.
 //
-// A checkpoint is in-memory only — sim.Runner state (heap model, probe
-// chain, RNG position) is live program state, not a serializable
+// Batching does not change the granularity: a checkpoint may land
+// strictly mid-batch (a source that fails after k events emits those k
+// before the error — see BatchingSource — and a resumed replay trims
+// the first batches down to the unprocessed suffix), so Events() is an
+// exact event count, never rounded to a batch boundary.
+//
+// A checkpoint is in-memory only — fleet state (tape, per-runner heap
+// views, probe chain) is live program state, not a serializable
 // snapshot — so resume serves the retry-in-process case: transient
-// fault, reopen, continue. A runner Feed error is *not* resumable: it
-// aborts mid-event, with earlier runners in the fan-out having seen an
-// event later ones have not.
-
-// Checkpoint captures a consistent interrupted replay: every runner
-// has processed exactly Events() events. Resume continues it.
+// fault, reopen, continue. A trace validation error is *not*
+// resumable: the offending event can never be applied, so retrying the
+// same stream would fail the same way.
 type Checkpoint struct {
-	runners []*sim.Runner
-	events  int
+	fleet  *sim.Fleet
+	events int
 }
 
 // Events returns the number of events every runner had processed when
 // the replay was interrupted.
 func (c *Checkpoint) Events() int { return c.events }
 
-// feedError marks a runner Feed failure, which aborts mid-event and is
-// therefore not resumable; source and context errors, which land
-// between events, are.
+// feedError marks a fleet feed failure — a trace validation error —
+// which no retry can get past and is therefore not resumable; source
+// and context errors, which land between events, are.
 type feedError struct{ err error }
 
 func (e *feedError) Error() string { return e.err.Error() }
@@ -51,58 +54,68 @@ func (e *feedError) Unwrap() error { return e.err }
 // On success the checkpoint is nil and the results are exactly
 // Replay's.
 func ReplayResumable(ctx context.Context, src Source, cfgs []sim.Config) ([]*sim.Result, *Checkpoint, error) {
+	return ReplayBatchesResumable(ctx, BatchingSource(src), cfgs)
+}
+
+// ReplayBatchesResumable is ReplayResumable over a batch-native
+// source.
+func ReplayBatchesResumable(ctx context.Context, src BatchSource, cfgs []sim.Config) ([]*sim.Result, *Checkpoint, error) {
 	for i, cfg := range cfgs {
 		if err := cfg.Validate(); err != nil {
 			return nil, nil, fmt.Errorf("engine: config %d: %w", i, err)
 		}
 	}
-	runners := make([]*sim.Runner, len(cfgs))
-	for i, cfg := range cfgs {
-		r, err := sim.NewRunner(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		runners[i] = r
+	fleet, err := sim.NewFleet(cfgs)
+	if err != nil {
+		return nil, nil, err
 	}
-	return replayFrom(ctx, src, runners, 0)
+	return replayFrom(ctx, src, fleet, 0)
 }
 
 // Resume continues the interrupted replay from a reopened source. The
 // source must replay the same stream from the beginning: the first
 // Events() events are decoded and discarded (the runners already
-// processed them), and feeding resumes at the interruption point. A
-// source that ends before reaching the checkpoint is an error. Resume
-// can itself be interrupted and resumed again.
+// processed them), and feeding resumes at the interruption point —
+// even mid-batch. A source that ends before reaching the checkpoint is
+// an error. Resume can itself be interrupted and resumed again.
 //
-// The checkpoint owns its runners: after a successful Resume they are
-// finished and the checkpoint must not be resumed again.
+// The checkpoint owns its fleet: after a successful Resume the runners
+// are finished and the checkpoint must not be resumed again.
 func (c *Checkpoint) Resume(ctx context.Context, src Source) ([]*sim.Result, *Checkpoint, error) {
-	return replayFrom(ctx, src, c.runners, c.events)
+	return c.ResumeBatches(ctx, BatchingSource(src))
 }
 
-// replayFrom is the shared replay core: decode events from src,
-// discard the first skip (already processed), fan out the rest to the
-// runners, and classify any abort as resumable or not.
+// ResumeBatches is Resume over a batch-native source.
+func (c *Checkpoint) ResumeBatches(ctx context.Context, src BatchSource) ([]*sim.Result, *Checkpoint, error) {
+	return replayFrom(ctx, src, c.fleet, c.events)
+}
+
+// replayFrom is the shared replay core: pull event batches from src,
+// discard the first skip events (already processed; a batch straddling
+// the boundary is trimmed, not rounded), deliver the rest to the fleet
+// batch by batch, and classify any abort as resumable or not.
+// Cancellation is checked once per batch, before the batch is applied,
+// so an aborted replay has fed exactly the batches it acknowledged.
 //
-//dtbvet:hotpath the engine fan-out inner loop: one closure call per event
-func replayFrom(ctx context.Context, src Source, runners []*sim.Runner, skip int) ([]*sim.Result, *Checkpoint, error) {
+//dtbvet:hotpath the engine fan-out loop: one closure call per batch
+func replayFrom(ctx context.Context, src BatchSource, fleet *sim.Fleet, skip int) ([]*sim.Result, *Checkpoint, error) {
 	n := 0
-	err := src(func(e trace.Event) error {
-		if n%cancelCheckEvery == 0 {
-			if cerr := ctx.Err(); cerr != nil {
-				return cerr
-			}
+	err := src(func(batch []trace.Event) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
 		}
 		if n < skip {
-			n++
-			return nil
-		}
-		for _, r := range runners {
-			if ferr := r.Feed(e); ferr != nil {
-				return &feedError{fmt.Errorf("%s: %w", r.Collector(), ferr)}
+			k := min(skip-n, len(batch))
+			n += k
+			batch = batch[k:]
+			if len(batch) == 0 {
+				return nil
 			}
 		}
-		n++
+		if ferr := fleet.FeedBatch(batch); ferr != nil {
+			return &feedError{fmt.Errorf("%s: %w", fleet.Runners()[0].Collector(), ferr)}
+		}
+		n += len(batch)
 		return nil
 	})
 	if err != nil {
@@ -113,14 +126,10 @@ func replayFrom(ctx context.Context, src Source, runners []*sim.Runner, skip int
 		if n < skip {
 			return nil, nil, fmt.Errorf("engine: resume: source failed %d event(s) before the checkpoint at %d: %w", skip-n, skip, err)
 		}
-		return nil, &Checkpoint{runners: runners, events: n}, err
+		return nil, &Checkpoint{fleet: fleet, events: n}, err
 	}
 	if n < skip {
 		return nil, nil, fmt.Errorf("engine: resume: source delivered %d event(s), checkpoint expects at least %d", n, skip)
 	}
-	results := make([]*sim.Result, len(runners))
-	for i, r := range runners {
-		results[i] = r.Finish()
-	}
-	return results, nil, nil
+	return fleet.Finish(), nil, nil
 }

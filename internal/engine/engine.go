@@ -72,10 +72,97 @@ func ReaderSource(rd *trace.Reader) Source {
 	return EventReaderSource(rd)
 }
 
-// cancelCheckEvery is the number of events between context checks on
-// the replay hot path: coarse enough to cost nothing per event, fine
-// enough that cancellation lands within a sliver of a run.
-const cancelCheckEvery = 4096
+// replayBatchEvents is the batch granularity of the replay hot path:
+// the number of events decoded, delivered to the fleet, and covered by
+// one cancellation check. Large enough to amortize the per-batch costs
+// (context check, fleet dispatch) to nothing per event, small enough
+// that cancellation still lands within a sliver of a run and a pending
+// batch stays cache-resident (~4096 × 32-byte resolved events = two
+// L2 pages).
+const replayBatchEvents = 4096
+
+// cancelCheckEvery preserves the pre-batching name for the
+// cancellation granularity: ctx is checked once per batch.
+const cancelCheckEvery = replayBatchEvents
+
+// BatchSource streams one trace as event batches in trace order: it
+// calls emit for each batch and stops at the first emit error, which
+// it returns unchanged (wrapped errors keep working with errors.Is).
+// Batches are delivery units only — checkpoints remain event-granular
+// (see Checkpoint) — and the slice passed to emit is only valid for
+// the duration of the call.
+//
+// A BatchSource that fails mid-stream must emit the events it decoded
+// before the failure first (see BatchingSource): replay checkpoints
+// assume every decoded event before the error reached the runners.
+type BatchSource func(emit func([]trace.Event) error) error
+
+// SliceBatchSource adapts an in-memory trace to a BatchSource,
+// emitting zero-copy subslices of at most replayBatchEvents events.
+func SliceBatchSource(events []trace.Event) BatchSource {
+	return func(emit func([]trace.Event) error) error {
+		for len(events) > 0 {
+			n := min(replayBatchEvents, len(events))
+			if err := emit(events[:n]); err != nil {
+				return err
+			}
+			events = events[n:]
+		}
+		return nil
+	}
+}
+
+// ReaderBatchSource adapts the strict trace decoder to a BatchSource
+// using Reader.ReadBatch: one decode loop fills a reused buffer per
+// batch, so the per-event decoder call overhead is paid once per
+// batch, not once per runner feed.
+func ReaderBatchSource(rd *trace.Reader) BatchSource {
+	return func(emit func([]trace.Event) error) error {
+		buf := make([]trace.Event, replayBatchEvents)
+		for {
+			n, err := rd.ReadBatch(buf)
+			if n > 0 {
+				if eerr := emit(buf[:n]); eerr != nil {
+					return eerr
+				}
+			}
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// BatchingSource adapts a per-event Source to a BatchSource by
+// buffering up to replayBatchEvents events per emit. If the underlying
+// source fails mid-stream, the buffered prefix is flushed before the
+// error is returned, so every event the source produced has reached
+// the runners — exactly the per-event source's behavior, which is what
+// keeps checkpoints event-granular under batching. If both the flush
+// and the source fail, the flush error wins (it decides resumability).
+func BatchingSource(src Source) BatchSource {
+	return func(emit func([]trace.Event) error) error {
+		buf := make([]trace.Event, 0, replayBatchEvents)
+		err := src(func(e trace.Event) error {
+			buf = append(buf, e)
+			if len(buf) == cap(buf) {
+				ferr := emit(buf)
+				buf = buf[:0]
+				return ferr
+			}
+			return nil
+		})
+		if len(buf) > 0 {
+			if ferr := emit(buf); ferr != nil {
+				return ferr
+			}
+		}
+		return err
+	}
+}
 
 // Replay feeds the source's events once to one fresh runner per config
 // and returns the finished results in config order. The source runs
@@ -90,10 +177,22 @@ const cancelCheckEvery = 4096
 // of ctx is detected between events and returns ctx's error.
 func Replay(ctx context.Context, src Source, cfgs []sim.Config) ([]*sim.Result, error) {
 	// Config validation happens before constructing any runner (see
-	// ReplayResumable): construction emits the probe's RunStart, so a
-	// bad config halfway through the set would otherwise leave the
+	// ReplayBatchesResumable): construction emits the probe's RunStart,
+	// so a bad config halfway through the set would otherwise leave the
 	// earlier runners' telemetry streams opened but never finished.
 	results, _, err := ReplayResumable(ctx, src, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ReplayBatches is Replay over a batch-native source: the replay hot
+// path runs on batches end to end, with no per-event adapter between
+// the decoder and the fleet. Replay itself reduces to this via
+// BatchingSource.
+func ReplayBatches(ctx context.Context, src BatchSource, cfgs []sim.Config) ([]*sim.Result, error) {
+	results, _, err := ReplayBatchesResumable(ctx, src, cfgs)
 	if err != nil {
 		return nil, err
 	}

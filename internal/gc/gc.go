@@ -74,6 +74,7 @@ type Collector struct {
 	visitedScratch map[mheap.Ref]bool
 	nameScratch    []string
 	rootScratch    []mheap.Ref
+	ptrScratch     []mheap.Ref
 
 	// Accumulated metrics.
 	tracedTotal    uint64
@@ -292,8 +293,8 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 			if b > tb {
 				break // younger objects stay threatened
 			}
-			for i, n := 0, c.heap.NumPtrs(r); i < n; i++ {
-				target := c.heap.Ptr(r, i)
+			c.ptrScratch = c.heap.AppendPtrs(c.ptrScratch[:0], r)
+			for i, target := range c.ptrScratch {
 				if target != mheap.Nil && c.heap.Contains(target) && b < c.heap.Birth(target) {
 					c.remembered[ptrLoc{r, i}] = struct{}{}
 				}
@@ -353,8 +354,8 @@ func (c *Collector) CollectAt(tb core.Time) core.Scavenge {
 		r := gray[len(gray)-1]
 		gray = gray[:len(gray)-1]
 		traced += uint64(c.heap.TotalSize(r))
-		for i, n := 0, c.heap.NumPtrs(r); i < n; i++ {
-			target := c.heap.Ptr(r, i)
+		c.ptrScratch = c.heap.AppendPtrs(c.ptrScratch[:0], r)
+		for i, target := range c.ptrScratch {
 			addGray(target)
 			if c.filterRecent && target != mheap.Nil && c.heap.Contains(target) &&
 				c.heap.Birth(r) < c.heap.Birth(target) {

@@ -160,9 +160,7 @@ func (h *Heap) Alloc(nptrs, dataBytes int) Ref {
 		addr = list[len(list)-1]
 		h.freeLists[total] = list[:len(list)-1]
 		// Zero the reused block.
-		for i := uint64(0); i < uint64(total); i++ {
-			h.space[addr+i] = 0
-		}
+		clear(h.space[addr : addr+uint64(total)])
 	} else {
 		addr = h.grow(uint64(total))
 	}
@@ -265,6 +263,23 @@ func (h *Heap) ptrOff(r Ref, i int) uint64 {
 //dtbvet:hotpath one call per pointer slot the collector traces
 func (h *Heap) Ptr(r Ref, i int) Ref {
 	return Ref(binary.LittleEndian.Uint64(h.space[h.ptrOff(r, i):]))
+}
+
+// AppendPtrs appends every pointer slot of object r to dst in slot
+// order and returns the extended slice. One lookup serves the whole
+// object — the collector's trace loop reads pointers through this
+// with a reused scratch slice instead of paying a map lookup per Ptr
+// call.
+//
+//dtbvet:hotpath one call per object the collector traces
+func (h *Heap) AppendPtrs(dst []Ref, r Ref) []Ref {
+	e := h.lookup(r)
+	n := uint64(binary.LittleEndian.Uint32(h.space[e.addr+4:]))
+	base := e.addr + headerBytes
+	for i := uint64(0); i < n; i++ {
+		dst = append(dst, Ref(binary.LittleEndian.Uint64(h.space[base+i*ptrBytes:]))) //dtbvet:ignore hotalloc -- dst is the caller's reused scratch slice; it grows to the widest object once and then appends stay in capacity (pinned by TestAppendPtrsSteadyStateAllocs)
+	}
+	return dst
 }
 
 // SetPtr stores target into pointer slot i of object r, firing the

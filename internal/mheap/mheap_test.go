@@ -403,3 +403,46 @@ func BenchmarkSetPtr(b *testing.B) {
 		h.SetPtr(a, 0, c)
 	}
 }
+
+func TestAppendPtrsMatchesPtr(t *testing.T) {
+	h := New()
+	targets := []Ref{h.Alloc(0, 8), h.Alloc(0, 8), h.Alloc(0, 8)}
+	src := h.Alloc(4, 16)
+	h.SetPtr(src, 0, targets[2])
+	h.SetPtr(src, 2, targets[0])
+	h.SetPtr(src, 3, targets[1])
+
+	got := h.AppendPtrs(nil, src)
+	if len(got) != h.NumPtrs(src) {
+		t.Fatalf("AppendPtrs returned %d slots, NumPtrs says %d", len(got), h.NumPtrs(src))
+	}
+	for i, target := range got {
+		if want := h.Ptr(src, i); target != want {
+			t.Errorf("slot %d: AppendPtrs %d, Ptr %d", i, target, want)
+		}
+	}
+
+	// Appends to the tail, preserving existing elements.
+	prefix := []Ref{src}
+	both := h.AppendPtrs(prefix, src)
+	if both[0] != src || len(both) != 1+len(got) {
+		t.Errorf("AppendPtrs clobbered the existing prefix: %v", both)
+	}
+
+	// A pointer-free object contributes nothing.
+	if ptrs := h.AppendPtrs(nil, targets[0]); len(ptrs) != 0 {
+		t.Errorf("pointer-free object yielded %d slots", len(ptrs))
+	}
+}
+
+func TestAppendPtrsSteadyStateAllocs(t *testing.T) {
+	h := New()
+	src := h.Alloc(8, 0)
+	scratch := make([]Ref, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = h.AppendPtrs(scratch[:0], src)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendPtrs into a pre-grown scratch allocates %v times, want 0", allocs)
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"github.com/dtbgc/dtbgc/internal/trace"
 )
 
-// lcg is a tiny deterministic generator for exercising the heap with
+// lcg is a tiny deterministic generator for exercising the tape with
 // varied-but-reproducible sizes and death patterns.
 type lcg uint64
 
@@ -16,50 +16,46 @@ func (g *lcg) next() uint64 {
 	return uint64(*g) >> 33
 }
 
-// buildBucketTestHeap drives a heapModel through an alloc/free/scavenge
-// mix that crosses many birth buckets and leaves a mixture of live,
-// dead-unreclaimed, and reclaimed objects — the states
-// LiveBytesBornAfter must account for. It returns the heap and the
+// buildBucketTestTape drives a tape through an alloc/free mix that
+// crosses many birth buckets and leaves a mixture of live and dead
+// objects — the states LiveBytesBornAfter must account for. (Runner
+// scavenges are irrelevant to the query: reclaimed objects are dead,
+// and only live bytes count, which is what lets every runner on a
+// shared tape use the same accounting.) It returns the tape and the
 // clock readings at which objects were born (the interesting query
 // points).
-func buildBucketTestHeap(t testing.TB, objects int) (*heapModel, []core.Time) {
+func buildBucketTestTape(t testing.TB, objects int) (*tape, []core.Time) {
 	t.Helper()
-	h := newHeapModel()
+	tp := newTape()
 	g := lcg(12345)
-	var clock core.Time
 	births := make([]core.Time, 0, objects)
+	var out resolved
 	for i := 0; i < objects; i++ {
 		// Sizes up to ~20 KB guarantee births land in many distinct
 		// 64 KB buckets and frequently straddle bucket boundaries.
 		size := 16 + g.next()%20000
-		clock = clock.Add(size)
-		if err := h.alloc(trace.ObjectID(i+1), size, clock, 0); err != nil {
+		if err := tp.resolve(trace.Alloc(trace.ObjectID(i+1), size, uint64(i)), &out); err != nil {
 			t.Fatalf("alloc %d: %v", i, err)
 		}
-		births = append(births, clock)
+		births = append(births, tp.clock)
 		// Kill roughly half of the recent past.
 		if i > 0 && g.next()%2 == 0 {
 			victim := trace.ObjectID(1 + g.next()%uint64(i))
-			if _, ok := h.index[victim]; ok && !h.objs[h.index[victim]].dead {
-				if err := h.free(victim); err != nil {
+			if ord, ok := tp.index[victim]; ok && !tp.dead[ord] {
+				if err := tp.resolve(trace.Free(victim, uint64(i)), &out); err != nil {
 					t.Fatalf("free %d: %v", victim, err)
 				}
 			}
 		}
-		// Occasionally scavenge a prefix so reclaimed objects vanish
-		// from the model, as they do mid-run.
-		if i%257 == 256 {
-			h.scavenge(births[i-100])
-		}
 	}
-	return h, births
+	return tp, births
 }
 
 // TestLiveBytesBornAfterMatchesNaive pins the birth-epoch bucket
 // accounting to the naive tail scan it replaced, across query points
 // on, between, and beyond object births and bucket boundaries.
 func TestLiveBytesBornAfterMatchesNaive(t *testing.T) {
-	h, births := buildBucketTestHeap(t, 4000)
+	tp, births := buildBucketTestTape(t, 4000)
 	queries := []core.Time{0, 1, core.TimeAt(1 << birthBucketShift)}
 	for i := 0; i < len(births); i += 7 {
 		queries = append(queries, births[i], births[i].Add(1))
@@ -67,64 +63,60 @@ func TestLiveBytesBornAfterMatchesNaive(t *testing.T) {
 	last := births[len(births)-1]
 	queries = append(queries, last, last.Add(1), last.Add(1<<birthBucketShift))
 	for _, q := range queries {
-		got := h.LiveBytesBornAfter(q)
-		want := h.liveBytesBornAfterNaive(q)
+		got := tp.liveBytesBornAfter(q)
+		want := tp.liveBytesBornAfterNaive(q)
 		if got != want {
-			t.Fatalf("LiveBytesBornAfter(%d) = %d, naive scan says %d", q.Bytes(), got, want)
+			t.Fatalf("liveBytesBornAfter(%d) = %d, naive scan says %d", q.Bytes(), got, want)
 		}
 	}
 }
 
 // TestLiveBytesBornAfterTracksMutation interleaves queries with
 // further mutation: the incremental bucket sums must stay consistent
-// as objects are born, die, and are reclaimed.
+// as objects are born and die.
 func TestLiveBytesBornAfterTracksMutation(t *testing.T) {
-	h := newHeapModel()
+	tp := newTape()
 	g := lcg(99)
-	var clock core.Time
 	var births []core.Time
+	var out resolved
 	for i := 0; i < 2000; i++ {
 		size := 8 + g.next()%5000
-		clock = clock.Add(size)
-		if err := h.alloc(trace.ObjectID(i+1), size, clock, 0); err != nil {
+		if err := tp.resolve(trace.Alloc(trace.ObjectID(i+1), size, uint64(i)), &out); err != nil {
 			t.Fatalf("alloc: %v", err)
 		}
-		births = append(births, clock)
+		births = append(births, tp.clock)
 		if i%3 == 2 {
 			victim := trace.ObjectID(1 + g.next()%uint64(i))
-			if j, ok := h.index[victim]; ok && !h.objs[j].dead {
-				if err := h.free(victim); err != nil {
+			if ord, ok := tp.index[victim]; ok && !tp.dead[ord] {
+				if err := tp.resolve(trace.Free(victim, uint64(i)), &out); err != nil {
 					t.Fatalf("free: %v", err)
 				}
 			}
 		}
 		if i%100 == 50 {
 			q := births[uint64(len(births))/2]
-			if got, want := h.LiveBytesBornAfter(q), h.liveBytesBornAfterNaive(q); got != want {
-				t.Fatalf("step %d: LiveBytesBornAfter(%d) = %d, naive says %d", i, q.Bytes(), got, want)
+			if got, want := tp.liveBytesBornAfter(q), tp.liveBytesBornAfterNaive(q); got != want {
+				t.Fatalf("step %d: liveBytesBornAfter(%d) = %d, naive says %d", i, q.Bytes(), got, want)
 			}
-		}
-		if i%333 == 332 {
-			h.scavenge(births[len(births)/4])
 		}
 	}
 }
 
 // BenchmarkLiveBytesBornAfter measures the boundary query both ways on
-// a heap large enough that the tail scan's O(live objects) cost shows:
-// the bucket accounting must turn the policy-decision hot path into a
+// a tape large enough that the tail scan's O(objects) cost shows: the
+// bucket accounting must turn the policy-decision hot path into a
 // bucket-suffix sum.
 func BenchmarkLiveBytesBornAfter(b *testing.B) {
-	h, births := buildBucketTestHeap(b, 50000)
+	tp, births := buildBucketTestTape(b, 50000)
 	q := births[len(births)/10] // old boundary → long suffix, worst case for the scan
 	b.Run("buckets", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sinkU64 = h.LiveBytesBornAfter(q)
+			sinkU64 = tp.liveBytesBornAfter(q)
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sinkU64 = h.liveBytesBornAfterNaive(q)
+			sinkU64 = tp.liveBytesBornAfterNaive(q)
 		}
 	})
 }

@@ -10,8 +10,12 @@
 // traced and CPU overhead is total trace time over program run time.
 //
 // Run simulates an in-memory trace; RunReader streams events from a
-// decoder so arbitrarily long traces simulate in constant memory; and
-// NewRunner exposes the incremental interface both are built on.
+// decoder so arbitrarily long traces simulate in constant memory;
+// NewRunner exposes the incremental interface both are built on; and
+// NewFleet shares the collector-independent trace bookkeeping (the
+// "tape") across many runners so a fan-out replay pays for decoding,
+// validation and liveness accounting once instead of once per
+// collector.
 package sim
 
 import (
@@ -227,15 +231,6 @@ func (r *Result) P90PauseSeconds() float64 { return stats.Percentile(r.Pauses, 9
 // the oracle live floor.
 func (r *Result) TenuredGarbageMeanBytes() float64 { return r.MemMeanBytes - r.LiveMeanBytes }
 
-// object is one heap cell in the model.
-type object struct {
-	id    trace.ObjectID
-	birth core.Time
-	size  uint64
-	addr  uint64 // placement for the virtual-memory model
-	dead  bool   // freed by the program but not yet reclaimed
-}
-
 // birthBucketShift sizes the birth-epoch buckets behind
 // LiveBytesBornAfter: 64 KB of allocation clock per bucket. Wider
 // buckets shrink the bucket array but lengthen the partial scan at
@@ -246,13 +241,41 @@ const birthBucketShift = 16
 // birthBucket maps a clock reading to its birth-epoch bucket.
 func birthBucket(t core.Time) int { return int(t.Bytes() >> birthBucketShift) }
 
-// heapModel is the simulated heap: objects ordered by birth time, with
-// incremental byte accounting. It implements core.Heap for policies.
-type heapModel struct {
-	objs  []object // birth-ordered; reclaimed objects are removed
-	index map[trace.ObjectID]int
-	inUse uint64 // live + dead-but-unreclaimed bytes
-	live  uint64 // live bytes only (the oracle)
+// resolved is one trace event after tape resolution: object identity
+// replaced by a dense ordinal, sizes and the allocation clock already
+// computed, validation already done. Applying a resolved event to a
+// runner touches no maps and cannot fail, which is what makes the
+// fan-out apply loop tight.
+type resolved struct {
+	kind  trace.Kind
+	ord   int32 // alloc: new ordinal; free/ptrwrite: target (-1 if unknown)
+	size  uint64
+	instr uint64
+	clock core.Time // allocation clock after this event
+}
+
+// tape is the collector-independent view of a replayed trace: every
+// fact that is identical no matter which policy is running — object
+// identity, sizes, birth times, the program's free oracle, the
+// allocation clock, event validation, and the live-byte accounting
+// behind boundary queries. A Fleet shares one tape across all of its
+// runners so this work happens once per trace instead of once per
+// collector; a solo Runner owns a private tape.
+//
+// Objects are numbered by dense ordinals in allocation order. The
+// id→ordinal index is never deleted from — trace IDs are unique for
+// the lifetime of a trace (see trace.Validate), so an ID that reuses
+// a reclaimed object's number is rejected as a duplicate allocation.
+// The tape therefore grows with the total number of objects in the
+// trace, not the live set; that is the deliberate space-for-sharing
+// trade the fan-out engine makes (see DESIGN.md).
+type tape struct {
+	index  map[trace.ObjectID]int32
+	sizes  []uint64    // per ordinal
+	births []core.Time // per ordinal, nondecreasing
+	dead   []bool      // per ordinal: freed by the program
+
+	live uint64 // live bytes (the oracle)
 	// liveByBirth[b] is the live bytes of objects born in clock bucket
 	// b, maintained on every alloc and free. It makes boundary queries
 	// (LiveBytesBornAfter, executed on every policy decision and for
@@ -260,39 +283,100 @@ type heapModel struct {
 	// plus a bucket-suffix sum instead of a tail scan over all live
 	// objects.
 	liveByBirth []uint64
-	// naive routes LiveBytesBornAfter through the reference tail scan
-	// (Config.ReferenceScan) — the audit oracle's comparison path.
-	naive bool
+
+	clock     core.Time
+	lastInstr uint64
+	events    int
 }
 
-func newHeapModel() *heapModel {
-	return &heapModel{index: make(map[trace.ObjectID]int)}
+func newTape() *tape {
+	return &tape{index: make(map[trace.ObjectID]int32)}
 }
 
-// BytesInUse implements core.Heap.
-func (h *heapModel) BytesInUse() uint64 { return h.inUse }
+// resolve validates one event against the tape and advances the shared
+// state, filling out with the collector-independent facts runners need
+// to apply it. A failed resolve leaves the tape untouched, so feeding
+// can stop exactly at the offending event.
+//
+//dtbvet:hotpath one call per trace event, shared by every runner on the tape
+func (tp *tape) resolve(e trace.Event, out *resolved) error {
+	i := tp.events
+	if e.Instr < tp.lastInstr {
+		return fmt.Errorf("sim: event %d: clock regressed", i)
+	}
+	switch e.Kind {
+	case trace.KindAlloc:
+		if _, dup := tp.index[e.ID]; dup {
+			return fmt.Errorf("sim: event %d: duplicate allocation of object %d", i, e.ID)
+		}
+		ord := int32(len(tp.sizes))
+		tp.index[e.ID] = ord
+		tp.clock = tp.clock.Add(e.Size)
+		tp.sizes = append(tp.sizes, e.Size)
+		tp.births = append(tp.births, tp.clock)
+		tp.dead = append(tp.dead, false)
+		tp.live += e.Size
+		b := birthBucket(tp.clock)
+		for len(tp.liveByBirth) <= b {
+			tp.liveByBirth = append(tp.liveByBirth, 0)
+		}
+		tp.liveByBirth[b] += e.Size
+		*out = resolved{kind: trace.KindAlloc, ord: ord, size: e.Size, instr: e.Instr, clock: tp.clock}
+	case trace.KindFree:
+		ord, ok := tp.index[e.ID]
+		if !ok {
+			return fmt.Errorf("sim: event %d: free of unknown object %d", i, e.ID)
+		}
+		if tp.dead[ord] {
+			return fmt.Errorf("sim: event %d: double free of object %d", i, e.ID)
+		}
+		tp.dead[ord] = true
+		size := tp.sizes[ord]
+		tp.live -= size
+		tp.liveByBirth[birthBucket(tp.births[ord])] -= size
+		*out = resolved{kind: trace.KindFree, ord: ord, size: size, instr: e.Instr, clock: tp.clock}
+	case trace.KindPtrWrite:
+		// Pointer stores do not affect the oracle liveness; the target
+		// ordinal is resolved here so the virtual-memory model can
+		// touch it without a map lookup per runner.
+		ord, ok := tp.index[e.ID]
+		if !ok {
+			ord = -1
+		}
+		*out = resolved{kind: trace.KindPtrWrite, ord: ord, instr: e.Instr, clock: tp.clock}
+	case trace.KindMark:
+		*out = resolved{kind: trace.KindMark, ord: -1, instr: e.Instr, clock: tp.clock}
+	default:
+		return fmt.Errorf("sim: event %d: unknown kind %d", i, e.Kind)
+	}
+	tp.lastInstr = e.Instr
+	tp.events++
+	return nil
+}
 
-// LiveBytesBornAfter implements core.Heap.
+// liveBytesBornAfter is the bucketed boundary query over the tape.
+// Reclaimed objects stay in the ordinal arrays with dead=true, which
+// cannot change the sum — only live bytes count — so the query is
+// identical for every runner sharing the tape regardless of how much
+// each one has scavenged.
 //
 //dtbvet:hotpath consulted by every policy Boundary() call during replay
-func (h *heapModel) LiveBytesBornAfter(t core.Time) uint64 {
-	if h.naive {
-		return h.liveBytesBornAfterNaive(t)
-	}
-	i := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > t })
+func (tp *tape) liveBytesBornAfter(t core.Time) uint64 {
+	births := tp.births
+	i := sort.Search(len(births), func(i int) bool { return births[i] > t })
 	b := birthBucket(t)
 	// Births sharing t's bucket need individual comparison — the
 	// bucket sums only cover whole buckets. Later buckets hold only
 	// births strictly after t, so their sums apply wholesale.
 	var sum uint64
 	bucketEnd := core.TimeAt(uint64(b+1) << birthBucketShift)
-	for ; i < len(h.objs) && h.objs[i].birth < bucketEnd; i++ {
-		if !h.objs[i].dead {
-			sum += h.objs[i].size
+	for ; i < len(births) && births[i] < bucketEnd; i++ {
+		if !tp.dead[i] {
+			sum += tp.sizes[i]
 		}
 	}
-	for j := b + 1; j < len(h.liveByBirth); j++ {
-		sum += h.liveByBirth[j]
+	for j := b + 1; j < len(tp.liveByBirth); j++ {
+		sum += tp.liveByBirth[j]
 	}
 	return sum
 }
@@ -301,80 +385,60 @@ func (h *heapModel) LiveBytesBornAfter(t core.Time) uint64 {
 // accounting replaced; the equivalence test pins the two together,
 // and Config.ReferenceScan runs whole simulations on this path so the
 // audit oracle can diff the results.
-func (h *heapModel) liveBytesBornAfterNaive(t core.Time) uint64 {
-	i := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > t })
+func (tp *tape) liveBytesBornAfterNaive(t core.Time) uint64 {
+	births := tp.births
+	i := sort.Search(len(births), func(i int) bool { return births[i] > t })
 	var sum uint64
-	for ; i < len(h.objs); i++ {
-		if !h.objs[i].dead {
-			sum += h.objs[i].size
+	for ; i < len(births); i++ {
+		if !tp.dead[i] {
+			sum += tp.sizes[i]
 		}
 	}
 	return sum
 }
 
-//dtbvet:hotpath one call per allocation event in the trace
-func (h *heapModel) alloc(id trace.ObjectID, size uint64, birth core.Time, addr uint64) error {
-	if _, dup := h.index[id]; dup {
-		return fmt.Errorf("sim: duplicate allocation of object %d", id)
-	}
-	h.index[id] = len(h.objs)
-	h.objs = append(h.objs, object{id: id, birth: birth, size: size, addr: addr})
-	h.inUse += size
-	h.live += size
-	b := birthBucket(birth)
-	for len(h.liveByBirth) <= b {
-		h.liveByBirth = append(h.liveByBirth, 0)
-	}
-	h.liveByBirth[b] += size
-	return nil
-}
+// policyHeap is the core.Heap view a policy sees at a decision point:
+// bytes-in-use are this runner's (reclamation timing is policy
+// dependent) while live-byte queries come from the shared tape (the
+// free oracle is policy independent).
+type policyHeap struct{ r *Runner }
 
-//dtbvet:hotpath one call per free event in the trace
-func (h *heapModel) free(id trace.ObjectID) error {
-	i, ok := h.index[id]
-	if !ok {
-		return fmt.Errorf("sim: free of unknown object %d", id)
-	}
-	if h.objs[i].dead {
-		return fmt.Errorf("sim: double free of object %d", id)
-	}
-	h.objs[i].dead = true
-	h.live -= h.objs[i].size
-	h.liveByBirth[birthBucket(h.objs[i].birth)] -= h.objs[i].size
-	return nil
-}
+// BytesInUse implements core.Heap.
+func (h policyHeap) BytesInUse() uint64 { return h.r.inUse }
 
-// scavenge collects with the given boundary: every dead object born
-// after tb is reclaimed, every live object born after tb is traced.
-// It returns the bytes traced and reclaimed.
-//
-//dtbvet:hotpath walks the whole object table on every collection
-func (h *heapModel) scavenge(tb core.Time) (traced, reclaimed uint64) {
-	start := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].birth > tb })
-	w := start
-	for r := start; r < len(h.objs); r++ {
-		o := h.objs[r]
-		if o.dead {
-			reclaimed += o.size
-			h.inUse -= o.size
-			delete(h.index, o.id)
-			continue
-		}
-		traced += o.size
-		h.objs[w] = o
-		h.index[o.id] = w
-		w++
+// LiveBytesBornAfter implements core.Heap.
+func (h policyHeap) LiveBytesBornAfter(t core.Time) uint64 {
+	if h.r.cfg.ReferenceScan {
+		return h.r.tape.liveBytesBornAfterNaive(t)
 	}
-	h.objs = h.objs[:w]
-	return traced, reclaimed
+	return h.r.tape.liveBytesBornAfter(t)
 }
 
 // Runner is the incremental simulation interface: feed events in trace
-// order, then Finish. Run and RunReader are thin wrappers around it.
+// order, then Finish. Run and RunReader are thin wrappers around it;
+// Fleet drives many runners off one shared tape.
 type Runner struct {
 	cfg  Config
 	res  *Result
-	heap *heapModel
+	tape *tape
+	view core.Heap // policyHeap, boxed once at construction
+	// fleet marks a runner constructed by NewFleet: its tape is shared,
+	// so events must arrive through Fleet.FeedBatch (a direct Feed
+	// would advance the tape ahead of the sibling runners).
+	fleet bool
+
+	// Per-collector heap state. objs holds the ordinals of objects
+	// present in this runner's heap (live or dead-but-unreclaimed), in
+	// birth order; scavenge compacts it. Sizes, births and deadness
+	// live on the tape.
+	objs  []int32
+	inUse uint64 // live + dead-but-unreclaimed bytes
+
+	// isPolicy/opportunistic/hasProbe cache config tests so the batch
+	// apply loop branches on booleans instead of chasing cfg fields.
+	isPolicy      bool
+	opportunistic bool
+	hasProbe      bool
 
 	clock         core.Time
 	sinceTrigger  uint64
@@ -387,15 +451,26 @@ type Runner struct {
 	liveCurve     *stats.Series
 	finished      bool
 
-	// Virtual-memory model (nil unless configured).
+	// Virtual-memory model (nil unless configured). Placement is per
+	// runner: survivors relocate at scavenges, so addresses diverge
+	// between collectors after the first collection. present tracks
+	// which ordinals are still in this runner's heap (pointer stores
+	// to reclaimed objects touch nothing).
 	pages    *vmem.Model
 	nextAddr uint64
+	addrs    []uint64
+	present  []bool
 }
 
-// NewRunner validates the configuration and returns a Runner ready for
-// events. The probe's RunStart fires only after validation succeeds,
-// so a rejected config never opens a telemetry stream it cannot close.
+// NewRunner validates the configuration and returns a Runner with a
+// private tape, ready for events. The probe's RunStart fires only
+// after validation succeeds, so a rejected config never opens a
+// telemetry stream it cannot close.
 func NewRunner(cfg Config) (*Runner, error) {
+	return newRunner(newTape(), cfg, false)
+}
+
+func newRunner(tp *tape, cfg Config, fleet bool) (*Runner, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -409,8 +484,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	case ModeLive:
 		res.Collector = "Live"
 	}
-	r := &Runner{cfg: cfg, res: res, heap: newHeapModel()}
-	r.heap.naive = cfg.ReferenceScan
+	r := &Runner{cfg: cfg, res: res, tape: tp, fleet: fleet}
+	r.view = policyHeap{r}
+	r.isPolicy = cfg.Mode == ModePolicy
+	r.opportunistic = r.isPolicy && cfg.Opportunistic
+	r.hasProbe = cfg.Probe != nil
 	if cfg.RecordCurve {
 		r.curve = &stats.Series{Name: res.Collector}
 		r.liveCurve = &stats.Series{Name: "Live"}
@@ -441,104 +519,144 @@ func (r *Runner) memInUse() uint64 {
 	case ModeNoGC:
 		return r.clock.Bytes() // cumulative allocation, frees ignored
 	case ModeLive:
-		return r.heap.live
+		return r.tape.live
 	default:
-		return r.heap.inUse
+		return r.inUse
 	}
 }
 
 func (r *Runner) sample(instr uint64) {
 	m := r.memInUse()
 	r.memStat.Observe(float64(instr), float64(m))
-	r.liveStat.Observe(float64(instr), float64(r.heap.live))
-	if r.cfg.RecordCurve {
+	r.liveStat.Observe(float64(instr), float64(r.tape.live))
+	if r.curve != nil {
 		r.curve.Append(float64(r.clock), float64(m))
-		r.liveCurve.Append(float64(r.clock), float64(r.heap.live))
+		r.liveCurve.Append(float64(r.clock), float64(r.tape.live))
 	}
 }
 
+// errFeedAfterFinish and errFleetFeed are allocated once so the hot
+// entry points return them without formatting.
+var (
+	errFeedAfterFinish = errors.New("sim: Feed after Finish")
+	errFleetFeed       = errors.New("sim: Feed on a fleet runner (events arrive via Fleet.FeedBatch)")
+)
+
 // Feed processes one event. Events must arrive in trace order.
-//
-//dtbvet:hotpath the per-event dispatch of every replay
 func (r *Runner) Feed(e trace.Event) error {
 	if r.finished {
-		return errors.New("sim: Feed after Finish")
+		return errFeedAfterFinish
 	}
-	i := r.nEvents
-	r.nEvents++
-	if e.Instr < r.lastInstr {
-		return fmt.Errorf("sim: event %d: clock regressed", i)
+	if r.fleet {
+		return errFleetFeed
 	}
-	r.lastInstr = e.Instr
-	switch e.Kind {
-	case trace.KindAlloc:
-		r.clock = r.clock.Add(e.Size)
-		addr := r.nextAddr
-		r.nextAddr += e.Size
-		if err := r.heap.alloc(e.ID, e.Size, r.clock, addr); err != nil {
-			return fmt.Errorf("sim: event %d: %w", i, err)
+	var one [1]resolved
+	if err := r.tape.resolve(e, &one[0]); err != nil {
+		return err
+	}
+	r.apply(one[:])
+	return nil
+}
+
+// FeedBatch processes a batch of events in trace order: the same
+// observable behavior as calling Feed once per event, with the
+// finished/ownership checks hoisted out of the per-event path. On
+// error, events before the offending one have been applied.
+func (r *Runner) FeedBatch(events []trace.Event) error {
+	if r.finished {
+		return errFeedAfterFinish
+	}
+	if r.fleet {
+		return errFleetFeed
+	}
+	var one [1]resolved
+	for i := range events {
+		if err := r.tape.resolve(events[i], &one[0]); err != nil {
+			return err
 		}
-		if r.pages != nil {
-			r.pages.Touch(addr, e.Size) // the mutator initializes it
-		}
-		r.sinceTrigger += e.Size
-		r.sinceProgress += e.Size
-		r.sample(e.Instr)
-		if r.cfg.Mode == ModePolicy && r.sinceTrigger >= r.cfg.TriggerBytes {
-			r.sinceTrigger = 0
-			r.scavenge(TriggerByteBudget)
-			r.sample(e.Instr)
-		}
-		if r.cfg.Probe != nil && r.sinceProgress >= r.cfg.ProgressBytes {
-			r.sinceProgress = 0
-			r.cfg.Probe.Progress(Progress{
-				Label:       r.cfg.Label,
-				Events:      r.nEvents,
-				Instr:       e.Instr,
-				Clock:       r.clock,
-				InUse:       r.memInUse(),
-				Live:        r.heap.live,
-				Collections: r.res.Collections,
-			})
-		}
-	case trace.KindFree:
-		if r.pages != nil {
-			if idx, ok := r.heap.index[e.ID]; ok {
-				o := r.heap.objs[idx]
-				r.pages.Touch(o.addr, o.size) // last mutator access
-			}
-		}
-		if err := r.heap.free(e.ID); err != nil {
-			return fmt.Errorf("sim: event %d: %w", i, err)
-		}
-		r.sample(e.Instr)
-	case trace.KindMark:
-		if r.cfg.Mode == ModePolicy && r.cfg.Opportunistic &&
-			r.sinceTrigger >= r.cfg.TriggerBytes/2 {
-			r.sinceTrigger = 0
-			r.scavenge(TriggerMark)
-			r.sample(e.Instr)
-		}
-	case trace.KindPtrWrite:
-		// Pointer stores do not affect the oracle liveness, but they
-		// do touch memory for the virtual-memory model.
-		if r.pages != nil {
-			if idx, ok := r.heap.index[e.ID]; ok {
-				o := r.heap.objs[idx]
-				r.pages.Touch(o.addr, 8)
-			}
-		}
-	default:
-		return fmt.Errorf("sim: event %d: unknown kind %d", i, e.Kind)
+		r.apply(one[:])
 	}
 	return nil
 }
 
+// apply runs resolved events through this runner's collector. The
+// events were validated by the tape, so apply cannot fail; everything
+// per event here is per-collector work (memory accounting, trigger
+// bookkeeping, sampling, scavenges).
+//
+//dtbvet:hotpath the per-runner batch apply loop of every replay
+func (r *Runner) apply(batch []resolved) {
+	for k := range batch {
+		ev := &batch[k]
+		r.nEvents++
+		r.lastInstr = ev.instr
+		switch ev.kind {
+		case trace.KindAlloc:
+			r.clock = ev.clock
+			r.inUse += ev.size
+			if r.isPolicy {
+				r.objs = append(r.objs, ev.ord)
+			}
+			if r.pages != nil {
+				addr := r.nextAddr
+				r.nextAddr += ev.size
+				r.addrs = append(r.addrs, addr)
+				r.present = append(r.present, true)
+				r.pages.Touch(addr, ev.size) // the mutator initializes it
+			}
+			r.sinceTrigger += ev.size
+			r.sample(ev.instr)
+			if r.isPolicy && r.sinceTrigger >= r.cfg.TriggerBytes {
+				r.sinceTrigger = 0
+				r.scavenge(TriggerByteBudget)
+				r.sample(ev.instr)
+			}
+			if r.hasProbe {
+				r.sinceProgress += ev.size
+				if r.sinceProgress >= r.cfg.ProgressBytes {
+					r.sinceProgress = 0
+					r.cfg.Probe.Progress(Progress{
+						Label:       r.cfg.Label,
+						Events:      r.nEvents,
+						Instr:       ev.instr,
+						Clock:       r.clock,
+						InUse:       r.memInUse(),
+						Live:        r.tape.live,
+						Collections: r.res.Collections,
+					})
+				}
+			}
+		case trace.KindFree:
+			if r.pages != nil {
+				// The object is necessarily still present: only dead
+				// objects are reclaimed, and this one was live until
+				// this very event.
+				r.pages.Touch(r.addrs[ev.ord], ev.size) // last mutator access
+			}
+			r.sample(ev.instr)
+		case trace.KindMark:
+			if r.opportunistic && r.sinceTrigger >= r.cfg.TriggerBytes/2 {
+				r.sinceTrigger = 0
+				r.scavenge(TriggerMark)
+				r.sample(ev.instr)
+			}
+		case trace.KindPtrWrite:
+			// Pointer stores do not affect the oracle liveness, but they
+			// do touch memory for the virtual-memory model.
+			if r.pages != nil && ev.ord >= 0 && r.present[ev.ord] {
+				r.pages.Touch(r.addrs[ev.ord], 8)
+			}
+		default:
+			// Unreachable: resolve rejects unknown kinds.
+		}
+	}
+}
+
 //dtbvet:hotpath one call per simulated collection
 func (r *Runner) scavenge(reason TriggerReason) {
-	heap, cfg, res := r.heap, r.cfg, r.res
-	memBefore := heap.inUse
-	tb := core.ClampBoundary(cfg.Policy.Boundary(r.clock, &res.History, heap), r.clock)
+	tp, cfg, res := r.tape, r.cfg, r.res
+	memBefore := r.inUse
+	tb := core.ClampBoundary(cfg.Policy.Boundary(r.clock, &res.History, r.view), r.clock)
 	if p := cfg.Probe; p != nil {
 		p.Decision(Decision{
 			Label:      cfg.Label,
@@ -548,21 +666,44 @@ func (r *Runner) scavenge(reason TriggerReason) {
 			TB:         tb,
 			Candidates: boundaryCandidates(&res.History),
 			MemBefore:  memBefore,
-			LiveBefore: heap.live,
+			LiveBefore: tp.live,
 		})
 	}
-	traced, reclaimed := heap.scavenge(tb)
+	// Collect with boundary tb: every dead object born after tb is
+	// reclaimed, every live one born after tb is traced. objs is birth
+	// ordered, so the threatened region is a suffix.
+	births := tp.births
+	objs := r.objs
+	start := sort.Search(len(objs), func(i int) bool { return births[objs[i]] > tb })
+	var traced, reclaimed uint64
+	w := start
+	for i := start; i < len(objs); i++ {
+		ord := objs[i]
+		size := tp.sizes[ord]
+		if tp.dead[ord] {
+			reclaimed += size
+			r.inUse -= size
+			if r.present != nil {
+				r.present[ord] = false
+			}
+			continue
+		}
+		traced += size
+		objs[w] = ord
+		w++
+	}
+	r.objs = objs[:w]
 	if r.pages != nil {
 		// Copying semantics: every survivor of the threatened region
 		// is read at its old address and written to a fresh one; the
 		// collector never touches garbage.
-		start := sort.Search(len(heap.objs), func(i int) bool { return heap.objs[i].birth > tb })
-		for j := start; j < len(heap.objs); j++ {
-			o := &heap.objs[j]
-			r.pages.Touch(o.addr, o.size)
-			o.addr = r.nextAddr
-			r.nextAddr += o.size
-			r.pages.Touch(o.addr, o.size)
+		for i := start; i < len(r.objs); i++ {
+			ord := r.objs[i]
+			size := tp.sizes[ord]
+			r.pages.Touch(r.addrs[ord], size)
+			r.addrs[ord] = r.nextAddr
+			r.nextAddr += size
+			r.pages.Touch(r.addrs[ord], size)
 		}
 	}
 	res.History.Record(core.Scavenge{
@@ -571,7 +712,7 @@ func (r *Runner) scavenge(reason TriggerReason) {
 		MemBefore: memBefore,
 		Traced:    traced,
 		Reclaimed: reclaimed,
-		Surviving: heap.inUse,
+		Surviving: r.inUse,
 	})
 	res.Collections++
 	res.TracedTotalBytes += traced
@@ -587,9 +728,9 @@ func (r *Runner) scavenge(reason TriggerReason) {
 			MemBefore:      memBefore,
 			Traced:         traced,
 			Reclaimed:      reclaimed,
-			Surviving:      heap.inUse,
-			Live:           heap.live,
-			TenuredGarbage: heap.inUse - heap.live,
+			Surviving:      r.inUse,
+			Live:           tp.live,
+			TenuredGarbage: r.inUse - tp.live,
 			PauseSeconds:   pause,
 		})
 	}
@@ -632,9 +773,95 @@ func (r *Runner) Finish() *Result {
 	return res
 }
 
-// Run simulates one collector over a complete in-memory trace. The
-// trace must be well-formed; Run reports the first inconsistency it
-// hits as an error.
+// Fleet runs many collectors over one trace, sharing the tape — the
+// id→ordinal index, validation, the free oracle and the live-byte
+// accounting — across all of them. Each batch is resolved once and
+// then applied to every runner in a tight per-collector loop, so the
+// per-event map and validation cost is paid once per trace instead of
+// once per collector. Every runner's Result, History and telemetry
+// sequence is bit-identical to a solo run over the same events.
+type Fleet struct {
+	tape     *tape
+	runners  []*Runner
+	finished bool
+}
+
+// NewFleet validates every config before constructing any runner (a
+// bad config halfway through the set would otherwise leave earlier
+// runners' telemetry streams opened but never finished), then builds
+// the runners in config order on one shared tape.
+func NewFleet(cfgs []Config) (*Fleet, error) {
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: config %d: %w", i, err)
+		}
+	}
+	tp := newTape()
+	f := &Fleet{tape: tp, runners: make([]*Runner, 0, len(cfgs))}
+	for _, cfg := range cfgs {
+		r, err := newRunner(tp, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		f.runners = append(f.runners, r)
+	}
+	return f, nil
+}
+
+// Runners returns the fleet's runners in config order. They are owned
+// by the fleet: feed events through FeedBatch, not Runner.Feed.
+func (f *Fleet) Runners() []*Runner { return f.runners }
+
+// Events returns the number of events the fleet has processed.
+func (f *Fleet) Events() int { return f.tape.events }
+
+// FeedBatch resolves each event once against the shared tape and
+// applies it to every runner in lockstep before resolving the next, so
+// a runner's policy queries and samples see the tape exactly at the
+// event being applied — the same state a solo run would see, which is
+// what keeps fleet results bit-identical to per-event replays. The
+// per-event map lookups and validation still happen once per event
+// instead of once per runner, and the batch boundary hoists the
+// finished check and the caller's cancellation check off the per-event
+// path. On a validation error, every runner has applied exactly the
+// events before the offending one — the fleet stays consistent, and
+// the error is what Runner.Feed would have returned for that event.
+//
+//dtbvet:hotpath one call per replay batch: resolve once, apply N times
+func (f *Fleet) FeedBatch(events []trace.Event) error {
+	if f.finished {
+		return errFeedAfterFinish
+	}
+	if len(f.runners) == 0 {
+		return nil
+	}
+	var one [1]resolved
+	for i := range events {
+		if err := f.tape.resolve(events[i], &one[0]); err != nil {
+			return err
+		}
+		for _, r := range f.runners {
+			r.apply(one[:])
+		}
+	}
+	return nil
+}
+
+// Finish closes every runner and returns their Results in config
+// order. It is idempotent.
+func (f *Fleet) Finish() []*Result {
+	f.finished = true
+	results := make([]*Result, len(f.runners))
+	for i, r := range f.runners {
+		results[i] = r.Finish()
+	}
+	return results
+}
+
+// Run simulates one collector over a complete in-memory trace, feeding
+// one event at a time — the per-event reference path the batched fleet
+// is diffed against. The trace must be well-formed; Run reports the
+// first inconsistency it hits as an error.
 func Run(events []trace.Event, cfg Config) (*Result, error) {
 	r, err := NewRunner(cfg)
 	if err != nil {
@@ -649,8 +876,8 @@ func Run(events []trace.Event, cfg Config) (*Result, error) {
 }
 
 // RunReader simulates a collector over a streamed trace, decoding
-// events one at a time: memory use is bounded by the heap model, not
-// the trace length.
+// events one at a time: memory use is bounded by the heap model and
+// the tape's per-object bookkeeping, not the trace length.
 func RunReader(rd *trace.Reader, cfg Config) (*Result, error) {
 	r, err := NewRunner(cfg)
 	if err != nil {

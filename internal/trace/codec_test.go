@@ -287,3 +287,87 @@ func BenchmarkBinaryDecode(b *testing.B) {
 		}
 	}
 }
+
+// TestReadBatchMatchesRead pins ReadBatch to the sequential Read path:
+// for every batch size, including 1 and larger than the trace, the
+// concatenated batches must equal the event-at-a-time decode, a short
+// final batch must carry a nil error, and the call after the clean end
+// must return (0, io.EOF).
+func TestReadBatchMatchesRead(t *testing.T) {
+	events := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	for _, size := range []int{1, 2, 3, len(events), len(events) + 5} {
+		r := NewReader(bytes.NewReader(encoded))
+		dst := make([]Event, size)
+		var got []Event
+		for {
+			n, err := r.ReadBatch(dst)
+			if err == io.EOF {
+				if n != 0 {
+					t.Fatalf("size %d: io.EOF with %d events — EOF must come alone", size, n)
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("size %d: ReadBatch: %v", size, err)
+			}
+			if n == 0 {
+				t.Fatalf("size %d: ReadBatch returned 0 events with nil error", size)
+			}
+			got = append(got, dst[:n]...)
+			if n < size {
+				// Short batch: the stream ended cleanly mid-batch, so the
+				// next call must report the EOF on its own.
+				if n2, err2 := r.ReadBatch(dst); n2 != 0 || err2 != io.EOF {
+					t.Fatalf("size %d: call after short batch = (%d, %v), want (0, io.EOF)", size, n2, err2)
+				}
+				break
+			}
+		}
+		if !reflect.DeepEqual(got, events) {
+			t.Errorf("size %d: ReadBatch decode differs from Read decode:\n got %v\nwant %v", size, got, events)
+		}
+	}
+}
+
+// TestReadBatchTruncatedStream: a decode error mid-batch must return
+// the successfully decoded prefix alongside the error.
+func TestReadBatchTruncatedStream(t *testing.T) {
+	events := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-1]
+
+	r := NewReader(bytes.NewReader(truncated))
+	dst := make([]Event, len(events)+1)
+	n, err := r.ReadBatch(dst)
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated stream decoded without error (n=%d, err=%v)", n, err)
+	}
+	if n == 0 || n >= len(events) {
+		t.Fatalf("truncated stream returned %d events, want a non-empty strict prefix of %d", n, len(events))
+	}
+	if !reflect.DeepEqual(dst[:n], events[:n]) {
+		t.Errorf("prefix before the decode error differs from the original events")
+	}
+}
+
+// TestReadBatchEmptyTrace: a header-only stream is a clean EOF.
+func TestReadBatchEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	n, err := r.ReadBatch(make([]Event, 4))
+	if n != 0 || err != io.EOF {
+		t.Fatalf("empty trace ReadBatch = (%d, %v), want (0, io.EOF)", n, err)
+	}
+}
