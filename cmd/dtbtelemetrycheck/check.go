@@ -81,6 +81,17 @@ var schema = map[string][]field{
 	},
 }
 
+// optionalSchema lists fields that may appear on an event but must be
+// well-typed when they do. Adaptive policies annotate their decisions
+// with the chosen bandit arm and a digest of the decision inputs;
+// pure-policy streams omit both, and old streams stay valid unchanged.
+var optionalSchema = map[string][]field{
+	"decision": {
+		{"arm", kindNumber},
+		{"features_digest", kindString},
+	},
+}
+
 // runState tracks per-run sequence invariants. Runs are keyed by
 // label; a well-formed stream may interleave several (the evaluation
 // harness runs workloads concurrently) but each run's own events stay
@@ -129,6 +140,15 @@ func checkStream(r io.Reader) ([]string, error) {
 		for _, f := range fields {
 			if msg := checkField(obj, f); msg != "" {
 				problems = append(problems, fmt.Sprintf("line %d: %s: %s", lineNo, event, msg))
+				bad = true
+			}
+		}
+		for _, f := range optionalSchema[event] {
+			if _, present := obj[f.name]; !present {
+				continue
+			}
+			if msg := checkField(obj, f); msg != "" {
+				problems = append(problems, fmt.Sprintf("line %d: %s: optional %s", lineNo, event, msg))
 				bad = true
 			}
 		}
@@ -200,6 +220,21 @@ func checkField(obj map[string]any, f field) string {
 	return ""
 }
 
+// isHex16 reports whether s is exactly 16 lowercase hex digits — the
+// fixed-width encoding TelemetryWriter uses for the feature digest.
+func isHex16(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // checkSequence enforces the per-run event ordering: run_start first,
 // each scavenge preceded by its decision with the same 1-based index,
 // indices increasing without gaps, run_finish last with a collection
@@ -251,6 +286,23 @@ func checkSequence(st *runState, event string, obj map[string]any, lineNo int, l
 			report("decision n=%d, want %d", n, want)
 		}
 		st.pendingDecision = n
+		// Adaptive annotations: an arm index is only meaningful alongside
+		// the feature digest, must be a whole number, and must stay
+		// non-negative (the writer suppresses the field for policies with
+		// no arm concept rather than emitting a sentinel).
+		arm, hasArm := obj["arm"].(float64)
+		digest, hasDigest := obj["features_digest"].(string)
+		if hasArm {
+			if !hasDigest {
+				report("arm=%v without features_digest: adaptive decisions carry both", arm)
+			}
+			if arm < 0 || arm != float64(int64(arm)) { //dtbvet:ignore floatexact -- integrality check on a JSON number, the idiomatic spelling
+				report("arm=%v is not a non-negative integer", arm)
+			}
+		}
+		if hasDigest && !isHex16(digest) {
+			report("features_digest %q is not 16 lowercase hex digits", digest)
+		}
 	case "scavenge":
 		n := int(obj["n"].(float64))
 		if st.pendingDecision == 0 {

@@ -95,6 +95,89 @@ func TestCheckerRejectsViolations(t *testing.T) {
 	}
 }
 
+// adaptiveDecisionPrefix is a valid run_start plus a decision with all
+// required fields, ready for adaptive-annotation suffixes.
+const adaptiveDecisionPrefix = `{"event":"run_start","label":"x","collector":"Full","mips":40,"trace_bytes_per_sec":2000000,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}` + "\n" +
+	`{"event":"decision","label":"x","n":1,"trigger":"bytes","now":10,"tb":0,"candidates":[0],"mem_before":10,"live_before":5`
+
+func TestCheckerAcceptsRealAdaptiveStream(t *testing.T) {
+	b := trace.NewBuilder()
+	var ids []trace.ObjectID
+	for i := 0; i < 600; i++ {
+		b.Advance(50)
+		ids = append(ids, b.Alloc(1024))
+		if len(ids) > 6 {
+			b.Free(ids[0])
+			ids = ids[1:]
+		}
+	}
+	var buf bytes.Buffer
+	_, err := sim.Run(b.Events(), sim.Config{
+		Policy:       core.Bandit{Eps: 0.2},
+		TriggerBytes: 64 * 1024,
+		Probe:        sim.NewTelemetryWriter(&buf),
+		Label:        "test/Bandit",
+		PolicySeed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"arm":`)) || !bytes.Contains(buf.Bytes(), []byte(`"features_digest":"`)) {
+		t.Fatal("adaptive stream carries no arm/features_digest annotations; the checker would be testing nothing")
+	}
+	problems, err := checkStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("real adaptive telemetry stream rejected:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestCheckerRejectsAdaptiveViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		suffix string // appended inside the decision object
+		want   string
+	}{
+		{"mistyped arm", `,"arm":"3","features_digest":"00000000deadbeef"}`, `optional field "arm" is not a number`},
+		{"mistyped digest", `,"arm":3,"features_digest":7}`, `optional field "features_digest" is not a string`},
+		{"arm without digest", `,"arm":3}`, "without features_digest"},
+		{"fractional arm", `,"arm":1.5,"features_digest":"00000000deadbeef"}`, "not a non-negative integer"},
+		{"negative arm", `,"arm":-1,"features_digest":"00000000deadbeef"}`, "not a non-negative integer"},
+		{"short digest", `,"arm":3,"features_digest":"deadbeef"}`, "not 16 lowercase hex"},
+		{"uppercase digest", `,"arm":3,"features_digest":"00000000DEADBEEF"}`, "not 16 lowercase hex"},
+	}
+	for _, tc := range cases {
+		input := adaptiveDecisionPrefix + tc.suffix + "\n"
+		problems, err := checkStream(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: problems %q do not mention %q", tc.name, problems, tc.want)
+		}
+	}
+	// And a well-formed adaptive decision adds no problems beyond the
+	// (expected) unmatched-decision and missing-finish tails.
+	input := adaptiveDecisionPrefix + `,"arm":3,"features_digest":"00000000deadbeef"}` + "\n"
+	problems, err := checkStream(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		if strings.Contains(p, "arm") || strings.Contains(p, "digest") {
+			t.Errorf("well-formed adaptive decision flagged: %q", p)
+		}
+	}
+}
+
 func TestCheckerDemuxesInterleavedRuns(t *testing.T) {
 	// Two concurrent runs interleaved line-by-line must both validate.
 	a := `{"event":"run_start","label":"a","collector":"Full","mips":40,"trace_bytes_per_sec":2000000,"trigger_bytes":1,"progress_bytes":1,"opportunistic":false}`

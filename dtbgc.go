@@ -74,8 +74,9 @@ func PausePolicyOn(maxPause time.Duration, m Machine) Policy {
 func MemoryPolicy(maxBytes uint64) Policy { return core.DtbMem{MemMax: maxBytes} }
 
 // ParsePolicy builds a policy from a textual spec such as "full",
-// "fixed4", "dtbfm:50k" or "dtbmem:3000k" (see internal/core for the
-// grammar); it is what the command-line tools use.
+// "fixed4", "dtbfm:50k", "dtbmem:3000k", "bandit:eps=0.1" or
+// "grad:rate=0.2" (see internal/core for the grammar); it is what the
+// command-line tools use.
 func ParsePolicy(spec string) (Policy, error) { return core.ParsePolicy(spec) }
 
 // SimOptions parameterizes Simulate.
@@ -83,6 +84,12 @@ type SimOptions struct {
 	// Policy drives collection. Leave nil with NoGC or LiveOracle set
 	// for the baseline modes.
 	Policy Policy
+	// PolicySeed seeds adaptive policies (AdaptivePolicy): each run
+	// derives its instance seed deterministically from this value, the
+	// Label and the collector name, so identical options replay
+	// identical learned state on every engine path. Zero is a valid
+	// seed; pure policies ignore it.
+	PolicySeed uint64
 	// NoGC measures the program with the collector disabled.
 	NoGC bool
 	// LiveOracle measures the exact live-byte curve (storage reclaimed
@@ -129,6 +136,7 @@ type SimOptions struct {
 func (o SimOptions) config() sim.Config {
 	cfg := sim.Config{
 		Policy:        o.Policy,
+		PolicySeed:    o.PolicySeed,
 		Machine:       o.Machine,
 		TriggerBytes:  o.TriggerBytes,
 		RecordCurve:   o.RecordCurve,

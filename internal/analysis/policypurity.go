@@ -19,9 +19,20 @@ import (
 //   - writes to receiver state or package variables from inside the
 //     policy: receiver fields are configuration (TraceMax, MemMax, K),
 //     not scratch space, and hidden state desynchronizes replays.
+//
+// There is exactly one sanctioned escape from statelessness: a
+// core.PolicyInstance — a receiver type carrying the full instance
+// method set (Boundary, Observe, Snapshot, Restore). Instances exist
+// to hold per-run learned state, so their receiver writes are exempt;
+// everything else still applies — the history stays read-only and
+// unretained, package variables stay off limits — and, because
+// instance state must replay bit-identically, instance methods (and
+// all policy code) may draw randomness and environment only from
+// seeded, snapshot-able sources: math/rand, time.Now, os.Getenv and
+// friends are flagged wherever a policy-shaped function uses them.
 var PolicyPurity = &Analyzer{
 	Name: "policypurity",
-	Doc:  "boundary policies must be pure functions of (now, history, heap)",
+	Doc:  "boundary policies must be pure functions of (now, history, heap); instance state only via the sanctioned PolicyInstance contract",
 	Run:  runPolicyPurity,
 }
 
@@ -34,12 +45,35 @@ func runPolicyPurity(pass *Pass) {
 				continue
 			}
 			histParams := historyParams(info, fn)
-			if len(histParams) == 0 {
+			sanctioned := sanctionedInstanceMethod(info, fn)
+			if len(histParams) == 0 && !sanctioned {
 				continue
 			}
-			checkPolicyBody(pass, info, fn, histParams)
+			checkPolicyBody(pass, info, fn, histParams, sanctioned)
 		}
 	}
+}
+
+// instanceMethods is the method set that marks a receiver type as a
+// sanctioned core.PolicyInstance: per-run state carriers declare all
+// of Boundary/Observe/Snapshot/Restore, and only they may write
+// receiver fields from policy code.
+var instanceMethods = []string{"Boundary", "Observe", "Snapshot", "Restore"}
+
+// sanctionedInstanceMethod reports whether fn is a method of a type
+// implementing the full PolicyInstance method set.
+func sanctionedInstanceMethod(info *types.Info, fn *ast.FuncDecl) bool {
+	recv := receiverObj(info, fn)
+	if recv == nil {
+		return false
+	}
+	for _, name := range instanceMethods {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, nil, name)
+		if _, ok := obj.(*types.Func); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // historyParams returns the objects of every *core.History parameter
@@ -60,7 +94,7 @@ func historyParams(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
 	return out
 }
 
-func checkPolicyBody(pass *Pass, info *types.Info, fn *ast.FuncDecl, hist map[types.Object]bool) {
+func checkPolicyBody(pass *Pass, info *types.Info, fn *ast.FuncDecl, hist map[types.Object]bool, sanctioned bool) {
 	recv := receiverObj(info, fn)
 	scope := info.Scopes[fn.Type]
 
@@ -99,6 +133,11 @@ func checkPolicyBody(pass *Pass, info *types.Info, fn *ast.FuncDecl, hist map[ty
 				pass.Reportf(lhs.Pos(), "%s writes through its History parameter: policies must treat the scavenge history as read-only", fn.Name.Name)
 			}
 		case recv != nil && obj == recv:
+			// Sanctioned PolicyInstance methods hold per-run state on
+			// the receiver by design.
+			if sanctioned {
+				return
+			}
 			if _, plain := lhs.(*ast.Ident); !plain {
 				pass.Reportf(lhs.Pos(), "%s mutates receiver state: policy fields are configuration, not scratch space", fn.Name.Name)
 			}
@@ -150,10 +189,39 @@ func checkPolicyBody(pass *Pass, info *types.Info, fn *ast.FuncDecl, hist map[ty
 				if obj := rootObj(sel.X); obj != nil && hist[obj] && mutatesHistory(sel.Sel.Name) {
 					pass.Reportf(v.Pos(), "%s calls History.%s: policies must not mutate the scavenge history", fn.Name.Name, sel.Sel.Name)
 				}
+				if src := ambientSource(info, sel); src != "" {
+					pass.Reportf(v.Pos(), "%s calls %s: policy code must use only seeded, snapshot-able randomness (the run's xrand instance), never ambient state", fn.Name.Name, src)
+				}
 			}
 		}
 		return true
 	})
+}
+
+// ambientSource classifies a selector call as ambient nondeterminism —
+// unseeded randomness, wall-clock time, the process environment — and
+// returns a human-readable name for it, or "". Any use of math/rand is
+// banned outright: even a locally seeded rand.Rand cannot be
+// snapshotted for checkpoint/resume, which is why internal/xrand
+// exists.
+func ambientSource(info *types.Info, sel *ast.SelectorExpr) string {
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		return obj.Pkg().Path() + "." + obj.Name()
+	case "time":
+		if obj.Name() == "Now" || obj.Name() == "Since" || obj.Name() == "Until" {
+			return "time." + obj.Name()
+		}
+	case "os":
+		if obj.Name() == "Getenv" || obj.Name() == "LookupEnv" || obj.Name() == "Environ" {
+			return "os." + obj.Name()
+		}
+	}
+	return ""
 }
 
 // mutatesHistory lists the History methods that write.

@@ -96,10 +96,21 @@ func (r *Report) Err() error {
 	return fmt.Errorf("%s", b.String())
 }
 
+// auditPolicySeed fixes the adaptive policies' PolicySeed for every
+// oracle path: the seed derivation is (PolicySeed, Label, collector),
+// so the fast fan-out, the solo reference run and the streamed run all
+// mint instances with identical initial state — any divergence the
+// differential diff finds is a real replay bug, never seed skew.
+const auditPolicySeed = 0xD7B0A4D1
+
 // collectorConfigs is the oracle's run matrix over one trace: the six
-// Table-1 policies with the paper's constraints plus the NoGC and Live
+// Table-1 policies with the paper's constraints, the adaptive
+// (state-carrying) policies under a fixed seed, plus the NoGC and Live
 // baselines, labelled "workload/collector" like the evaluation
-// harness.
+// harness. Keeping the adaptive policies in the differential matrix is
+// the oracle's replay rule for learned state: their Results, Histories
+// and telemetry streams — including the per-decision arm and feature
+// digests — must be bit-identical across all three engine paths.
 func collectorConfigs(name string, opts Options) []sim.Config {
 	policies := []core.Policy{
 		core.Full{}, core.Fixed{K: 1}, core.Fixed{K: 4},
@@ -107,12 +118,25 @@ func collectorConfigs(name string, opts Options) []sim.Config {
 		core.FeedMed{TraceMax: opts.TraceMaxBytes},
 		core.DtbFM{TraceMax: opts.TraceMaxBytes},
 	}
-	cfgs := make([]sim.Config, 0, len(policies)+2)
+	adaptive := []core.Policy{
+		core.Bandit{Eps: 0.1},
+		core.Bandit{UCB: 1.5},
+		core.Gradient{TraceMax: opts.TraceMaxBytes},
+	}
+	cfgs := make([]sim.Config, 0, len(policies)+len(adaptive)+2)
 	for _, p := range policies {
 		cfgs = append(cfgs, sim.Config{
 			Mode: sim.ModePolicy, Policy: p,
 			TriggerBytes: opts.TriggerBytes,
 			Label:        name + "/" + p.Name(),
+		})
+	}
+	for _, p := range adaptive {
+		cfgs = append(cfgs, sim.Config{
+			Mode: sim.ModePolicy, Policy: p,
+			TriggerBytes: opts.TriggerBytes,
+			Label:        name + "/" + p.Name(),
+			PolicySeed:   auditPolicySeed,
 		})
 	}
 	cfgs = append(cfgs,

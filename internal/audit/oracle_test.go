@@ -29,12 +29,24 @@ func TestAuditWorkloadCleanOnPaperProfile(t *testing.T) {
 	if !rep.Clean() {
 		t.Fatalf("oracle found problems: %v", rep.Err())
 	}
-	if len(rep.Collectors) != 8 {
-		t.Fatalf("audited %d collectors, want 8: %v", len(rep.Collectors), rep.Collectors)
+	if len(rep.Collectors) != 11 {
+		t.Fatalf("audited %d collectors, want 11: %v", len(rep.Collectors), rep.Collectors)
 	}
-	// fast replay (8) + solo references (8) + one chunk size (8).
-	if rep.Runs != 24 {
-		t.Fatalf("executed %d runs, want 24", rep.Runs)
+	// fast replay (11) + solo references (11) + one chunk size (11).
+	if rep.Runs != 33 {
+		t.Fatalf("executed %d runs, want 33", rep.Runs)
+	}
+	// The adaptive policies must be in the differential matrix: their
+	// bit-identical replay across engine paths is an audited invariant,
+	// not just a unit-test property.
+	adaptive := 0
+	for _, c := range rep.Collectors {
+		if len(c) >= 4 && (c[:4] == "Band" || c[:4] == "Grad") {
+			adaptive++
+		}
+	}
+	if adaptive < 3 {
+		t.Fatalf("only %d adaptive collectors in the audit matrix: %v", adaptive, rep.Collectors)
 	}
 }
 

@@ -15,9 +15,14 @@ import (
 //	feedmed:<traceMaxBytes>
 //	dtbfm:<traceMaxBytes>
 //	dtbmem:<memMaxBytes>
+//	bandit:eps=<p>[,arms=<k>]     adaptive ε-greedy bandit
+//	bandit:ucb=<c>[,arms=<k>]     adaptive UCB1 bandit
+//	grad[:rate=<r>[,trace=<bytes>]]  adaptive online gradient controller
 //
 // The byte arguments accept an optional k/m suffix (binary units), so
-// "dtbfm:50k" is the paper's 50-kilobyte trace budget.
+// "dtbfm:50k" is the paper's 50-kilobyte trace budget. The bandit and
+// grad forms build AdaptivePolicy values: parameterized families whose
+// per-run state the simulator instantiates from a seed.
 func ParsePolicy(spec string) (Policy, error) {
 	name, arg, hasArg := strings.Cut(strings.ToLower(strings.TrimSpace(spec)), ":")
 	switch {
@@ -51,14 +56,97 @@ func ParsePolicy(spec string) (Policy, error) {
 		default:
 			return DtbMem{MemMax: n}, nil
 		}
+	case name == "bandit":
+		if !hasArg {
+			return nil, fmt.Errorf("core: policy %q requires a selector, e.g. %q or %q", name, "bandit:eps=0.1", "bandit:ucb=1.5")
+		}
+		return parseBandit(spec, arg)
+	case name == "grad":
+		return parseGradient(spec, arg, hasArg)
 	default:
 		return nil, fmt.Errorf("core: unknown policy %q (known: %s)", spec, strings.Join(KnownPolicies(), ", "))
 	}
 }
 
+// parseBandit parses the comma-separated key=value list after
+// "bandit:". Exactly one of eps/ucb selects the exploration strategy.
+func parseBandit(spec, arg string) (Policy, error) {
+	var b Bandit
+	var hasEps, hasUCB bool
+	for _, kv := range strings.Split(arg, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("core: policy %q: want key=value, got %q", spec, kv)
+		}
+		switch key {
+		case "eps":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("core: policy %q: eps must be a probability in [0,1], got %q", spec, val)
+			}
+			b.Eps, hasEps = p, true
+		case "ucb":
+			c, err := strconv.ParseFloat(val, 64)
+			if err != nil || c <= 0 {
+				return nil, fmt.Errorf("core: policy %q: ucb must be a positive coefficient, got %q", spec, val)
+			}
+			b.UCB, hasUCB = c, true
+		case "arms":
+			k, err := strconv.Atoi(val)
+			if err != nil || k < 2 {
+				return nil, fmt.Errorf("core: policy %q: arms must be an integer >= 2, got %q", spec, val)
+			}
+			b.Arms = k
+		default:
+			return nil, fmt.Errorf("core: policy %q: unknown bandit parameter %q (want eps, ucb or arms)", spec, key)
+		}
+	}
+	if hasEps == hasUCB {
+		return nil, fmt.Errorf("core: policy %q: exactly one of eps= or ucb= selects the bandit strategy", spec)
+	}
+	return b, nil
+}
+
+// parseGradient parses the optional comma-separated key=value list
+// after "grad:". Bare "grad" takes the defaults.
+func parseGradient(spec, arg string, hasArg bool) (Policy, error) {
+	var g Gradient
+	if !hasArg {
+		return g, nil
+	}
+	for _, kv := range strings.Split(arg, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("core: policy %q: want key=value, got %q", spec, kv)
+		}
+		switch key {
+		case "rate":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r <= 0 || r > 10 {
+				return nil, fmt.Errorf("core: policy %q: rate must be a positive learning rate <= 10, got %q", spec, val)
+			}
+			g.Rate = r
+		case "trace":
+			n, err := parseBytes(val)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("core: policy %q: trace must be a positive byte budget, got %q", spec, val)
+			}
+			g.TraceMax = n
+		default:
+			return nil, fmt.Errorf("core: policy %q: unknown grad parameter %q (want rate or trace)", spec, key)
+		}
+	}
+	return g, nil
+}
+
 // KnownPolicies lists the accepted ParsePolicy spellings for help text.
 func KnownPolicies() []string {
-	names := []string{"full", "fixed1", "fixed4", "feedmed:<bytes>", "dtbfm:<bytes>", "dtbmem:<bytes>"}
+	names := []string{
+		"full", "fixed1", "fixed4",
+		"feedmed:<bytes>", "dtbfm:<bytes>", "dtbmem:<bytes>",
+		"bandit:eps=<p>[,arms=<k>]", "bandit:ucb=<c>[,arms=<k>]",
+		"grad[:rate=<r>[,trace=<bytes>]]",
+	}
 	sort.Strings(names)
 	return names
 }

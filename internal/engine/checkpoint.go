@@ -30,9 +30,16 @@ import (
 // fault, reopen, continue. A trace validation error is *not*
 // resumable: the offending event can never be applied, so retrying the
 // same stream would fail the same way.
+//
+// Adaptive-policy state is the one exception to "live state is the
+// checkpoint": it is captured as opaque per-runner snapshots at
+// checkpoint creation and restored at resume, so the learned state a
+// resumed replay continues from is exactly what the checkpoint saw —
+// even if someone touched the in-memory instances in between.
 type Checkpoint struct {
 	fleet  *sim.Fleet
 	events int
+	policy [][]byte
 }
 
 // Events returns the number of events every runner had processed when
@@ -87,6 +94,12 @@ func (c *Checkpoint) Resume(ctx context.Context, src Source) ([]*sim.Result, *Ch
 
 // ResumeBatches is Resume over a batch-native source.
 func (c *Checkpoint) ResumeBatches(ctx context.Context, src BatchSource) ([]*sim.Result, *Checkpoint, error) {
+	// Re-arm the adaptive policies with the state the checkpoint
+	// recorded. A restore failure means the checkpoint itself is bad —
+	// nothing consistent to resume from.
+	if err := c.fleet.RestorePolicyState(c.policy); err != nil {
+		return nil, nil, fmt.Errorf("engine: resume: %w", err)
+	}
 	return replayFrom(ctx, src, c.fleet, c.events)
 }
 
@@ -126,7 +139,7 @@ func replayFrom(ctx context.Context, src BatchSource, fleet *sim.Fleet, skip int
 		if n < skip {
 			return nil, nil, fmt.Errorf("engine: resume: source failed %d event(s) before the checkpoint at %d: %w", skip-n, skip, err)
 		}
-		return nil, &Checkpoint{fleet: fleet, events: n}, err
+		return nil, &Checkpoint{fleet: fleet, events: n, policy: fleet.SnapshotPolicyState()}, err
 	}
 	if n < skip {
 		return nil, nil, fmt.Errorf("engine: resume: source delivered %d event(s), checkpoint expects at least %d", n, skip)

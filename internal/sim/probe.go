@@ -93,6 +93,22 @@ type Decision struct {
 	Candidates []core.Time
 	MemBefore  uint64 // Mem_n: bytes in use at the decision
 	LiveBefore uint64 // oracle live bytes at the decision
+	// Adaptive carries the learned-policy explanation for this decision
+	// when the run's policy is a core.AdaptivePolicy whose instance
+	// implements core.DecisionExplainer; nil for the stock (pure)
+	// policies, so existing telemetry streams are unchanged.
+	Adaptive *AdaptiveDecision
+}
+
+// AdaptiveDecision explains one adaptive-policy decision: which
+// discrete arm was played (or -1 when the policy has no arm notion)
+// and an FNV-1a digest of the feature vector / internal state the
+// decision was computed from. The digest lets replay checks assert two
+// engine paths computed the decision from bit-identical state without
+// shipping the whole state per decision.
+type AdaptiveDecision struct {
+	Arm           int
+	FeatureDigest uint64
 }
 
 // ScavengeEvent records one completed scavenge. Its fields match the

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"reflect"
 	"sort"
 
 	"github.com/dtbgc/dtbgc/internal/core"
@@ -100,6 +101,14 @@ type Config struct {
 	TriggerBytes uint64      // scavenge interval; zero value = 1 MB
 	RecordCurve  bool        // retain the Figure-2 memory series
 	CurvePoints  int         // downsample limit for curves (0 = keep all)
+
+	// PolicySeed seeds adaptive policies (core.AdaptivePolicy): the
+	// per-run instance seed is derived deterministically from this
+	// value, Label and the collector name, so every replay path —
+	// solo, fleet fan-out, streamed, checkpoint/resume — instantiates
+	// identical state for the same configuration. Zero is a valid
+	// seed. Pure policies ignore it.
+	PolicySeed uint64
 
 	// PageFrames, when non-zero, enables the virtual-memory model: an
 	// LRU resident set of that many PageBytes-sized frames is driven
@@ -434,6 +443,13 @@ type Runner struct {
 	objs  []int32
 	inUse uint64 // live + dead-but-unreclaimed bytes
 
+	// instance is the per-run state of an adaptive policy, minted by
+	// newRunner from the config-derived seed; nil for pure policies
+	// and the NoGC/Live baselines. explain is the same instance's
+	// optional telemetry view.
+	instance core.PolicyInstance
+	explain  core.DecisionExplainer
+
 	// isPolicy/opportunistic/hasProbe cache config tests so the batch
 	// apply loop branches on booleans instead of chasing cfg fields.
 	isPolicy      bool
@@ -487,6 +503,12 @@ func newRunner(tp *tape, cfg Config, fleet bool) (*Runner, error) {
 	r := &Runner{cfg: cfg, res: res, tape: tp, fleet: fleet}
 	r.view = policyHeap{r}
 	r.isPolicy = cfg.Mode == ModePolicy
+	if r.isPolicy {
+		if ap, ok := cfg.Policy.(core.AdaptivePolicy); ok {
+			r.instance = ap.NewRun(derivePolicySeed(cfg.PolicySeed, cfg.Label, res.Collector))
+			r.explain, _ = r.instance.(core.DecisionExplainer)
+		}
+	}
 	r.opportunistic = r.isPolicy && cfg.Opportunistic
 	r.hasProbe = cfg.Probe != nil
 	if cfg.RecordCurve {
@@ -513,6 +535,36 @@ func newRunner(tp *tape, cfg Config, fleet bool) (*Runner, error) {
 // "DtbFM", "NoGC", ...). It is available from construction, so replay
 // harnesses can label per-runner errors before Finish.
 func (r *Runner) Collector() string { return r.res.Collector }
+
+// PolicyInstance returns the runner's adaptive-policy state, or nil
+// for pure policies and the baselines. It is exposed for checkpoint
+// tooling and tests; mutating it mid-run breaks replay bit-identity
+// unless the state is restored before feeding resumes, which is
+// exactly what engine.Checkpoint does.
+func (r *Runner) PolicyInstance() core.PolicyInstance { return r.instance }
+
+// derivePolicySeed turns the user-facing PolicySeed into the per-run
+// instance seed: FNV-1a over the label and collector name, folded
+// with the user seed through a splitmix64 finalizer. Deriving from
+// the config alone (never from run order or wall time) is what lets
+// every replay path mint bit-identical instances.
+func derivePolicySeed(userSeed uint64, label, collector string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	h *= prime // separator so ("ab","c") and ("a","bc") differ
+	for i := 0; i < len(collector); i++ {
+		h ^= uint64(collector[i])
+		h *= prime
+	}
+	z := h ^ (userSeed + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 func (r *Runner) memInUse() uint64 {
 	switch r.cfg.Mode {
@@ -656,9 +708,14 @@ func (r *Runner) apply(batch []resolved) {
 func (r *Runner) scavenge(reason TriggerReason) {
 	tp, cfg, res := r.tape, r.cfg, r.res
 	memBefore := r.inUse
-	tb := core.ClampBoundary(cfg.Policy.Boundary(r.clock, &res.History, r.view), r.clock)
+	var tb core.Time
+	if r.instance != nil {
+		tb = core.ClampBoundary(r.instance.Boundary(r.clock, &res.History, r.view), r.clock)
+	} else {
+		tb = core.ClampBoundary(cfg.Policy.Boundary(r.clock, &res.History, r.view), r.clock)
+	}
 	if p := cfg.Probe; p != nil {
-		p.Decision(Decision{
+		d := Decision{
 			Label:      cfg.Label,
 			N:          res.Collections + 1,
 			Trigger:    reason,
@@ -667,7 +724,13 @@ func (r *Runner) scavenge(reason TriggerReason) {
 			Candidates: boundaryCandidates(&res.History),
 			MemBefore:  memBefore,
 			LiveBefore: tp.live,
-		})
+		}
+		if r.explain != nil {
+			if info, ok := r.explain.LastDecision(); ok {
+				d.Adaptive = &AdaptiveDecision{Arm: info.Arm, FeatureDigest: info.FeatureDigest} //dtbvet:ignore hotalloc -- one tiny allocation per *collection* (not per event), only on adaptive runs with a probe; a scratch field would alias runner state into probes
+			}
+		}
+		p.Decision(d)
 	}
 	// Collect with boundary tb: every dead object born after tb is
 	// reclaimed, every live one born after tb is traced. objs is birth
@@ -734,6 +797,13 @@ func (r *Runner) scavenge(reason TriggerReason) {
 			PauseSeconds:   pause,
 		})
 	}
+	if r.instance != nil {
+		r.instance.Observe(core.ScavengeFacts{
+			Scavenge:      res.History.Scavenges[len(res.History.Scavenges)-1],
+			Live:          tp.live,
+			MarkTriggered: reason == TriggerMark,
+		})
+	}
 }
 
 // Finish closes the run and returns the Result. It is idempotent.
@@ -798,10 +868,20 @@ func NewFleet(cfgs []Config) (*Fleet, error) {
 	}
 	tp := newTape()
 	f := &Fleet{tape: tp, runners: make([]*Runner, 0, len(cfgs))}
-	for _, cfg := range cfgs {
+	seen := make(map[core.PolicyInstance]int)
+	for i, cfg := range cfgs {
 		r, err := newRunner(tp, cfg, true)
 		if err != nil {
 			return nil, err
+		}
+		if inst := r.instance; inst != nil && reflect.TypeOf(inst).Comparable() {
+			// A shared instance would let one runner's learning leak into
+			// another's decisions — the exact hazard the per-run contract
+			// exists to prevent. NewRun must mint fresh state every call.
+			if j, dup := seen[inst]; dup {
+				return nil, fmt.Errorf("sim: configs %d and %d share one adaptive policy instance (%T): NewRun must mint a fresh instance per run", j, i, inst)
+			}
+			seen[inst] = i
 		}
 		f.runners = append(f.runners, r)
 	}
@@ -811,6 +891,49 @@ func NewFleet(cfgs []Config) (*Fleet, error) {
 // Runners returns the fleet's runners in config order. They are owned
 // by the fleet: feed events through FeedBatch, not Runner.Feed.
 func (f *Fleet) Runners() []*Runner { return f.runners }
+
+// SnapshotPolicyState captures the adaptive-policy state of every
+// runner, in config order: one opaque snapshot per runner, nil for
+// runners whose policy is pure (or whose mode is not ModePolicy). The
+// engine's checkpoints store these alongside the event count so a
+// resumed replay restores the learned state the checkpoint saw rather
+// than trusting whatever mutated in memory since.
+func (f *Fleet) SnapshotPolicyState() [][]byte {
+	out := make([][]byte, len(f.runners))
+	for i, r := range f.runners {
+		if r.instance != nil {
+			out[i] = r.instance.Snapshot()
+		}
+	}
+	return out
+}
+
+// RestorePolicyState restores the per-runner adaptive state captured
+// by SnapshotPolicyState on the same fleet shape: the slice length and
+// the nil/non-nil pattern must match the fleet's runners exactly. A
+// failed restore leaves earlier runners restored — callers treat any
+// error as fatal for the replay, so partial application is harmless.
+func (f *Fleet) RestorePolicyState(snaps [][]byte) error {
+	if len(snaps) != len(f.runners) {
+		return fmt.Errorf("sim: policy state for %d runners cannot restore a fleet of %d", len(snaps), len(f.runners))
+	}
+	for i, snap := range snaps {
+		inst := f.runners[i].instance
+		switch {
+		case snap == nil && inst == nil:
+			// pure policy on both sides
+		case snap == nil:
+			return fmt.Errorf("sim: runner %d (%s) has adaptive state but the snapshot recorded none", i, f.runners[i].res.Collector)
+		case inst == nil:
+			return fmt.Errorf("sim: snapshot carries adaptive state for runner %d (%s) but its policy is pure", i, f.runners[i].res.Collector)
+		default:
+			if err := inst.Restore(snap); err != nil {
+				return fmt.Errorf("sim: runner %d (%s): restore policy state: %w", i, f.runners[i].res.Collector, err)
+			}
+		}
+	}
+	return nil
+}
 
 // Events returns the number of events the fleet has processed.
 func (f *Fleet) Events() int { return f.tape.events }

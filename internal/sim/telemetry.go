@@ -78,6 +78,12 @@ type jsonDecision struct {
 	Candidates []core.Time   `json:"candidates"`
 	MemBefore  uint64        `json:"mem_before"`
 	LiveBefore uint64        `json:"live_before"`
+	// Adaptive-policy extras, trailing and omitted for pure policies so
+	// pre-existing streams are byte-for-byte unchanged. Arm is a pointer
+	// because arm 0 is meaningful (a full collection) while policies
+	// without arms (the gradient) report none at all.
+	Arm            *int   `json:"arm,omitempty"`
+	FeaturesDigest string `json:"features_digest,omitempty"`
 }
 
 type jsonScavenge struct {
@@ -144,11 +150,19 @@ func (t *TelemetryWriter) RunStart(e RunStart) {
 
 // Decision implements Probe.
 func (t *TelemetryWriter) Decision(e Decision) {
-	t.emit(jsonDecision{
+	d := jsonDecision{
 		Event: "decision", Label: e.Label, N: e.N, Trigger: e.Trigger,
 		Now: e.Now, TB: e.TB, Candidates: e.Candidates,
 		MemBefore: e.MemBefore, LiveBefore: e.LiveBefore,
-	})
+	}
+	if a := e.Adaptive; a != nil {
+		if a.Arm >= 0 {
+			arm := a.Arm
+			d.Arm = &arm
+		}
+		d.FeaturesDigest = fmt.Sprintf("%016x", a.FeatureDigest)
+	}
+	t.emit(d)
 }
 
 // Scavenge implements Probe.

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairedPermutationPValueExhaustive(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{
+			// All eight diffs share a sign: only the identity and the
+			// full flip reach |obs|, p = 2/256.
+			name: "eight-consistent-pairs",
+			x:    []float64{2, 2, 2, 2, 2, 2, 2, 2},
+			y:    []float64{1, 1, 1, 1, 1, 1, 1, 1},
+			want: 2.0 / 256,
+		},
+		{
+			// Five pairs is the resolution floor: p can be no smaller
+			// than 2/32 even on perfectly consistent data.
+			name: "five-consistent-pairs",
+			x:    []float64{4, 2, 3, 5, 6},
+			y:    []float64{1, 1, 1, 1, 1},
+			want: 2.0 / 32,
+		},
+		{
+			// Perfectly balanced diffs: the observed mean is zero,
+			// every assignment is at least as extreme.
+			name: "balanced",
+			x:    []float64{1, 0, 1, 0},
+			y:    []float64{0, 1, 0, 1},
+			want: 1,
+		},
+		{
+			// Identical samples: all diffs zero, nothing to detect.
+			name: "identical",
+			x:    []float64{3, 1, 4},
+			y:    []float64{3, 1, 4},
+			want: 1,
+		},
+	}
+	for _, c := range cases {
+		got := PairedPermutationPValue(c.x, c.y, 0, 0)
+		if math.Float64bits(got) != math.Float64bits(c.want) {
+			t.Errorf("%s: p = %v, want %v", c.name, got, c.want)
+		}
+		// Two-sided symmetry: swapping the samples flips every sign and
+		// must not change the p-value.
+		if sym := PairedPermutationPValue(c.y, c.x, 0, 0); math.Float64bits(sym) != math.Float64bits(got) {
+			t.Errorf("%s: p(y,x) = %v differs from p(x,y) = %v", c.name, sym, got)
+		}
+	}
+}
+
+func TestPairedPermutationPValueMonteCarlo(t *testing.T) {
+	// 25 pairs forces the sampled path. Consistent-sign diffs should
+	// be detected as overwhelmingly significant; the add-one estimate
+	// keeps the p-value positive.
+	x := make([]float64, 25)
+	y := make([]float64, 25)
+	for i := range x {
+		x[i] = 2 + float64(i%3)
+		y[i] = 1
+	}
+	p := PairedPermutationPValue(x, y, 4000, 7)
+	if p <= 0 {
+		t.Fatalf("Monte Carlo p-value must stay positive, got %v", p)
+	}
+	if p > 0.01 {
+		t.Fatalf("consistent 25-pair sample should be significant, got p = %v", p)
+	}
+	// Determinism: same seed, same p — bit for bit.
+	again := PairedPermutationPValue(x, y, 4000, 7)
+	if math.Float64bits(p) != math.Float64bits(again) {
+		t.Fatalf("same seed produced different p-values: %v vs %v", p, again)
+	}
+}
+
+func TestPairedPermutationPValuePanics(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		x, y []float64
+	}{
+		{"mismatched", []float64{1, 2}, []float64{1}},
+		{"empty", nil, nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			PairedPermutationPValue(c.x, c.y, 0, 0)
+		}()
+	}
+}
+
+func TestPairedBootstrapCI(t *testing.T) {
+	// Constant differences: the interval collapses onto the constant.
+	x := []float64{3, 5, 4, 6, 8, 2, 9, 7}
+	y := []float64{1, 3, 2, 4, 6, 0, 7, 5}
+	lo, hi := PairedBootstrapCI(x, y, 0.95, 500, 1)
+	if math.Float64bits(lo) != math.Float64bits(2) || math.Float64bits(hi) != math.Float64bits(2) {
+		t.Fatalf("constant-diff CI = [%v, %v], want [2, 2]", lo, hi)
+	}
+
+	// A spread sample: the interval must bracket the sample mean and
+	// be deterministic per seed.
+	x2 := []float64{10, 2, 7, 4, 9, 1, 8, 3, 6, 5}
+	y2 := []float64{4, 4, 4, 4, 4, 4, 4, 4, 4, 4}
+	lo2, hi2 := PairedBootstrapCI(x2, y2, 0.9, 1000, 9)
+	mean := 0.0
+	for i := range x2 {
+		mean += (x2[i] - y2[i]) / float64(len(x2))
+	}
+	if !(lo2 <= mean && mean <= hi2) {
+		t.Fatalf("CI [%v, %v] does not bracket the sample mean %v", lo2, hi2, mean)
+	}
+	if lo2 >= hi2 {
+		t.Fatalf("degenerate CI [%v, %v] on a spread sample", lo2, hi2)
+	}
+	lo3, hi3 := PairedBootstrapCI(x2, y2, 0.9, 1000, 9)
+	if math.Float64bits(lo2) != math.Float64bits(lo3) || math.Float64bits(hi2) != math.Float64bits(hi3) {
+		t.Fatal("same seed produced a different bootstrap interval")
+	}
+}
+
+func TestPairedBootstrapCIPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conf outside (0,1) did not panic")
+		}
+	}()
+	PairedBootstrapCI([]float64{1}, []float64{2}, 1.5, 10, 0)
+}
+
+func TestBenjaminiHochberg(t *testing.T) {
+	cases := []struct {
+		name string
+		ps   []float64
+		want []float64
+	}{
+		{
+			name: "textbook",
+			ps:   []float64{0.01, 0.04, 0.03, 0.005},
+			want: []float64{0.02, 0.04, 0.04, 0.02},
+		},
+		{
+			name: "single",
+			ps:   []float64{0.2},
+			want: []float64{0.2},
+		},
+		{
+			name: "all-ones",
+			ps:   []float64{1, 1, 1},
+			want: []float64{1, 1, 1},
+		},
+		{
+			name: "empty",
+			ps:   nil,
+			want: []float64{},
+		},
+		{
+			name: "capped-at-one",
+			ps:   []float64{0.9, 0.95},
+			want: []float64{0.95, 0.95},
+		},
+	}
+	for _, c := range cases {
+		got := BenjaminiHochberg(c.ps)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: %d outputs, want %d", c.name, len(got), len(c.want))
+			continue
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-12 {
+				t.Errorf("%s: q[%d] = %v, want %v", c.name, i, got[i], c.want[i])
+			}
+		}
+	}
+	// Monotonicity: a smaller p never gets a larger q.
+	ps := []float64{0.02, 0.5, 0.001, 0.3, 0.04, 0.9}
+	qs := BenjaminiHochberg(ps)
+	for i := range ps {
+		for j := range ps {
+			if ps[i] < ps[j] && qs[i] > qs[j] {
+				t.Fatalf("monotonicity violated: p=%v got q=%v while p=%v got q=%v", ps[i], qs[i], ps[j], qs[j])
+			}
+		}
+	}
+}
+
+func TestBenjaminiHochbergPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range p-value did not panic")
+		}
+	}()
+	BenjaminiHochberg([]float64{0.5, 1.5})
+}

@@ -1,0 +1,71 @@
+package tournament
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown renders the tournament report as a GitHub-flavored
+// markdown document: the leaderboard, the significant pairwise
+// comparisons, and the adaptive-win claims. Output is deterministic
+// for a deterministic Result.
+func (r *Result) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# DTB policy tournament\n\n")
+	fmt.Fprintf(&b, "%d policies × %d workloads × %d seeds (scale %g, trigger %d bytes). ",
+		len(r.Specs), len(r.Workloads), len(r.Seeds), r.Scale, r.TriggerBytes)
+	fmt.Fprintf(&b, "Cost = (mean memory ⁄ mean live − 1) + GC overhead fraction; lower is better. ")
+	fmt.Fprintf(&b, "Pairwise tests are paired sign-flip permutations over all %d cells, Benjamini–Hochberg adjusted; significance at q ≤ %g.\n\n", len(r.Cells), r.Alpha)
+
+	fmt.Fprintf(&b, "## Leaderboard\n\n")
+	fmt.Fprintf(&b, "| Rank | Policy | Spec | Kind | Mean cost | Mem/live | Overhead %% |\n")
+	fmt.Fprintf(&b, "|-----:|--------|------|------|----------:|---------:|-----------:|\n")
+	for _, s := range r.Standings {
+		kind := "stock"
+		if s.Adaptive {
+			kind = "adaptive"
+		}
+		fmt.Fprintf(&b, "| %d | %s | `%s` | %s | %.4f | %.3f | %.2f |\n",
+			s.Rank, s.Name, s.Spec, kind, s.MeanCost, s.MeanMemRatio, s.MeanOverheadPct)
+	}
+
+	fmt.Fprintf(&b, "\n## Adaptive wins\n\n")
+	if len(r.AdaptiveWins) == 0 {
+		fmt.Fprintf(&b, "No adaptive policy beat every stock policy on any workload at α = %g.\n", r.Alpha)
+	} else {
+		fmt.Fprintf(&b, "Workloads where an adaptive policy beat **every** stock policy in the roster, with the worst pairwise p-value across those comparisons:\n\n")
+		fmt.Fprintf(&b, "| Workload | Policy | max p |\n|----------|--------|------:|\n")
+		for _, win := range r.AdaptiveWins {
+			fmt.Fprintf(&b, "| %s | %s | %.4g |\n", win.Workload, win.Policy, win.MaxP)
+		}
+	}
+
+	fmt.Fprintf(&b, "\n## Pairwise comparisons\n\n")
+	sig := 0
+	for _, c := range r.Comparisons {
+		if c.Significant {
+			sig++
+		}
+	}
+	fmt.Fprintf(&b, "%d of %d pairs significant after FDR control. Top comparisons:\n\n", sig, len(r.Comparisons))
+	fmt.Fprintf(&b, "| Better | Worse | Δ cost | %d%% CI | p | q |\n", int(100*r.Conf))
+	fmt.Fprintf(&b, "|--------|-------|-------:|--------|--:|--:|\n")
+	max := len(r.Comparisons)
+	if max > 20 {
+		max = 20
+	}
+	for _, c := range r.Comparisons[:max] {
+		mark := ""
+		if c.Significant {
+			mark = " ✓"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %+.4f | [%+.4f, %+.4f] | %.4g | %.4g%s |\n",
+			c.Better, c.Worse, c.MeanDiff, c.CILo, c.CIHi, c.P, c.Q, mark)
+	}
+	if len(r.Comparisons) > max {
+		fmt.Fprintf(&b, "\n… and %d more pairs (see the JSON report).\n", len(r.Comparisons)-max)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,236 @@
+package tournament
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+	"github.com/dtbgc/dtbgc/internal/workload"
+)
+
+// tinyOptions is a fast tournament: 4 policies (2 stock, 2 adaptive),
+// 2 workloads, 4 seeds, small scale.
+func tinyOptions() Options {
+	return Options{
+		Policies:  []string{"full", "dtbfm:50k", "bandit:eps=0.2", "grad"},
+		Workloads: []workload.Profile{mustProfile("ghost1"), mustProfile("espresso1")},
+		Seeds:     SweepSeeds(4),
+		Scale:     0.02,
+	}
+}
+
+func mustProfile(name string) workload.Profile {
+	p, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestDefaultRosterParsesAndIsBigEnough(t *testing.T) {
+	roster := DefaultRoster()
+	if len(roster) < 12 {
+		t.Fatalf("roster has %d entries, want >= 12", len(roster))
+	}
+	adaptive := 0
+	for _, spec := range roster {
+		p, err := core.ParsePolicy(spec)
+		if err != nil {
+			t.Errorf("roster spec %q does not parse: %v", spec, err)
+			continue
+		}
+		if _, ok := p.(core.AdaptivePolicy); ok {
+			adaptive++
+		}
+	}
+	if adaptive < 3 {
+		t.Errorf("roster has %d adaptive entrants, want >= 3", adaptive)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(context.Background(), tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two identical tournaments produced different reports")
+	}
+	// Concurrency must not leak into results either.
+	opts := tinyOptions()
+	opts.Workers = 1
+	c, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Error("workers=1 tournament differs from default-concurrency run")
+	}
+}
+
+func TestRunShape(t *testing.T) {
+	opts := tinyOptions()
+	res, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPol, nCells := len(opts.Policies), len(opts.Workloads)*len(opts.Seeds)
+	if len(res.Cells) != nCells {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), nCells)
+	}
+	for i, c := range res.Cells {
+		if len(c.Cost) != nPol || len(c.MemRatio) != nPol || len(c.Overhead) != nPol {
+			t.Fatalf("cell %d: ragged columns (%d/%d/%d policies, want %d)", i, len(c.Cost), len(c.MemRatio), len(c.Overhead), nPol)
+		}
+		if c.Workload == "" {
+			t.Fatalf("cell %d: empty workload name", i)
+		}
+		for pi, cost := range c.Cost {
+			if !(cost >= -1e-9) {
+				t.Errorf("cell %d policy %s: cost %v, want >= 0 (mem ratio >= 1 and overhead >= 0)", i, res.Names[pi], cost)
+			}
+		}
+	}
+	if len(res.Standings) != nPol {
+		t.Fatalf("standings = %d rows, want %d", len(res.Standings), nPol)
+	}
+	for i, s := range res.Standings {
+		if s.Rank != i+1 {
+			t.Errorf("standing %d has rank %d", i, s.Rank)
+		}
+		if i > 0 && s.MeanCost < res.Standings[i-1].MeanCost {
+			t.Errorf("standings not sorted: rank %d cost %v < rank %d cost %v", s.Rank, s.MeanCost, i, res.Standings[i-1].MeanCost)
+		}
+	}
+	if want := nPol * (nPol - 1) / 2; len(res.Comparisons) != want {
+		t.Fatalf("comparisons = %d, want %d", len(res.Comparisons), want)
+	}
+	for _, c := range res.Comparisons {
+		if c.MeanDiff > 0 {
+			t.Errorf("%s vs %s: MeanDiff %v > 0; Better must be the lower-cost policy", c.Better, c.Worse, c.MeanDiff)
+		}
+		if c.Significant != (c.Q <= res.Alpha) {
+			t.Errorf("%s vs %s: Significant=%v disagrees with q=%v alpha=%v", c.Better, c.Worse, c.Significant, c.Q, res.Alpha)
+		}
+		if c.Q < c.P {
+			t.Errorf("%s vs %s: q=%v below p=%v; BH never decreases a p-value", c.Better, c.Worse, c.Q, c.P)
+		}
+		if c.CILo > c.CIHi {
+			t.Errorf("%s vs %s: inverted CI [%v, %v]", c.Better, c.Worse, c.CILo, c.CIHi)
+		}
+	}
+	wantAdaptive := map[string]bool{"full": false, "dtbfm:50k": false, "bandit:eps=0.2": true, "grad": true}
+	for i, spec := range res.Specs {
+		if res.Adaptive[i] != wantAdaptive[spec] {
+			t.Errorf("spec %q flagged adaptive=%v", spec, res.Adaptive[i])
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ctx := context.Background()
+	bad := tinyOptions()
+	bad.Policies = []string{"full", "no-such-policy"}
+	if _, err := Run(ctx, bad); err == nil || !strings.Contains(err.Error(), "roster entry 1") {
+		t.Errorf("bad spec: err = %v", err)
+	}
+	one := tinyOptions()
+	one.Policies = []string{"full"}
+	if _, err := Run(ctx, one); err == nil || !strings.Contains(err.Error(), "at least 2") {
+		t.Errorf("single policy: err = %v", err)
+	}
+	empty := tinyOptions()
+	empty.Seeds = []uint64{}
+	if _, err := Run(ctx, empty); err == nil {
+		t.Error("explicit empty seed sweep accepted")
+	}
+}
+
+func TestSweepSeedsDistinctAndStable(t *testing.T) {
+	a, b := SweepSeeds(8), SweepSeeds(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SweepSeeds not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatalf("duplicate sweep seed %#x", s)
+		}
+		seen[s] = true
+	}
+	if !reflect.DeepEqual(SweepSeeds(4), a[:4]) {
+		t.Error("SweepSeeds(4) is not a prefix of SweepSeeds(8): split-half CI runs would diverge from full runs")
+	}
+}
+
+func TestSplitHalfStable(t *testing.T) {
+	res, err := Run(context.Background(), tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok1, a1, b1 := res.SplitHalfStable()
+	ok2, a2, b2 := res.SplitHalfStable()
+	if ok1 != ok2 || a1 != a2 || b1 != b2 {
+		t.Fatal("SplitHalfStable not deterministic")
+	}
+	if ok1 != (a1 == b1) {
+		t.Errorf("stability verdict %v disagrees with leaders %q vs %q", ok1, a1, b1)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	res, err := Run(context.Background(), tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	md := sb.String()
+	for _, want := range []string{"# DTB policy tournament", "## Leaderboard", "## Adaptive wins", "## Pairwise comparisons"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	for _, name := range res.Names {
+		if !strings.Contains(md, name) {
+			t.Errorf("markdown missing policy %q", name)
+		}
+	}
+	var sb2 strings.Builder
+	if err := res.WriteMarkdown(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != md {
+		t.Error("markdown rendering not deterministic")
+	}
+}
+
+// TestAdaptiveBeatsStock is the PR's acceptance criterion: over the
+// full default tournament, at least one adaptive policy must beat
+// every stock policy on at least one workload with pairwise p < 0.05.
+func TestAdaptiveBeatsStock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tournament (skipped in -short)")
+	}
+	res, err := Run(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AdaptiveWins) == 0 {
+		t.Fatal("no adaptive policy beat every stock policy on any workload at p < 0.05")
+	}
+	for _, w := range res.AdaptiveWins {
+		if w.MaxP >= res.Alpha {
+			t.Errorf("win on %s by %s recorded with max p %v >= alpha %v", w.Workload, w.Policy, w.MaxP, res.Alpha)
+		}
+		t.Logf("adaptive win: %s beats all stock policies on %s (max p %.4g)", w.Policy, w.Workload, w.MaxP)
+	}
+}
