@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/trace"
 )
 
 // engineBenchWorkload and engineBenchMatrix mirror benchOptions: the
@@ -47,6 +49,11 @@ type engineBenchSnapshot struct {
 	AllocsPerOp         float64 `json:"allocs_per_op"`
 	BytesPerOp          float64 `json:"bytes_per_op"`
 	GeneratePassesPerOp float64 `json:"generate_passes_per_op"`
+	// RetainedBytes is set only by the retained-memory benchmarks:
+	// process heap still reachable at RunFinish, fleet and shared tape
+	// included, after a forced GC. CI gates on it — a long churn replay
+	// must not retain proportionally to trace length.
+	RetainedBytes float64 `json:"retained_bytes,omitempty"`
 }
 
 var (
@@ -192,6 +199,131 @@ func BenchmarkReplaySinglePassFanOut64(b *testing.B) {
 
 func BenchmarkReplayLegacyPerCollector64(b *testing.B) {
 	benchReplayLegacy(b, "ReplayLegacyPerCollector64", engineBenchMatrix64())
+}
+
+// The retained-memory benchmarks pin the tape's O(live + one epoch)
+// bound: pure churn streamed straight from a generator (never
+// materialized), so the shared tape is the only per-object state the
+// replay could hold. The long trace allocates 10x the short one over
+// the same live window; with epoch compaction their retained heaps
+// must come out about equal, and the CI bench-smoke gate enforces it.
+const (
+	retainedObjSize = 256  // bytes per churn object
+	retainedHold    = 2048 // live window: objects held before free
+)
+
+// retainedChurnSource streams n-object churn without materializing a
+// trace: object i dies as object i+retainedHold is born, so peak live
+// stays at retainedHold*retainedObjSize no matter how long the trace.
+func retainedChurnSource(n int) EventSource {
+	return func(emit func(Event) error) error {
+		instr := uint64(0)
+		for i := 1; i <= n; i++ {
+			instr += 100
+			if err := emit(trace.Alloc(trace.ObjectID(i), retainedObjSize, instr)); err != nil {
+				return err
+			}
+			if i > retainedHold {
+				if err := emit(trace.Free(trace.ObjectID(i-retainedHold), instr)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// retainedBenchMatrix holds only collectors whose heaps drain, so the
+// runner floors advance and ordinal retirement actually fires; a
+// tenuring collector (FIXED, tight-budget DTBFM) would pin the floor
+// and the benchmark would measure its heap, not the tape.
+func retainedBenchMatrix() []SimOptions {
+	return []SimOptions{
+		{Policy: FullPolicy(), TriggerBytes: 64 * 1024, Label: "retained/FULL"},
+		{Policy: FeedMedPolicy(1 << 20), TriggerBytes: 64 * 1024, Label: "retained/FEEDMED"},
+		{NoGC: true, Label: "retained/NoGC"},
+		{LiveOracle: true, Label: "retained/Live"},
+	}
+}
+
+// heapRetainedProbe measures process-heap retention at the moment the
+// replay finishes, while the fleet — and the shared tape — is still
+// reachable: a forced GC plus HeapAlloc delta against the armed
+// baseline, taken at the first RunFinish.
+type heapRetainedProbe struct {
+	base     uint64
+	retained uint64
+	armed    bool
+}
+
+func (p *heapRetainedProbe) arm() {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	p.base = m.HeapAlloc
+	p.armed = true
+}
+
+func (p *heapRetainedProbe) RunStart(RunStart)      {}
+func (p *heapRetainedProbe) Decision(Decision)      {}
+func (p *heapRetainedProbe) Scavenge(ScavengeEvent) {}
+func (p *heapRetainedProbe) Progress(Progress)      {}
+
+func (p *heapRetainedProbe) RunFinish(RunFinish) {
+	if !p.armed {
+		return
+	}
+	p.armed = false
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	p.retained = 0
+	if m.HeapAlloc > p.base {
+		p.retained = m.HeapAlloc - p.base
+	}
+}
+
+func benchReplayRetained(b *testing.B, name string, objects int) {
+	peakLive := uint64(retainedObjSize * retainedHold)
+	if total := uint64(objects) * retainedObjSize; total < 10*peakLive {
+		b.Fatalf("trace allocates %d bytes, want >= 10x the %d-byte live window to exercise compaction", total, peakLive)
+	}
+	probe := &heapRetainedProbe{}
+	sims := retainedBenchMatrix()
+	sims[0].Probe = probe
+	src := retainedChurnSource(objects)
+	b.ReportAllocs()
+	b.ResetTimer()
+	mem := startMemStats()
+	for i := 0; i < b.N; i++ {
+		probe.arm()
+		if _, err := ReplayAll(context.Background(), src, sims); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d := mem.stop()
+	b.StopTimer()
+	if probe.retained == 0 {
+		b.Fatal("retained-heap probe never fired")
+	}
+	b.ReportMetric(float64(probe.retained), "retained-bytes")
+	recordEngineBench(b, engineBenchSnapshot{
+		Name:          name,
+		Collectors:    len(sims),
+		Iters:         b.N,
+		NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp:   float64(d.mallocs) / float64(b.N),
+		BytesPerOp:    float64(d.bytes) / float64(b.N),
+		RetainedBytes: float64(probe.retained),
+	})
+}
+
+func BenchmarkReplayRetainedShortTrace(b *testing.B) {
+	benchReplayRetained(b, "ReplayRetainedShortTrace", 40000)
+}
+
+func BenchmarkReplayRetainedLongTrace(b *testing.B) {
+	benchReplayRetained(b, "ReplayRetainedLongTrace", 400000)
 }
 
 // BenchmarkEvalFullMatrix measures the whole evaluation front door —

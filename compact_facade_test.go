@@ -1,0 +1,60 @@
+package dtbgc
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+// facadeChurn is pure churn — every object dies after a short hold —
+// so a long replay's dead tape prefix grows without bound and the
+// default-cadence epoch compaction fires many times.
+func facadeChurn(n int) []Event {
+	b := trace.NewBuilder()
+	var pending []trace.ObjectID
+	for i := 0; i < n; i++ {
+		b.Advance(100)
+		pending = append(pending, b.Alloc(256))
+		if len(pending) > 12 {
+			b.Free(pending[0])
+			pending = pending[1:]
+		}
+	}
+	return b.Events()
+}
+
+// TestReplayAllCompactionInvisible: through the public facade, a long
+// churn replay with the shared tape compacting at its default cadence
+// must produce results identical to the same replay with
+// SimOptions.UncompactedTape pinning the whole trace in memory.
+func TestReplayAllCompactionInvisible(t *testing.T) {
+	events := facadeChurn(30000)
+	opts := []SimOptions{
+		{Policy: FullPolicy(), TriggerBytes: 10 * 1024},
+		{Policy: FeedMedPolicy(1 << 20), TriggerBytes: 10 * 1024},
+		{NoGC: true},
+	}
+
+	compacted, err := ReplayAll(context.Background(), SliceSource(events), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pinned := make([]SimOptions, len(opts))
+	for i, o := range opts {
+		o.UncompactedTape = true
+		pinned[i] = o
+	}
+	uncompacted, err := ReplayAll(context.Background(), SliceSource(events), pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range compacted {
+		if !reflect.DeepEqual(compacted[i], uncompacted[i]) {
+			t.Errorf("%s: compacted replay diverged from uncompacted replay", compacted[i].Collector)
+		}
+	}
+}

@@ -131,22 +131,32 @@ type SimOptions struct {
 	// demux several runs (the evaluation harness labels runs
 	// "workload/collector").
 	Label string
+	// UncompactedTape disables epoch-based compaction of dead tape
+	// prefixes, pinning every object the trace ever allocated in
+	// memory for the whole replay. Compaction is invisible — results
+	// and telemetry are bit-identical either way, which the audit
+	// oracle re-proves on every run — so this exists for audits and
+	// debugging, not tuning. In a fan-out replay the tape is shared:
+	// one option set with this disables compaction for all collectors
+	// in that replay.
+	UncompactedTape bool
 }
 
 func (o SimOptions) config() sim.Config {
 	cfg := sim.Config{
-		Policy:        o.Policy,
-		PolicySeed:    o.PolicySeed,
-		Machine:       o.Machine,
-		TriggerBytes:  o.TriggerBytes,
-		RecordCurve:   o.RecordCurve,
-		CurvePoints:   o.CurvePoints,
-		Opportunistic: o.Opportunistic,
-		PageFrames:    o.PageFrames,
-		PageBytes:     o.PageBytes,
-		Probe:         o.Probe,
-		ProgressBytes: o.ProgressBytes,
-		Label:         o.Label,
+		Policy:          o.Policy,
+		PolicySeed:      o.PolicySeed,
+		Machine:         o.Machine,
+		TriggerBytes:    o.TriggerBytes,
+		RecordCurve:     o.RecordCurve,
+		CurvePoints:     o.CurvePoints,
+		Opportunistic:   o.Opportunistic,
+		PageFrames:      o.PageFrames,
+		PageBytes:       o.PageBytes,
+		Probe:           o.Probe,
+		ProgressBytes:   o.ProgressBytes,
+		Label:           o.Label,
+		UncompactedTape: o.UncompactedTape,
 	}
 	switch {
 	case o.NoGC:

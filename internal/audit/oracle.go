@@ -152,8 +152,10 @@ func collectorConfigs(name string, opts Options) []sim.Config {
 //     under the live Auditor with per-run telemetry capture.
 //  2. The reference path re-runs every collector solo (sim.Run over
 //     the materialized trace) with Config.ReferenceScan routing every
-//     boundary query through the O(n) tail scan; Result, History and
-//     the telemetry stream must match the fast path bit for bit.
+//     boundary query through the O(n) tail scan and
+//     Config.UncompactedTape pinning the whole trace in the tape;
+//     Result, History and the telemetry stream must match the fast
+//     (bucketed, epoch-compacted) path bit for bit.
 //  3. The metamorphic path re-runs every collector through the binary
 //     codec (trace.WriteAll -> RunReader) with the encoded bytes
 //     delivered in deliberately awkward chunk sizes and no probe
@@ -206,10 +208,14 @@ func AuditWorkload(ctx context.Context, p workload.Profile, opts Options) (*Repo
 		report.Collectors = append(report.Collectors, fast[i].Collector)
 
 		// Reference path: solo run, naive tail-scan boundary queries,
-		// its own telemetry stream.
+		// the tape held uncompacted, its own telemetry stream. The fast
+		// path compacts, so every audit is also a compacted-vs-
+		// uncompacted differential: epoch compaction must be invisible
+		// bit for bit or this diff catches it.
 		refTel := &bytes.Buffer{}
 		refCfg := cfg
 		refCfg.ReferenceScan = true
+		refCfg.UncompactedTape = true
 		refCfg.Probe = sim.NewTelemetryWriter(refTel)
 		ref, err := sim.Run(events, refCfg)
 		if err != nil {

@@ -36,15 +36,29 @@ import (
 // checkpoint creation and restored at resume, so the learned state a
 // resumed replay continues from is exactly what the checkpoint saw —
 // even if someone touched the in-memory instances in between.
+//
+// The tape's compaction watermark gets the same treatment: captured
+// at checkpoint creation and verified at resume. Compaction retires
+// tape state that cannot be resurrected, so the "restore" direction
+// is a bit-exact equality check — the watermark is a pure function of
+// the events fed (the cadence counts events, not batches), and a
+// mismatch means the fleet diverged from the checkpoint in between.
 type Checkpoint struct {
 	fleet  *sim.Fleet
 	events int
 	policy [][]byte
+	tape   sim.TapeCompaction
 }
 
 // Events returns the number of events every runner had processed when
 // the replay was interrupted.
 func (c *Checkpoint) Events() int { return c.events }
+
+// TapeCompaction returns the compaction watermark the shared tape
+// carried at the interruption point: how many ordinals epoch-based
+// compaction had retired and which trace IDs went with them. Tests
+// use it to prove a resume crossed a compaction epoch.
+func (c *Checkpoint) TapeCompaction() sim.TapeCompaction { return c.tape }
 
 // feedError marks a fleet feed failure — a trace validation error —
 // which no retry can get past and is therefore not resumable; source
@@ -100,6 +114,12 @@ func (c *Checkpoint) ResumeBatches(ctx context.Context, src BatchSource) ([]*sim
 	if err := c.fleet.RestorePolicyState(c.policy); err != nil {
 		return nil, nil, fmt.Errorf("engine: resume: %w", err)
 	}
+	// Verify the tape against the recorded compaction watermark: a
+	// fleet that was fed (or compacted) past the checkpoint would
+	// resume from the wrong state.
+	if err := c.fleet.RestoreTapeCompaction(c.tape); err != nil {
+		return nil, nil, fmt.Errorf("engine: resume: %w", err)
+	}
 	return replayFrom(ctx, src, c.fleet, c.events)
 }
 
@@ -139,7 +159,12 @@ func replayFrom(ctx context.Context, src BatchSource, fleet *sim.Fleet, skip int
 		if n < skip {
 			return nil, nil, fmt.Errorf("engine: resume: source failed %d event(s) before the checkpoint at %d: %w", skip-n, skip, err)
 		}
-		return nil, &Checkpoint{fleet: fleet, events: n, policy: fleet.SnapshotPolicyState()}, err
+		return nil, &Checkpoint{
+			fleet:  fleet,
+			events: n,
+			policy: fleet.SnapshotPolicyState(),
+			tape:   fleet.SnapshotTapeCompaction(),
+		}, err
 	}
 	if n < skip {
 		return nil, nil, fmt.Errorf("engine: resume: source delivered %d event(s), checkpoint expects at least %d", n, skip)

@@ -130,6 +130,15 @@ type Config struct {
 	// costs little; leave this off outside audits and debugging.
 	ReferenceScan bool
 
+	// UncompactedTape disables epoch-based compaction of dead tape
+	// prefixes (see compact.go), pinning every object the trace ever
+	// allocated in the tape for the whole run — the pre-compaction
+	// memory profile. Compaction is invisible by construction; the
+	// audit oracle replays its reference leg on this path to keep it
+	// provably so. In a Fleet the tape is shared, so one config with
+	// this set disables compaction for every runner in the fleet.
+	UncompactedTape bool
+
 	// Opportunistic enables Wilson & Moher-style scheduling on the
 	// "when to collect" axis the paper contrasts with its own "what
 	// to collect" contribution (§4): a Mark event in the trace — a
@@ -247,8 +256,12 @@ func (r *Result) TenuredGarbageMeanBytes() float64 { return r.MemMeanBytes - r.L
 // runs (a 100 MB trace is ~1600 buckets).
 const birthBucketShift = 16
 
-// birthBucket maps a clock reading to its birth-epoch bucket.
-func birthBucket(t core.Time) int { return int(t.Bytes() >> birthBucketShift) }
+// birthBucket maps a clock reading to its birth-epoch bucket. The
+// bucket index stays uint64 end to end: converting to int here would
+// silently truncate on 32-bit platforms for clocks past 256 GB.
+// Conversion to a slice index happens only after subtracting the
+// tape's bucketBase and checking the result against maxBuckets.
+func birthBucket(t core.Time) uint64 { return t.Bytes() >> birthBucketShift }
 
 // resolved is one trace event after tape resolution: object identity
 // replaced by a dense ordinal, sizes and the allocation clock already
@@ -271,27 +284,58 @@ type resolved struct {
 // runners so this work happens once per trace instead of once per
 // collector; a solo Runner owns a private tape.
 //
-// Objects are numbered by dense ordinals in allocation order. The
-// id→ordinal index is never deleted from — trace IDs are unique for
-// the lifetime of a trace (see trace.Validate), so an ID that reuses
-// a reclaimed object's number is rejected as a duplicate allocation.
-// The tape therefore grows with the total number of objects in the
-// trace, not the live set; that is the deliberate space-for-sharing
-// trade the fan-out engine makes (see DESIGN.md).
+// Objects are numbered by dense ordinals in allocation order,
+// relative to a sliding base: epoch-based compaction (see compact.go)
+// retires the prefix of ordinals whose whole birth cohort is dead and
+// no runner can address again, shifting the per-ordinal arrays down
+// and rebasing every retained ordinal, so the tape's footprint tracks
+// the live set plus one birth epoch instead of the total number of
+// objects the trace ever allocated. Retired trace IDs leave the index
+// but stay summarized in a merged span set, so the validation
+// contract survives compaction intact: trace IDs are unique for the
+// lifetime of a trace (see trace.Validate), and an ID that reuses a
+// retired object's number is still rejected as a duplicate
+// allocation.
 type tape struct {
 	index  map[trace.ObjectID]int32
-	sizes  []uint64    // per ordinal
-	births []core.Time // per ordinal, nondecreasing
-	dead   []bool      // per ordinal: freed by the program
+	ids    []trace.ObjectID // per ordinal: reverse of index, so retiring a prefix can delete its entries
+	sizes  []uint64         // per ordinal
+	births []core.Time      // per ordinal, nondecreasing
+	dead   []bool           // per ordinal: freed by the program
 
 	live uint64 // live bytes (the oracle)
-	// liveByBirth[b] is the live bytes of objects born in clock bucket
-	// b, maintained on every alloc and free. It makes boundary queries
-	// (LiveBytesBornAfter, executed on every policy decision and for
-	// every FEEDMED advance candidate) a partial scan of one bucket
-	// plus a bucket-suffix sum instead of a tail scan over all live
-	// objects.
+	// liveByBirth[b-bucketBase] is the live bytes of objects born in
+	// clock bucket b, maintained on every alloc and free. It makes
+	// boundary queries (LiveBytesBornAfter, executed on every policy
+	// decision and for every FEEDMED advance candidate) a partial scan
+	// of one bucket plus a bucket-suffix sum instead of a tail scan
+	// over all live objects. Compaction trims the all-dead prefix and
+	// advances bucketBase; bucketBase never exceeds the clock's own
+	// bucket, so the next alloc always lands at a valid index.
 	liveByBirth []uint64
+	bucketBase  uint64
+
+	// Compaction state: whether it is enabled for this tape (off for
+	// raw tapes, Config.UncompactedTape, and fleets whose vmem
+	// baselines address every ordinal forever), the count of ordinals
+	// retired behind the sliding base, the retired-ID summary, and the
+	// event count at the last cadence check.
+	compact          bool
+	retiredOrds      uint64
+	retired          idSpans
+	trimmedBuckets   uint64
+	lastCompactCheck int
+
+	// Compaction tunables, fields so tests can tighten them; newTape
+	// sets the package defaults. ordLimit caps the ordinals retained
+	// at once (the int32 ordinal encoding's real limit — total objects
+	// are unbounded once compaction slides the base); maxBuckets caps
+	// the bucket span so the relative index always fits an int.
+	checkEvery     int
+	minRetire      int
+	minTrimBuckets int
+	ordLimit       int
+	maxBuckets     uint64
 
 	clock     core.Time
 	lastInstr uint64
@@ -299,7 +343,14 @@ type tape struct {
 }
 
 func newTape() *tape {
-	return &tape{index: make(map[trace.ObjectID]int32)}
+	return &tape{
+		index:          make(map[trace.ObjectID]int32),
+		checkEvery:     compactCheckEvery,
+		minRetire:      compactMinRetire,
+		minTrimBuckets: compactMinTrimBuckets,
+		ordLimit:       math.MaxInt32,
+		maxBuckets:     1 << 31,
+	}
 }
 
 // resolve validates one event against the tape and advances the shared
@@ -318,22 +369,42 @@ func (tp *tape) resolve(e trace.Event, out *resolved) error {
 		if _, dup := tp.index[e.ID]; dup {
 			return fmt.Errorf("sim: event %d: duplicate allocation of object %d", i, e.ID)
 		}
+		// An ID missing from the index may still have been seen and
+		// retired by compaction; reusing it is the same trace defect.
+		if len(tp.retired) > 0 && tp.retired.contains(e.ID) {
+			return fmt.Errorf("sim: event %d: duplicate allocation of object %d", i, e.ID)
+		}
+		if len(tp.sizes) >= tp.ordLimit {
+			return fmt.Errorf("sim: event %d: tape ordinal limit: %d objects retained at once", i, len(tp.sizes))
+		}
+		clock := tp.clock.Add(e.Size)
+		b := birthBucket(clock)
+		if b-tp.bucketBase >= tp.maxBuckets {
+			return fmt.Errorf("sim: event %d: birth bucket %d out of range (base %d, limit %d buckets)", i, b, tp.bucketBase, tp.maxBuckets)
+		}
 		ord := int32(len(tp.sizes))
 		tp.index[e.ID] = ord
-		tp.clock = tp.clock.Add(e.Size)
+		tp.clock = clock
+		tp.ids = append(tp.ids, e.ID)
 		tp.sizes = append(tp.sizes, e.Size)
-		tp.births = append(tp.births, tp.clock)
+		tp.births = append(tp.births, clock)
 		tp.dead = append(tp.dead, false)
 		tp.live += e.Size
-		b := birthBucket(tp.clock)
-		for len(tp.liveByBirth) <= b {
-			tp.liveByBirth = append(tp.liveByBirth, 0)
+		rb := int(b - tp.bucketBase)
+		if rb >= len(tp.liveByBirth) {
+			tp.liveByBirth = growBuckets(tp.liveByBirth, rb+1)
 		}
-		tp.liveByBirth[b] += e.Size
-		*out = resolved{kind: trace.KindAlloc, ord: ord, size: e.Size, instr: e.Instr, clock: tp.clock}
+		tp.liveByBirth[rb] += e.Size
+		*out = resolved{kind: trace.KindAlloc, ord: ord, size: e.Size, instr: e.Instr, clock: clock}
 	case trace.KindFree:
 		ord, ok := tp.index[e.ID]
 		if !ok {
+			// A retired object was dead when it left the tape, so a free
+			// of its ID is the double free it would have been before
+			// compaction — same defect, same error.
+			if len(tp.retired) > 0 && tp.retired.contains(e.ID) {
+				return fmt.Errorf("sim: event %d: double free of object %d", i, e.ID)
+			}
 			return fmt.Errorf("sim: event %d: free of unknown object %d", i, e.ID)
 		}
 		if tp.dead[ord] {
@@ -342,12 +413,19 @@ func (tp *tape) resolve(e trace.Event, out *resolved) error {
 		tp.dead[ord] = true
 		size := tp.sizes[ord]
 		tp.live -= size
-		tp.liveByBirth[birthBucket(tp.births[ord])] -= size
+		// A live object's bucket holds at least its own size, so it can
+		// never be part of a trimmed (all-dead) prefix: the subtraction
+		// index is always in range.
+		tp.liveByBirth[birthBucket(tp.births[ord])-tp.bucketBase] -= size
 		*out = resolved{kind: trace.KindFree, ord: ord, size: size, instr: e.Instr, clock: tp.clock}
 	case trace.KindPtrWrite:
 		// Pointer stores do not affect the oracle liveness; the target
 		// ordinal is resolved here so the virtual-memory model can
-		// touch it without a map lookup per runner.
+		// touch it without a map lookup per runner. A retired ID misses
+		// the index and resolves to unknown (-1) — observably identical
+		// to the uncompacted tape, because retirement requires every
+		// runner to have reclaimed the object already, and reclaimed
+		// objects are not touched either way.
 		ord, ok := tp.index[e.ID]
 		if !ok {
 			ord = -1
@@ -376,18 +454,44 @@ func (tp *tape) liveBytesBornAfter(t core.Time) uint64 {
 	b := birthBucket(t)
 	// Births sharing t's bucket need individual comparison — the
 	// bucket sums only cover whole buckets. Later buckets hold only
-	// births strictly after t, so their sums apply wholesale.
+	// births strictly after t, so their sums apply wholesale. The scan
+	// ends on bucket identity, not a computed bucket-end clock: for
+	// the final bucket of the clock space that end value would wrap
+	// to zero and the scan would run over every retained birth.
 	var sum uint64
-	bucketEnd := core.TimeAt(uint64(b+1) << birthBucketShift)
-	for ; i < len(births) && births[i] < bucketEnd; i++ {
+	for ; i < len(births) && birthBucket(births[i]) == b; i++ {
 		if !tp.dead[i] {
 			sum += tp.sizes[i]
 		}
 	}
-	for j := b + 1; j < len(tp.liveByBirth); j++ {
+	// Bucket sums are stored relative to bucketBase. A query at or
+	// below the trimmed prefix starts the suffix at the base: the
+	// trimmed buckets hold no live bytes by construction.
+	j := uint64(0)
+	if b+1 > tp.bucketBase {
+		j = b + 1 - tp.bucketBase
+	}
+	for ; j < uint64(len(tp.liveByBirth)); j++ {
 		sum += tp.liveByBirth[j]
 	}
 	return sum
+}
+
+// growBuckets extends the bucket slice to length n in one sized step,
+// zeroing any cells reused from capacity left behind by a prefix trim
+// (the copy-down leaves stale sums past the new length).
+func growBuckets(s []uint64, n int) []uint64 {
+	if n <= cap(s) {
+		old := len(s)
+		s = s[:n]
+		for i := old; i < n; i++ {
+			s[i] = 0
+		}
+		return s
+	}
+	t := make([]uint64, n, max(n, 2*cap(s)))
+	copy(t, s)
+	return t
 }
 
 // liveBytesBornAfterNaive is the reference tail scan the bucket
@@ -435,6 +539,10 @@ type Runner struct {
 	// so events must arrive through Fleet.FeedBatch (a direct Feed
 	// would advance the tape ahead of the sibling runners).
 	fleet bool
+	// tapeRunners is the runner set compaction must consult before
+	// retiring tape prefixes: just this runner for a solo tape (set by
+	// NewRunner), nil for fleet runners (the fleet drives compaction).
+	tapeRunners []*Runner
 
 	// Per-collector heap state. objs holds the ordinals of objects
 	// present in this runner's heap (live or dead-but-unreclaimed), in
@@ -483,7 +591,14 @@ type Runner struct {
 // after validation succeeds, so a rejected config never opens a
 // telemetry stream it cannot close.
 func NewRunner(cfg Config) (*Runner, error) {
-	return newRunner(newTape(), cfg, false)
+	tp := newTape()
+	r, err := newRunner(tp, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	r.tapeRunners = []*Runner{r}
+	tp.compact = tapeCompactionAllowed(r.tapeRunners)
+	return r, nil
 }
 
 func newRunner(tp *tape, cfg Config, fleet bool) (*Runner, error) {
@@ -607,6 +722,9 @@ func (r *Runner) Feed(e trace.Event) error {
 		return err
 	}
 	r.apply(one[:])
+	if tp := r.tape; tp.compact && tp.events-tp.lastCompactCheck >= tp.checkEvery {
+		tp.maybeCompact(r.tapeRunners)
+	}
 	return nil
 }
 
@@ -622,11 +740,18 @@ func (r *Runner) FeedBatch(events []trace.Event) error {
 		return errFleetFeed
 	}
 	var one [1]resolved
+	tp := r.tape
 	for i := range events {
-		if err := r.tape.resolve(events[i], &one[0]); err != nil {
+		if err := tp.resolve(events[i], &one[0]); err != nil {
 			return err
 		}
 		r.apply(one[:])
+		// The cadence gate keys on the event count alone, so compaction
+		// points — and the checkpoint watermark — are independent of
+		// how callers batch the stream.
+		if tp.compact && tp.events-tp.lastCompactCheck >= tp.checkEvery {
+			tp.maybeCompact(r.tapeRunners)
+		}
 	}
 	return nil
 }
@@ -885,6 +1010,7 @@ func NewFleet(cfgs []Config) (*Fleet, error) {
 		}
 		f.runners = append(f.runners, r)
 	}
+	tp.compact = tapeCompactionAllowed(f.runners)
 	return f, nil
 }
 
@@ -959,12 +1085,20 @@ func (f *Fleet) FeedBatch(events []trace.Event) error {
 		return nil
 	}
 	var one [1]resolved
+	tp := f.tape
 	for i := range events {
-		if err := f.tape.resolve(events[i], &one[0]); err != nil {
+		if err := tp.resolve(events[i], &one[0]); err != nil {
 			return err
 		}
 		for _, r := range f.runners {
 			r.apply(one[:])
+		}
+		// Event-count cadence, checked only after every runner applied
+		// the event: compaction never moves ordinals between a resolve
+		// and its applies, and the compaction schedule — hence the
+		// checkpoint watermark — is independent of batch boundaries.
+		if tp.compact && tp.events-tp.lastCompactCheck >= tp.checkEvery {
+			tp.maybeCompact(f.runners)
 		}
 	}
 	return nil
