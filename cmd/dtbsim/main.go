@@ -101,14 +101,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	// Conflicting flags are an error, not a silent preference: a
 	// dropped -policy or -scale yields a plausible-looking result for
 	// a run the user did not ask for.
-	if *policySpec != "" && *baseline != "" {
-		return cliio.Usagef("-policy %q conflicts with -baseline %q: a run is driven by one or the other", *policySpec, *baseline)
-	}
-	if *workloadName != "" && *traceFile != "" {
-		return cliio.Usagef("-workload %q conflicts with -trace %q: choose one event source", *workloadName, *traceFile)
-	}
-	if *traceFile != "" && flagWasSet(fs, "scale") {
-		return cliio.Usagef("-scale applies to generated workloads and cannot rescale the recorded trace %q", *traceFile)
+	if err := cliio.Conflicts(fs,
+		cliio.Conflict{A: "policy", B: "baseline", Reason: "a run is driven by one or the other"},
+		cliio.Conflict{A: "workload", B: "trace", Reason: "choose one event source"},
+		cliio.Conflict{A: "scale", B: "trace", Reason: "-scale applies to generated workloads and cannot rescale a recorded trace"},
+	); err != nil {
+		return err
 	}
 	if *recoverTrace && *traceFile == "" {
 		return cliio.Usagef("-recover decodes a damaged -trace file; a generated workload has nothing to recover")
@@ -350,16 +348,4 @@ func fold(name string, err error) error {
 		return nil
 	}
 	return fmt.Errorf("%s: %w", name, err)
-}
-
-// flagWasSet reports whether the named flag appeared on the command
-// line (as opposed to holding its default).
-func flagWasSet(fs *flag.FlagSet, name string) bool {
-	set := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			set = true
-		}
-	})
-	return set
 }

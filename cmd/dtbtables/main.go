@@ -75,6 +75,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return cliio.Usagef("no table %d (have 2, 3, 4, 5, 6)", *table)
 	}
+	// These pairs used to slip through: -apps runs the fixed-size
+	// mini-application traces, so the calibrated-profile knobs were
+	// silently ignored, and -check silently won over -compare.
+	if err := cliio.Conflicts(fs,
+		cliio.Conflict{A: "apps", B: "scale", Reason: "the mini-application traces are fixed-size; -scale shapes only the calibrated profiles"},
+		cliio.Conflict{A: "apps", B: "trigger", Reason: "the mini-application evaluation uses its own calibrated trigger"},
+		cliio.Conflict{A: "apps", B: "memmax", Reason: "the mini-application evaluation uses its own calibrated DTBMEM budget"},
+		cliio.Conflict{A: "apps", B: "tracemax", Reason: "the mini-application evaluation uses its own calibrated trace budget"},
+		cliio.Conflict{A: "compare", B: "check", Reason: "print a comparison or verify the claims, not both"},
+		cliio.Conflict{A: "check", B: "table", Reason: "-check verifies every claim; it does not print tables"},
+	); err != nil {
+		return err
+	}
+	if *compare && (*table == 5 || *table == 6) {
+		return cliio.Usagef("-compare covers tables 2, 3 and 4: the paper publishes no numbers for table %d", *table)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

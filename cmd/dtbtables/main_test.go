@@ -25,6 +25,16 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"-table", "1"},
 		{"-no-such-flag"},
 		{"-inject", "bogus@1"},
+		// Pairs that used to slip through silently: -apps ignored the
+		// calibrated-profile knobs, -check won over -compare.
+		{"-apps", "-scale", "0.5"},
+		{"-apps", "-trigger", "65536"},
+		{"-apps", "-memmax", "1048576"},
+		{"-apps", "-tracemax", "16384"},
+		{"-compare", "-check"},
+		{"-check", "-table", "2"},
+		{"-compare", "-table", "5"},
+		{"-compare", "-table", "6"},
 	} {
 		if _, _, code := tables(t, args...); code != 2 {
 			t.Errorf("args %v: exit %d, want 2", args, code)

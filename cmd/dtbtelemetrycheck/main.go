@@ -12,6 +12,14 @@
 //
 //	dtbtelemetrycheck FILE...
 //	dtbsim -policy full -workload SIS -telemetry - | dtbtelemetrycheck -
+//	curl -s http://127.0.0.1:7341/v1/metrics | dtbtelemetrycheck -metrics -
+//
+// -metrics switches to the dtbd metrics-snapshot schema instead: one
+// JSON object per input with every documented field present at its
+// documented type, finite non-negative readings, and the serving
+// identities intact (memo_hits + cold_evals == evals_served,
+// tape_hits within cold_evals). It is the CI gate on the daemon's
+// /v1/metrics endpoint, as checkStream is on telemetry lines.
 //
 // Exit status is 0 when every stream is schema-valid, 1 otherwise.
 package main
@@ -23,12 +31,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: dtbtelemetrycheck FILE... (- for stdin)")
+	args := os.Args[1:]
+	check := checkStream
+	if len(args) > 0 && args[0] == "-metrics" {
+		check = checkMetrics
+		args = args[1:]
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dtbtelemetrycheck [-metrics] FILE... (- for stdin)")
 		os.Exit(2)
 	}
 	failed := false
-	for _, arg := range os.Args[1:] {
+	for _, arg := range args {
 		var r io.Reader
 		name := arg
 		if arg == "-" {
@@ -42,7 +56,7 @@ func main() {
 			defer f.Close()
 			r = f
 		}
-		problems, err := checkStream(r)
+		problems, err := check(r)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dtbtelemetrycheck: %s: %v\n", name, err)
 			os.Exit(2)

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/dtbgc/dtbgc/internal/daemon"
+)
+
+// metricsFields are the snapshot's required keys — the documented
+// schema of GET /v1/metrics. A daemon that stops emitting one of
+// these (or grows an undocumented one) fails CI here, the same
+// drift-guard contract checkStream enforces for telemetry lines.
+var metricsFields = []string{
+	"evals_served", "memo_hits", "cold_evals", "tape_hits",
+	"rejected", "failed", "trace_uploads",
+	"in_flight", "queued", "workers", "queue_depth",
+	"tape_cache_traces", "tape_cache_bytes", "memo_entries",
+	"service_p50_ms", "service_p99_ms", "uptime_seconds",
+}
+
+// checkMetrics validates one dtbd metrics snapshot document: exactly
+// one JSON object, every documented field present at its documented
+// type, no undocumented fields, finite and non-negative readings, and
+// the serving identities (memo_hits + cold_evals == evals_served,
+// tape_hits ⊆ cold_evals). The error return is for I/O problems only.
+func checkMetrics(r io.Reader) ([]string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+
+	// Presence first, against the raw object: a zero value in the
+	// typed struct cannot distinguish "0" from "absent".
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return []string{fmt.Sprintf("not a JSON object: %v", err)}, nil
+	}
+	for _, f := range metricsFields {
+		if _, ok := raw[f]; !ok {
+			problems = append(problems, fmt.Sprintf("missing field %q", f))
+		}
+	}
+
+	// Types and undocumented fields, via a strict decode into the wire
+	// struct itself — the schema cannot drift from the implementation
+	// because it IS the implementation.
+	var snap daemon.MetricsSnapshot
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		problems = append(problems, fmt.Sprintf("schema violation: %v", err))
+		return problems, nil
+	}
+
+	for _, g := range []struct {
+		name string
+		v    int64
+	}{
+		{"in_flight", snap.InFlight}, {"queued", snap.Queued},
+		{"workers", int64(snap.Workers)}, {"queue_depth", int64(snap.QueueDepth)},
+		{"tape_cache_traces", int64(snap.TapeCacheTraces)},
+		{"tape_cache_bytes", snap.TapeCacheBytes},
+		{"memo_entries", int64(snap.MemoEntries)},
+	} {
+		if g.v < 0 {
+			problems = append(problems, fmt.Sprintf("%s = %d: negative gauge", g.name, g.v))
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"service_p50_ms", snap.ServiceP50Ms},
+		{"service_p99_ms", snap.ServiceP99Ms},
+		{"uptime_seconds", snap.UptimeSeconds},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			problems = append(problems, fmt.Sprintf("%s = %v: must be finite and non-negative", f.name, f.v))
+		}
+	}
+	if snap.MemoHits+snap.ColdEvals != snap.EvalsServed {
+		problems = append(problems, fmt.Sprintf(
+			"serving identity broken: memo_hits %d + cold_evals %d != evals_served %d",
+			snap.MemoHits, snap.ColdEvals, snap.EvalsServed))
+	}
+	if snap.TapeHits > snap.ColdEvals {
+		problems = append(problems, fmt.Sprintf(
+			"tape_hits %d exceeds cold_evals %d: a tape hit is a kind of cold eval",
+			snap.TapeHits, snap.ColdEvals))
+	}
+	if snap.ServiceP50Ms > snap.ServiceP99Ms {
+		problems = append(problems, fmt.Sprintf(
+			"service_p50_ms %v exceeds service_p99_ms %v", snap.ServiceP50Ms, snap.ServiceP99Ms))
+	}
+	return problems, nil
+}

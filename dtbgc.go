@@ -355,6 +355,22 @@ func WriteTrace(w io.Writer, events []Event) error { return trace.WriteAll(w, ev
 // ReadTrace decodes a binary trace written by WriteTrace.
 func ReadTrace(r io.Reader) ([]Event, error) { return trace.NewReader(r).ReadAll() }
 
+// DigestTrace decodes a binary trace from r, returning its hex
+// sha256 content digest and event count. The digest is computed over
+// the canonical binary encoding, so it is route-independent: the same
+// events digested in memory (or re-encoded from a decode) produce the
+// same value. It is the content address the dtbd daemon serves traces
+// under — `dtbd eval -trace` sends it first and uploads the bytes
+// only on a miss.
+func DigestTrace(r io.Reader) (digest string, events int, err error) {
+	dr := trace.NewDigestingReader(r)
+	all, err := trace.NewReader(dr).ReadAll()
+	if err != nil {
+		return "", 0, err
+	}
+	return dr.Sum().String(), len(all), nil
+}
+
 // WriteTraceText encodes events in the line-oriented text format.
 func WriteTraceText(w io.Writer, events []Event) error { return trace.WriteText(w, events) }
 

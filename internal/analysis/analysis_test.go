@@ -139,6 +139,50 @@ func TestDeterminismNegative(t *testing.T) {
 	}
 }
 
+// TestDeterminismServingExemption: under a serving package path
+// (internal/daemon, cmd/dtbd) the wall-clock rule is waived — service
+// latencies are real time — but the math/rand and map-range bans must
+// keep firing there.
+func TestDeterminismServingExemption(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "determinismbad")
+	for _, ipath := range []string{"fixture/internal/daemon", "fixture/cmd/dtbd"} {
+		pkg, err := fixtureLoader(t).LoadDir(dir, ipath)
+		if err != nil {
+			t.Fatalf("loading fixture as %s: %v", ipath, err)
+		}
+		diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism})
+		var sawRand, sawMapRange bool
+		for _, d := range diags {
+			if strings.Contains(d.Message, "wall clock") {
+				t.Errorf("%s: wall-clock diagnostic fired inside the serving exemption: %s", ipath, d)
+			}
+			if strings.Contains(d.Message, "xrand") {
+				sawRand = true
+			}
+			if strings.Contains(d.Message, "nondeterministic order") {
+				sawMapRange = true
+			}
+		}
+		if !sawRand || !sawMapRange {
+			t.Errorf("%s: rand/map-range bans must survive the serving exemption (rand %v, map %v): %v",
+				ipath, sawRand, sawMapRange, diags)
+		}
+	}
+}
+
+// TestLeakCheckDaemonScope: internal/daemon is in leakcheck's scope,
+// so the leaky fixture fires when loaded under that path.
+func TestLeakCheckDaemonScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "leakbad", "internal", "engine")
+	pkg, err := fixtureLoader(t).LoadDir(dir, "leakfixture/internal/daemon")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{LeakCheck}); len(diags) == 0 {
+		t.Fatal("leakcheck silent under internal/daemon; the daemon is in its scope")
+	}
+}
+
 func TestEventSwitchPositive(t *testing.T) {
 	if diags := checkFixture(t, "eventswitchbad", EventSwitch); len(diags) == 0 {
 		t.Fatal("eventswitch reported nothing on the bad fixture")

@@ -19,6 +19,10 @@ import (
 //     range feeding output or collection order is the classic silent
 //     nondeterminism bug. Order-insensitive folds (pure sums) earn an
 //     explicit //dtbvet:ignore with the reason stated.
+//
+// Serving packages (servingScopes) are exempt from the wall-clock
+// rule alone: a daemon's latency metrics are wall time by definition.
+// Everything else stays banned there too.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "simulation and rendering code must be bit-for-bit deterministic",
@@ -29,8 +33,23 @@ var Determinism = &Analyzer{
 // clock.
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
+// servingScopes are package-path suffixes exempt from the wall-clock
+// rule ONLY: the daemon's service times and uptime are real time by
+// nature, and no simulation result flows from them (the daemon's
+// bit-identity tests pin that). The math/rand and map-range bans
+// still apply there — serving code has no more business with
+// nondeterministic iteration than simulation code does.
+var servingScopes = []string{"internal/daemon", "cmd/dtbd"}
+
 func runDeterminism(pass *Pass) {
 	info := pass.TypesInfo()
+	wallClockExempt := false
+	for _, suffix := range servingScopes {
+		if hasPathSuffix(pass.Pkg.PkgPath, suffix) {
+			wallClockExempt = true
+			break
+		}
+	}
 	for _, f := range pass.Pkg.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
@@ -44,7 +63,7 @@ func runDeterminism(pass *Pass) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch v := n.(type) {
 			case *ast.CallExpr:
-				if fn := calleeFunc(info, v); fn != nil && fn.Pkg() != nil &&
+				if fn := calleeFunc(info, v); !wallClockExempt && fn != nil && fn.Pkg() != nil &&
 					fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
 					pass.Reportf(v.Pos(), "time.%s reads the wall clock: simulated time comes from the trace's instruction clock", fn.Name())
 				}

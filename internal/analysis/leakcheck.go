@@ -29,8 +29,10 @@ var LeakCheck = &Analyzer{
 }
 
 // leakScopes are the package-path suffixes the pass applies to: the
-// pool/fan-out code where an orphaned worker outlives the replay.
-var leakScopes = []string{"internal/engine", "internal/sim"}
+// pool/fan-out code where an orphaned worker outlives the replay, and
+// the daemon, where an orphaned goroutine outlives a request — or the
+// process's graceful drain.
+var leakScopes = []string{"internal/engine", "internal/sim", "internal/daemon"}
 
 func runLeakCheck(pass *Pass) {
 	inScope := false

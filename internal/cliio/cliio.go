@@ -60,6 +60,60 @@ func ExitCode(err error) int {
 	}
 }
 
+// Conflict declares two flags that cannot be combined, and the reason
+// a user sees when they are.
+type Conflict struct {
+	A, B   string
+	Reason string
+}
+
+// Conflicts rejects any declared pair whose flags were BOTH set on the
+// command line. The check is set-ness, not value: an explicit
+// `-flag ""` still counts as asking for it, and boolean flags work
+// without a sentinel value. The CLIs used to hand-roll these checks
+// and drift let real pairs slip through silently — a dropped flag
+// yields a plausible-looking result for a run the user did not ask
+// for. A conflict naming a flag that does not exist in fs panics:
+// that is table drift after a rename, a programmer error no user
+// input should be able to hide.
+//
+// Call after fs.Parse:
+//
+//	if err := cliio.Conflicts(fs,
+//		cliio.Conflict{A: "policy", B: "baseline", Reason: "a run is driven by one or the other"},
+//	); err != nil {
+//		return err
+//	}
+func Conflicts(fs *flag.FlagSet, conflicts ...Conflict) error {
+	for _, c := range conflicts {
+		fa, fb := fs.Lookup(c.A), fs.Lookup(c.B)
+		if fa == nil || fb == nil {
+			missing := c.A
+			if fa != nil {
+				missing = c.B
+			}
+			panic(fmt.Sprintf("cliio: conflict table names unknown flag -%s", missing))
+		}
+		if FlagWasSet(fs, c.A) && FlagWasSet(fs, c.B) {
+			return Usagef("-%s %q conflicts with -%s %q: %s",
+				c.A, fa.Value.String(), c.B, fb.Value.String(), c.Reason)
+		}
+	}
+	return nil
+}
+
+// FlagWasSet reports whether the named flag appeared on the command
+// line (as opposed to holding its default).
+func FlagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 // CloseChecked closes c and folds a close failure into *errp unless an
 // earlier error is already there — the deferred-close shape that does
 // not eat ENOSPC:

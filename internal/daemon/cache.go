@@ -1,0 +1,170 @@
+package daemon
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/dtbgc/dtbgc/internal/trace"
+)
+
+// The daemon's two caches, both keyed off the trace content digest
+// (internal/trace.Digest):
+//
+//   - tapeCache holds decoded event tapes so a hot trace is decoded
+//     once and replayed many times. Bounded by an approximate byte
+//     budget, evicting least-recently-used whole tapes.
+//   - memoCache maps a complete evaluation key — trace identity ×
+//     policy spec × machine model × seed × every result-affecting
+//     knob — to the marshaled response already served for it, so a
+//     repeated evaluation is O(lookup) and byte-identical to the
+//     first. Bounded by entry count.
+//
+// Both are plain mutex-guarded LRUs: eviction order is deterministic
+// given the request order, and nothing here influences simulation
+// results — a cache miss and a cache hit serve the same bytes, which
+// the bit-identity tests prove.
+
+// eventCost approximates the in-memory bytes of one decoded
+// trace.Event (struct fields plus slice header overhead); label bytes
+// are charged separately. The budget bounds growth, it does not
+// meter the allocator exactly.
+const eventCost = 64
+
+// tapeCost is the charge for one decoded tape.
+func tapeCost(events []trace.Event) int64 {
+	cost := int64(len(events)) * eventCost
+	for i := range events {
+		cost += int64(len(events[i].Label))
+	}
+	return cost
+}
+
+// tapeCache is the bounded LRU of decoded tapes.
+type tapeCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	order  *list.List // front = most recently used; values are *tapeEntry
+	byKey  map[trace.Digest]*list.Element
+}
+
+type tapeEntry struct {
+	key    trace.Digest
+	events []trace.Event
+	cost   int64
+}
+
+func newTapeCache(budgetBytes int64) *tapeCache {
+	return &tapeCache{
+		budget: budgetBytes,
+		order:  list.New(),
+		byKey:  make(map[trace.Digest]*list.Element),
+	}
+}
+
+// get returns the decoded tape and marks it most recently used.
+func (c *tapeCache) get(key trace.Digest) ([]trace.Event, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*tapeEntry).events, true
+}
+
+// put stores a decoded tape, evicting LRU tapes to fit the budget. A
+// tape larger than the whole budget is still stored alone — refusing
+// it would make the one trace a client just uploaded unservable.
+func (c *tapeCache) put(key trace.Digest, events []trace.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		return // same digest = same content; nothing to update
+	}
+	e := &tapeEntry{key: key, events: events, cost: tapeCost(events)}
+	c.byKey[key] = c.order.PushFront(e)
+	c.used += e.cost
+	for c.used > c.budget && c.order.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+func (c *tapeCache) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*tapeEntry)
+	c.order.Remove(el)
+	delete(c.byKey, e.key)
+	c.used -= e.cost
+}
+
+// stats reports current occupancy.
+func (c *tapeCache) stats() (traces int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.used
+}
+
+// memoCache is the bounded LRU memo table. Values are opaque
+// marshaled response payloads: re-serving the stored bytes verbatim
+// is what makes a warm hit trivially byte-identical to the cold run
+// that populated it.
+type memoCache struct {
+	mu      sync.Mutex
+	entries int
+	order   *list.List // values are *memoEntry
+	byKey   map[string]*list.Element
+}
+
+type memoEntry struct {
+	key     string
+	payload []byte
+}
+
+func newMemoCache(entries int) *memoCache {
+	return &memoCache{
+		entries: entries,
+		order:   list.New(),
+		byKey:   make(map[string]*list.Element),
+	}
+}
+
+func (c *memoCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*memoEntry).payload, true
+}
+
+func (c *memoCache) put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Deterministic evaluation: a re-computed payload for the same
+		// key is the same bytes. Keep the original, refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&memoEntry{key: key, payload: payload})
+	for c.order.Len() > c.entries {
+		el := c.order.Back()
+		e := el.Value.(*memoEntry)
+		c.order.Remove(el)
+		delete(c.byKey, e.key)
+	}
+}
+
+func (c *memoCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -21,13 +21,19 @@ type Job func(ctx context.Context) error
 // GOMAXPROCS. Scheduling cannot influence results — each job writes
 // only its own slot and every replay is single-threaded.
 //
-// Cancellation: the first hard (non-cancellation) error cancels the
-// context handed to every other job, so in-flight replays abort at
-// their next event-boundary check — fail-fast. Every job still
-// starts, which keeps cheap validation failures visible even after a
-// cancellation: a run that breaks several workloads names all of them
-// in one pass. Cancellations induced by that fail-fast are dropped
-// from the join; cancellation of the parent ctx itself is returned as
+// Cancellation: the first failing job cancels the context handed to
+// every other job, so in-flight replays abort at their next
+// event-boundary check — fail-fast. Every job still starts, which
+// keeps cheap validation failures visible even after a cancellation:
+// a run that breaks several workloads names all of them in one pass.
+//
+// Cancellation errors are classified by origin, not by kind. A
+// Canceled/DeadlineExceeded that arrives after the pool's own
+// cancel() fired (or after the parent ctx died) is an induced abort
+// and is dropped from the join; one that arrives while both the pool
+// and the parent are still live can only have originated inside the
+// job itself (e.g. a per-job deadline expiring) and is returned like
+// any other failure. Cancellation of the parent ctx is reported as
 // the parent's error.
 func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 	if workers <= 0 {
@@ -39,6 +45,7 @@ func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make([]error, len(jobs))
+	var aborted atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -51,8 +58,17 @@ func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 					return
 				}
 				err := jobs[i](cctx)
+				if err != nil && isCancellation(err) && (aborted.Load() || ctx.Err() != nil) {
+					// Induced by the pool's fail-fast cancel or by the
+					// parent ctx dying — not this job's own failure.
+					// The Store below is sequenced before cancel(), and
+					// a job only observes cctx done after cancel(), so
+					// an induced job always sees aborted == true here.
+					continue
+				}
 				errs[i] = err
-				if err != nil && !isCancellation(err) {
+				if err != nil {
+					aborted.Store(true)
 					cancel() // fail fast: abort the other replays
 				}
 			}
@@ -61,7 +77,7 @@ func RunJobs(ctx context.Context, workers int, jobs []Job) error {
 	wg.Wait()
 	hard := make([]error, 0, len(errs))
 	for _, err := range errs {
-		if err != nil && !isCancellation(err) {
+		if err != nil {
 			hard = append(hard, err)
 		}
 	}

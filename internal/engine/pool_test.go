@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunJobsJobOriginatedDeadlineSurfaces is the regression test for
+// the cancellation-swallowing bug: a job that times out on its OWN
+// internal deadline while the parent ctx is live used to be filtered
+// out of the join (every Canceled/DeadlineExceeded was treated as a
+// pool-induced abort), so RunJobs reported success with a missing
+// result slot. Origin-based classification must surface it.
+func TestRunJobsJobOriginatedDeadlineSurfaces(t *testing.T) {
+	jobs := []Job{
+		func(ctx context.Context) error {
+			// A per-job deadline, e.g. a daemon request budget. The
+			// parent ctx stays live the whole time.
+			jctx, cancel := context.WithTimeout(ctx, time.Millisecond)
+			defer cancel()
+			<-jctx.Done()
+			return jctx.Err()
+		},
+	}
+	err := RunJobs(context.Background(), 1, jobs)
+	if err == nil {
+		t.Fatal("RunJobs = nil: job-originated deadline was swallowed as a pool-induced abort")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunJobs error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunJobsJobOriginatedCancelSurfaces: same classification for a
+// job that cancels its own sub-context — origin decides, not kind.
+func TestRunJobsJobOriginatedCancelSurfaces(t *testing.T) {
+	jobs := []Job{
+		func(ctx context.Context) error {
+			jctx, cancel := context.WithCancel(ctx)
+			cancel()
+			return jctx.Err()
+		},
+	}
+	err := RunJobs(context.Background(), 1, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunJobs error = %v, want context.Canceled surfaced as a job failure", err)
+	}
+}
+
+// TestRunJobsJobDeadlineFailsFast: a job-originated timeout is a real
+// failure, so it must also trigger the pool's fail-fast cancel for
+// jobs still in flight — and those induced aborts stay dropped.
+func TestRunJobsJobDeadlineFailsFast(t *testing.T) {
+	timedOut := make(chan struct{})
+	jobs := []Job{
+		func(ctx context.Context) error {
+			<-timedOut // guarantee the timing-out job finishes first
+			select {
+			case <-ctx.Done():
+				return ctx.Err() // induced: must be dropped from the join
+			case <-time.After(5 * time.Second):
+				return errors.New("fail-fast cancellation never arrived")
+			}
+		},
+		func(ctx context.Context) error {
+			defer close(timedOut)
+			jctx, cancel := context.WithTimeout(ctx, time.Millisecond)
+			defer cancel()
+			<-jctx.Done()
+			return jctx.Err()
+		},
+	}
+	err := RunJobs(context.Background(), 2, jobs)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunJobs error = %v, want the job-originated DeadlineExceeded", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Error("induced abort of the surviving job leaked into the join")
+	}
+}

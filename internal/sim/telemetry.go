@@ -26,6 +26,18 @@ import (
 // concurrent runs interleave but each line is whole, so demux by
 // label. Write errors are sticky: the first one is retained, later
 // events are dropped, and Err reports it when the run is over.
+//
+// The sharing contract, pinned by the race tests: the mutex covers
+// this sink's own emits and nothing beyond. Sharing is sound only
+// when (1) every concurrent run carries a unique label — a label
+// collision produces interleaved streams no consumer can demux (and
+// corrupts label-keyed sinks like the auditor) — and (2) the sink
+// owns its writer exclusively; two sinks over one writer interleave
+// mid-line because each locks only itself. Servers handling
+// independent requests should not share sinks at all: build one
+// writer per request over its own stream (the pattern internal/daemon
+// enforces), which also keeps one slow or failed request's sticky
+// error from silencing every other request's telemetry.
 type TelemetryWriter struct {
 	mu  sync.Mutex
 	enc *json.Encoder

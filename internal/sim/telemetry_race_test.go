@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/dtbgc/dtbgc/internal/core"
+)
+
+// TestTelemetrySinksConcurrentFleets is the daemon-grade concurrency
+// audit in executable form: N concurrent fleets share ONE
+// TelemetryWriter and ONE ProgressReporter (the documented-supported
+// sharing — one writer per sink, unique labels per run). Under the
+// race detector this proves the sinks' locking covers the whole emit
+// surface; the demux check proves every line stays whole and lands
+// under the right label even when runs interleave.
+//
+// The contract this pins (and internal/daemon relies on): a sink may
+// be shared across concurrent runs only when each run has a unique
+// label and the sink owns its writer exclusively. Label-keyed sinks
+// (the auditor) and writer-sharing between two sinks are NOT covered
+// by the sinks' internal mutexes — which is why the daemon builds
+// per-request sinks instead of sharing one across requests.
+func TestTelemetrySinksConcurrentFleets(t *testing.T) {
+	const fleets = 8
+	events := probeTrace()
+
+	var telBuf, progBuf bytes.Buffer
+	tw := NewTelemetryWriter(&telBuf)
+	pr := NewProgressReporter(&progBuf)
+
+	var wg sync.WaitGroup
+	errs := make([]error, fleets)
+	for g := 0; g < fleets; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfgs := []Config{
+				{
+					Policy: core.Full{}, TriggerBytes: 16 * 1024,
+					Probe: Probes(tw, pr), Label: fmt.Sprintf("g%d/full", g),
+					ProgressBytes: 32 * 1024,
+				},
+				{
+					Policy: core.DtbFM{TraceMax: 4 * 1024}, TriggerBytes: 16 * 1024,
+					Probe: Probes(tw, pr), Label: fmt.Sprintf("g%d/dtbfm", g),
+					ProgressBytes: 32 * 1024,
+				},
+			}
+			fleet, err := NewFleet(cfgs)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if err := fleet.FeedBatch(events); err != nil {
+				errs[g] = err
+				return
+			}
+			fleet.Finish()
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("fleet %d: %v", g, err)
+		}
+	}
+	if err := tw.Err(); err != nil {
+		t.Fatalf("telemetry writer: %v", err)
+	}
+
+	// Demux: every line is complete JSON with a known label, and each
+	// run's stream is framed by exactly one run_start and one
+	// run_finish.
+	starts := make(map[string]int)
+	finishes := make(map[string]int)
+	sc := bufio.NewScanner(bytes.NewReader(telBuf.Bytes()))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Event string `json:"event"`
+			Label string `json:"label"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not whole JSON (interleaved write?): %v\n%s", lines, err, sc.Bytes())
+		}
+		switch rec.Event {
+		case "run_start":
+			starts[rec.Label]++
+		case "run_finish":
+			finishes[rec.Label]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < fleets; g++ {
+		for _, lbl := range []string{fmt.Sprintf("g%d/full", g), fmt.Sprintf("g%d/dtbfm", g)} {
+			if starts[lbl] != 1 || finishes[lbl] != 1 {
+				t.Errorf("label %s: %d run_start / %d run_finish, want 1/1", lbl, starts[lbl], finishes[lbl])
+			}
+		}
+	}
+	if len(starts) != 2*fleets {
+		t.Errorf("saw %d labels, want %d", len(starts), 2*fleets)
+	}
+}
+
+// TestTelemetrySinksConcurrentSoloRuns covers the per-request-sink
+// pattern the daemon enforces: every concurrent run gets its own
+// TelemetryWriter over its own buffer, and each stream must come out
+// identical to a serial run of the same configuration — concurrency
+// must not leak between requests at all.
+func TestTelemetrySinksConcurrentSoloRuns(t *testing.T) {
+	const runs = 8
+	events := probeTrace()
+	cfg := func(p Probe) Config {
+		return Config{
+			Policy: core.DtbFM{TraceMax: 4 * 1024}, TriggerBytes: 16 * 1024,
+			Probe: p, Label: "req", ProgressBytes: 32 * 1024,
+		}
+	}
+
+	var serial bytes.Buffer
+	if _, err := Run(events, cfg(NewTelemetryWriter(&serial))); err != nil {
+		t.Fatal(err)
+	}
+
+	bufs := make([]bytes.Buffer, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for g := 0; g < runs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[g] = Run(events, cfg(NewTelemetryWriter(&bufs[g])))
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < runs; g++ {
+		if errs[g] != nil {
+			t.Fatalf("run %d: %v", g, errs[g])
+		}
+		if !bytes.Equal(bufs[g].Bytes(), serial.Bytes()) {
+			t.Errorf("run %d: concurrent per-request stream differs from the serial stream", g)
+		}
+	}
+}

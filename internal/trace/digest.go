@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+)
+
+// Digest is the content identity of a trace: SHA-256 over its
+// canonical binary encoding. The binary codec is deterministic —
+// uvarint encodings are unique per value and timestamps are
+// delta-encoded from a fixed origin — so re-encoding decoded events
+// reproduces the original bytes and every route to the same event
+// sequence yields the same digest. That makes Digest a safe cache
+// key: it names what a trace says, not where it came from.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// IsZero reports an unset digest.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// ParseDigest parses the hex form produced by String.
+func ParseDigest(s string) (Digest, error) {
+	var d Digest
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(d) {
+		return Digest{}, fmt.Errorf("trace: bad digest %q: want %d hex bytes", s, len(d))
+	}
+	copy(d[:], b)
+	return d, nil
+}
+
+// DigestEvents computes the digest of an in-memory event sequence by
+// re-encoding it through the canonical binary Writer into the hash —
+// no trace file or intermediate buffer involved.
+func DigestEvents(events []Event) (Digest, error) {
+	h := sha256.New()
+	if err := WriteAll(h, events); err != nil {
+		return Digest{}, err
+	}
+	return sumDigest(h), nil
+}
+
+// DigestingReader is an io.Reader that hashes every byte passing
+// through it. Wrap a trace stream with it, decode through NewReader
+// as usual, and after the decoder drains the stream to a clean EOF,
+// Sum is the trace's content digest — computed in the same streaming
+// pass as the decode, with no second read of the input.
+type DigestingReader struct {
+	r io.Reader
+	h hash.Hash
+}
+
+// NewDigestingReader wraps r.
+func NewDigestingReader(r io.Reader) *DigestingReader {
+	return &DigestingReader{r: r, h: sha256.New()}
+}
+
+// Read implements io.Reader, folding everything it returns into the
+// running hash.
+func (dr *DigestingReader) Read(p []byte) (int, error) {
+	n, err := dr.r.Read(p)
+	if n > 0 {
+		//dtbvet:ignore errsink -- hash.Hash.Write is documented to never return an error
+		dr.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// Sum returns the digest of the bytes read so far. It names the whole
+// trace only once the decoder has consumed the stream to a clean EOF;
+// after a decode error or an abandoned read it covers a prefix and
+// must not be used as a content key.
+func (dr *DigestingReader) Sum() Digest {
+	return sumDigest(dr.h)
+}
+
+func sumDigest(h hash.Hash) Digest {
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}

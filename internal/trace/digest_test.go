@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func digestFixture() []Event {
+	return []Event{
+		Alloc(1, 64, 10),
+		Alloc(2, 128, 20),
+		PtrWrite(1, 0, 2, 25),
+		Mark("phase", 30),
+		Free(1, 40),
+		Free(2, 50),
+	}
+}
+
+// TestStreamDigestMatchesEventDigest: hashing the raw binary bytes at
+// decode time and re-encoding the decoded events must agree — the
+// property that lets a server digest an upload in one pass and a
+// client predict that digest from events it never serialized to disk.
+func TestStreamDigestMatchesEventDigest(t *testing.T) {
+	events := digestFixture()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+
+	dr := NewDigestingReader(bytes.NewReader(buf.Bytes()))
+	decoded, err := NewReader(dr).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(events))
+	}
+
+	want, err := DigestEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dr.Sum(); got != want {
+		t.Errorf("stream digest %s != event digest %s", got, want)
+	}
+
+	// And against the decoded events too: decode is lossless, so the
+	// digest survives a round trip.
+	redig, err := DigestEvents(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redig != want {
+		t.Errorf("round-tripped digest %s != original %s", redig, want)
+	}
+}
+
+func TestDigestDistinguishesContent(t *testing.T) {
+	a, err := DigestEvents(digestFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := digestFixture()
+	mutated[1].Size++
+	b, err := DigestEvents(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different traces produced the same digest")
+	}
+	empty, err := DigestEvents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty == a || empty.IsZero() {
+		t.Errorf("empty-trace digest %s should be distinct and non-zero (it covers the header)", empty)
+	}
+}
+
+func TestDigestStringRoundTrip(t *testing.T) {
+	d, err := DigestEvents(digestFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseDigest(d.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != d {
+		t.Errorf("ParseDigest(String) = %s, want %s", parsed, d)
+	}
+	for _, bad := range []string{"", "xyz", d.String()[:10], d.String() + "00"} {
+		if _, err := ParseDigest(bad); err == nil {
+			t.Errorf("ParseDigest(%q) accepted a malformed digest", bad)
+		}
+	}
+}
+
+// TestDigestingReaderHashesOnlyDeliveredBytes: the wrapper hashes
+// what it returns, so a partial decode sums a prefix — callers gate
+// on clean EOF before using the digest, and this pins the behavior
+// that makes that gate necessary and sufficient.
+func TestDigestingReaderHashesOnlyDeliveredBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, digestFixture()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	dr := NewDigestingReader(bytes.NewReader(raw))
+	if _, err := io.CopyN(io.Discard, dr, int64(len(raw)/2)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := DigestEvents(digestFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Sum() == full {
+		t.Error("half-read stream already matched the full digest")
+	}
+	if _, err := io.Copy(io.Discard, dr); err != nil {
+		t.Fatal(err)
+	}
+	if got := dr.Sum(); got != full {
+		t.Errorf("fully drained stream digest %s != %s", got, full)
+	}
+}
